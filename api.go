@@ -1,0 +1,266 @@
+package ehinfer
+
+import (
+	"repro/internal/accmodel"
+	"repro/internal/baselines"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/energy"
+	"repro/internal/fixed"
+	"repro/internal/mcu"
+	"repro/internal/metrics"
+	"repro/internal/multiexit"
+	"repro/internal/qlearn"
+	"repro/internal/search"
+	"repro/internal/tensor"
+)
+
+// Re-exported types: the nouns of the system. Aliases keep the façade
+// thin — the internal packages hold the documentation and behaviour.
+type (
+	// Tensor is the dense float32 tensor used throughout.
+	Tensor = tensor.Tensor
+	// RNG is the deterministic random generator all components share.
+	RNG = tensor.RNG
+
+	// Network is a multi-exit neural network.
+	Network = multiexit.Network
+	// InferenceState is a suspended (resumable) inference.
+	InferenceState = multiexit.State
+	// TrainConfig controls joint multi-exit training.
+	TrainConfig = multiexit.TrainConfig
+
+	// Policy is a per-layer compression policy.
+	Policy = compress.Policy
+	// LayerPolicy is one layer's compression decision.
+	LayerPolicy = compress.LayerPolicy
+	// Surrogate predicts per-exit accuracy for a policy.
+	Surrogate = accmodel.Surrogate
+
+	// SearchConfig parameterizes the DDPG compression search.
+	SearchConfig = search.Config
+	// SearchResult is the search outcome.
+	SearchResult = search.Result
+
+	// Trace is a harvesting power profile.
+	Trace = energy.Trace
+	// Storage is the capacitor energy buffer.
+	Storage = energy.Storage
+	// Schedule is a time-ordered event set.
+	Schedule = energy.Schedule
+	// Event is one sensing trigger.
+	Event = energy.Event
+	// SolarConfig parameterizes synthetic solar traces.
+	SolarConfig = energy.SolarConfig
+	// KineticConfig parameterizes synthetic kinetic traces.
+	KineticConfig = energy.KineticConfig
+
+	// Device is the MCU cost model.
+	Device = mcu.Device
+
+	// Deployed is a compressed network ready for the runtime.
+	Deployed = core.Deployed
+	// Runtime executes event schedules on the intermittent device.
+	Runtime = core.Runtime
+	// RuntimeConfig parameterizes the runtime.
+	RuntimeConfig = core.RuntimeConfig
+	// Scenario is the shared experimental setup.
+	Scenario = core.Scenario
+	// CompareConfig tweaks the system comparison.
+	CompareConfig = core.CompareConfig
+	// SystemRow is one comparison line (Fig. 5 / §V-D).
+	SystemRow = core.SystemRow
+	// PolicyMode selects Q-learning vs static-LUT exit selection.
+	PolicyMode = core.PolicyMode
+
+	// Report aggregates simulation outcomes (IEpmJ, accuracy, latency).
+	Report = metrics.Report
+	// EventOutcome records one event's handling.
+	EventOutcome = metrics.EventOutcome
+
+	// Baseline describes one comparison system.
+	Baseline = baselines.Baseline
+
+	// Dataset is an in-memory labelled image set.
+	Dataset = dataset.Set
+	// SynthConfig parameterizes the SynthCIFAR generator.
+	SynthConfig = dataset.SynthConfig
+
+	// ExitAgent is the runtime exit-selection Q-learner.
+	ExitAgent = qlearn.ExitAgent
+	// IncrementalAgent is the continue/stop Q-learner.
+	IncrementalAgent = qlearn.IncrementalAgent
+)
+
+// Runtime policy modes.
+const (
+	PolicyQLearning = core.PolicyQLearning
+	PolicyStaticLUT = core.PolicyStaticLUT
+)
+
+// Paper constants.
+const (
+	// PaperFTargetFLOPs is the §V FLOPs constraint (1.15 MFLOPs).
+	PaperFTargetFLOPs = compress.PaperFTargetFLOPs
+	// PaperSTargetBytes is the §V weight-size constraint (16 KB).
+	PaperSTargetBytes = compress.PaperSTargetBytes
+)
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed uint64) *RNG { return tensor.NewRNG(seed) }
+
+// FromImageData wraps a CHW float32 pixel slice (3×32×32 = 3072 values in
+// [0, 1]) as an image tensor suitable for Network.InferTo.
+func FromImageData(data []float32) *Tensor {
+	return tensor.FromSlice(data, dataset.Channels, dataset.Height, dataset.Width)
+}
+
+// LeNetEE builds the paper's multi-exit LeNet (four conv layers, two
+// early exits) for 32×32×3 inputs. Pass nil to skip weight init.
+func LeNetEE(rng *RNG) *Network { return multiexit.LeNetEE(rng) }
+
+// NetworkBuilder constructs custom multi-exit architectures; see
+// multiexit.Builder for the fluent API.
+type NetworkBuilder = multiexit.Builder
+
+// NewNetworkBuilder starts a builder for inC×inH×inW inputs.
+func NewNetworkBuilder(inC, inH, inW, classes int) *NetworkBuilder {
+	return multiexit.NewBuilder(inC, inH, inW, classes)
+}
+
+// LoweredNetwork is a multi-exit network lowered to integer (int8-class)
+// inference kernels — the artifact a real MCU deployment flashes.
+type LoweredNetwork = fixed.LoweredNetwork
+
+// LowerToInteger lowers a (possibly compressed) network to the integer
+// pipeline with the given default bitwidths (8/8 when zero). Calibration
+// images (CHW, optional) set each layer's requantization range from the
+// observed float activations — strongly recommended for trained networks.
+func LowerToInteger(net *Network, weightBits, actBits int, calibration ...*Tensor) (*LoweredNetwork, error) {
+	return fixed.Lower(net, fixed.LowerConfig{
+		WeightBits:  weightBits,
+		ActBits:     actBits,
+		Calibration: calibration,
+	})
+}
+
+// TrainNetwork jointly trains all exits on a dataset.
+func TrainNetwork(net *Network, train *Dataset, cfg TrainConfig) (float64, error) {
+	return multiexit.Train(net, train, cfg)
+}
+
+// EvalExits returns per-exit accuracy on a dataset.
+func EvalExits(net *Network, set *Dataset) []float64 {
+	return multiexit.EvalExits(net, set)
+}
+
+// SynthCIFAR generates disjoint train/test SynthCIFAR sets.
+func SynthCIFAR(cfg SynthConfig, trainN, testN int) (train, test *Dataset) {
+	return dataset.TrainTest(cfg, trainN, testN)
+}
+
+// NewSurrogate builds the calibrated accuracy surrogate for a network
+// (nil accuracies select the paper's anchors for 3-exit networks).
+func NewSurrogate(net *Network, fullAcc []float64) (*Surrogate, error) {
+	return accmodel.New(net, fullAcc)
+}
+
+// ApplyPolicy compresses a network in place (prune + quantize).
+func ApplyPolicy(net *Network, p *Policy) error { return compress.Apply(net, p) }
+
+// UniformPolicy builds a same-everywhere compression policy.
+func UniformPolicy(net *Network, preserve float64, weightBits, actBits int) *Policy {
+	return compress.Uniform(net, preserve, weightBits, actBits)
+}
+
+// FullPrecision builds the identity (no-compression) policy.
+func FullPrecision(net *Network) *Policy { return compress.FullPrecision(net) }
+
+// Fig1bUniform returns the uniform reference policy of Fig. 1b.
+func Fig1bUniform(net *Network) *Policy { return compress.Fig1bUniform(net) }
+
+// Fig1bNonuniform returns the nonuniform reference policy of Fig. 1b.
+func Fig1bNonuniform() *Policy { return compress.Fig1bNonuniform() }
+
+// SearchCompression runs the paper's dual-agent DDPG compression search.
+func SearchCompression(net *Network, sur *Surrogate, cfg SearchConfig) (*SearchResult, error) {
+	return search.RL(net, sur, cfg)
+}
+
+// SearchCompressionRandom is the random-search ablation baseline.
+func SearchCompressionRandom(net *Network, sur *Surrogate, cfg SearchConfig) (*SearchResult, error) {
+	return search.Random(net, sur, cfg)
+}
+
+// SearchCompressionAnnealing is the simulated-annealing ablation.
+func SearchCompressionAnnealing(net *Network, sur *Surrogate, cfg SearchConfig) (*SearchResult, error) {
+	return search.Annealing(net, sur, cfg)
+}
+
+// SyntheticSolarTrace generates a diurnal solar harvesting trace.
+func SyntheticSolarTrace(cfg SolarConfig) *Trace { return energy.SyntheticSolarTrace(cfg) }
+
+// SyntheticKineticTrace generates a bursty kinetic harvesting trace.
+func SyntheticKineticTrace(cfg KineticConfig) *Trace { return energy.SyntheticKineticTrace(cfg) }
+
+// UniformSchedule draws n events uniformly over the trace duration.
+func UniformSchedule(n, duration, classes int, seed uint64) *Schedule {
+	return energy.UniformSchedule(n, duration, classes, seed)
+}
+
+// BurstySchedule draws events in activity bursts.
+func BurstySchedule(n, duration, classes int, meanBurst float64, seed uint64) *Schedule {
+	return energy.BurstySchedule(n, duration, classes, meanBurst, seed)
+}
+
+// MSP432 returns the paper's target device model.
+func MSP432() *Device { return mcu.MSP432() }
+
+// DefaultScenario returns the paper's §V experimental setup.
+func DefaultScenario(seed uint64) *Scenario { return core.DefaultScenario(seed) }
+
+// BuildDeployed compresses LeNet-EE with a policy and packages it with
+// surrogate accuracies for the runtime.
+func BuildDeployed(policy *Policy, seed uint64) (*Deployed, error) {
+	return core.BuildDeployed(policy, seed)
+}
+
+// NewDeployed packages an already-compressed network with known per-exit
+// accuracies.
+func NewDeployed(net *Network, exitAccs []float64) (*Deployed, error) {
+	return core.NewDeployed(net, exitAccs)
+}
+
+// NewRuntime builds the intermittent-inference runtime for a deployment.
+func NewRuntime(d *Deployed, cfg RuntimeConfig) (*Runtime, error) {
+	return core.NewRuntime(d, cfg)
+}
+
+// CompareSystems runs ours plus the three baselines on a scenario.
+func CompareSystems(sc *Scenario, d *Deployed, cfg CompareConfig) ([]SystemRow, error) {
+	return core.CompareSystems(sc, d, cfg)
+}
+
+// LearningCurve runs the Fig. 7a runtime-adaptation experiment.
+func LearningCurve(sc *Scenario, d *Deployed, episodes int) (qcurve, staticCurve []float64, err error) {
+	return core.LearningCurve(sc, d, episodes)
+}
+
+// ExitUsage runs the Fig. 7b exit-histogram experiment.
+func ExitUsage(sc *Scenario, d *Deployed, warmup int) (qhist, shist []int, qproc, sproc int, err error) {
+	return core.ExitUsage(sc, d, warmup)
+}
+
+// AllBaselines returns SonicNet, SpArSeNet, and LeNet-Cifar.
+func AllBaselines() []Baseline { return baselines.All() }
+
+// RunBaseline simulates a single-exit baseline on a scenario's trace and
+// schedule.
+func RunBaseline(b Baseline, sc *Scenario, seed uint64) (*Report, error) {
+	return core.RunBaseline(b, sc.Trace, sc.Schedule, core.BaselineConfig{
+		Device:  sc.Device,
+		Storage: sc.Storage,
+		Seed:    seed,
+	})
+}

@@ -1,0 +1,95 @@
+// Command ehsim runs the full energy-harvesting intermittent-inference
+// simulation: the compressed multi-exit network under the Q-learning
+// runtime, compared against the three baselines on one EH trace.
+//
+// Usage:
+//
+//	ehsim [-seed N] [-events N] [-hours H] [-peak mW] [-trace file.csv]
+//	      [-policy static|qlearning] [-episodes N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ehinfer "repro"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/mcu"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 42, "random seed for trace, events, and learning")
+		events   = flag.Int("events", 500, "number of events over the trace")
+		hours    = flag.Float64("hours", 6, "trace duration in hours (synthetic trace)")
+		peak     = flag.Float64("peak", 0.032, "peak harvesting power in mW (synthetic trace)")
+		traceCSV = flag.String("trace", "", "CSV file with a measured trace (overrides -hours/-peak)")
+		policy   = flag.String("policy", "qlearning", "runtime exit policy: qlearning or static")
+		episodes = flag.Int("episodes", 12, "Q-learning warm-up episodes before the measured run")
+		verbose  = flag.Bool("v", false, "print per-system event details")
+	)
+	flag.Parse()
+
+	trace, err := buildTrace(*traceCSV, *hours, *peak, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ehsim:", err)
+		os.Exit(1)
+	}
+	sc := core.DefaultScenario(*seed)
+	sc.Trace = trace
+	sc.Schedule = energy.UniformSchedule(*events, trace.Duration(), 10, *seed)
+	sc.Device = mcu.MSP432()
+
+	fmt.Printf("trace: %d s, mean %.1f µW, total %.1f mJ harvestable; %d events\n",
+		trace.Duration(), 1000*trace.MeanPower(), trace.TotalEnergy(), sc.Schedule.Len())
+
+	deployed, err := ehinfer.BuildDeployed(ehinfer.Fig1bNonuniform(), *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ehsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("deployed: %0.1f KB weights, exit costs", float64(deployed.WeightBytes)/1024)
+	for _, f := range deployed.ExitFLOPs {
+		fmt.Printf(" %.2f mJ", sc.Device.ComputeEnergyMJ(f))
+	}
+	fmt.Println()
+
+	mode := ehinfer.PolicyQLearning
+	if *policy == "static" {
+		mode = ehinfer.PolicyStaticLUT
+	}
+	rows, err := ehinfer.CompareSystems(sc, deployed, ehinfer.CompareConfig{
+		Mode:           mode,
+		WarmupEpisodes: *episodes,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ehsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\n%-14s %8s %9s %11s %10s %9s\n", "system", "IEpmJ", "acc(all)", "acc(proc)", "latency", "processed")
+	for _, r := range rows {
+		fmt.Printf("%-14s %8.3f %8.1f%% %10.1f%% %9.1fs %8.1f%%\n",
+			r.System, r.IEpmJ, 100*r.AccAll, 100*r.AccProcessed, r.MeanLatencyS, 100*r.ProcessedFrac)
+		if *verbose && len(r.ExitShares) > 1 {
+			fmt.Printf("               exit shares:")
+			for i, s := range r.ExitShares {
+				fmt.Printf(" exit%d=%.1f%%", i+1, 100*s)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func buildTrace(csvPath string, hours, peak float64, seed uint64) (*energy.Trace, error) {
+	if csvPath != "" {
+		return energy.LoadTraceCSV(csvPath)
+	}
+	return energy.SyntheticSolarTrace(energy.SolarConfig{
+		Seconds:   int(hours * 3600),
+		PeakPower: peak,
+		Seed:      seed,
+	}), nil
+}

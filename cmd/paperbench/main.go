@@ -1,0 +1,144 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation (§V) in one run, printing paper-vs-measured values. It is
+// the CLI twin of the bench_test.go harness; EXPERIMENTS.md is written
+// from this output.
+//
+// Usage:
+//
+//	paperbench [-seed N] [-search-episodes N] [-skip-search]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	ehinfer "repro"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		seed           = flag.Uint64("seed", 42, "random seed")
+		searchEpisodes = flag.Int("search-episodes", 120, "episodes for the Fig. 4 DDPG search")
+		skipSearch     = flag.Bool("skip-search", false, "skip the Fig. 4 search (slowest step)")
+	)
+	flag.Parse()
+	start := time.Now()
+
+	section("§V-A experimental setup")
+	net := ehinfer.LeNetEE(nil)
+	fmt.Printf("LeNet-EE exits: paper {0.4452, 1.2602, 1.6202} MFLOPs → measured {%.4f, %.4f, %.4f} MFLOPs\n",
+		f6(net.ExitFLOPs(0)), f6(net.ExitFLOPs(1)), f6(net.ExitFLOPs(2)))
+	fmt.Printf("fp32 weights:   paper 580 KB → measured %.1f KB\n", float64(net.WeightBytes())/1024)
+	fmt.Printf("energy model:   1.5 mJ/MFLOP (paper's constant); exit energies {%.3f, %.3f, %.3f} mJ\n",
+		f6(net.ExitFLOPs(0))*1.5, f6(net.ExitFLOPs(1))*1.5, f6(net.ExitFLOPs(2))*1.5)
+
+	section("Fig. 1b — compression accuracy")
+	rows1b, err := core.Fig1b()
+	check(err)
+	paper1b := [][]float64{{64.9, 72.0, 73.0}, {57.3, 65.2, 67.5}, {61.9, 68.5, 69.9}}
+	for i, r := range rows1b {
+		fmt.Printf("%-24s paper {%.1f %.1f %.1f}%% → measured {%.1f %.1f %.1f}%%\n",
+			r.Scheme, paper1b[i][0], paper1b[i][1], paper1b[i][2],
+			100*r.ExitAccs[0], 100*r.ExitAccs[1], 100*r.ExitAccs[2])
+	}
+
+	if !*skipSearch {
+		section("Fig. 4 — searched nonuniform policy")
+		sc := ehinfer.DefaultScenario(*seed)
+		snet := ehinfer.LeNetEE(ehinfer.NewRNG(3))
+		sur, err := ehinfer.NewSurrogate(snet, nil)
+		check(err)
+		res, err := ehinfer.SearchCompression(snet, sur, ehinfer.SearchConfig{
+			Episodes: *searchEpisodes,
+			Trace:    sc.Trace,
+			Schedule: sc.Schedule,
+			Storage:  sc.Storage,
+			Seed:     *seed,
+		})
+		check(err)
+		fmt.Printf("constraints: F ≤ 1.15 MFLOPs, S ≤ 16 KB → measured F = %.4f MFLOPs, S = %.1f KB, Racc = %.4f\n",
+			float64(res.Measure.ModelFLOPs)/1e6, float64(res.Measure.WeightBytes)/1024, res.Racc)
+		fmt.Print(res.Policy)
+	}
+
+	section("Fig. 5 / §V-C — IEpmJ and accuracy")
+	sc := ehinfer.DefaultScenario(*seed)
+	deployed, err := ehinfer.BuildDeployed(ehinfer.Fig1bNonuniform(), *seed)
+	check(err)
+	rows, err := ehinfer.CompareSystems(sc, deployed, ehinfer.CompareConfig{})
+	check(err)
+	paperIE := []float64{0.89, 0.25, 0.05, 0.70}
+	paperAll := []float64{50.1, 14.0, 2.6, 39.2}
+	paperProc := []float64{65.4, 75.4, 82.7, 74.7}
+	paperLat := []float64{18.0, 139.9, 183.4, 56.7}
+	for i, r := range rows {
+		fmt.Printf("%-14s IEpmJ paper %.2f → %.3f | acc(all) paper %.1f%% → %.1f%% | acc(proc) paper %.1f%% → %.1f%%\n",
+			r.System, paperIE[i], r.IEpmJ, paperAll[i], 100*r.AccAll, paperProc[i], 100*r.AccProcessed)
+	}
+	fmt.Printf("IEpmJ factors: vs SonicNet paper 3.6× → %.1f×; vs SpArSeNet paper 18.9× → %.1f×; vs LeNet-Cifar paper 1.28× → %.2f×\n",
+		rows[0].IEpmJ/rows[1].IEpmJ, rows[0].IEpmJ/rows[2].IEpmJ, rows[0].IEpmJ/rows[3].IEpmJ)
+
+	section("Fig. 6 — FLOPs before/after compression")
+	rows6, err := core.Fig6(ehinfer.Fig1bNonuniform())
+	check(err)
+	paperRatio := []float64{0.31, 0.44, 0.67}
+	for i, r := range rows6 {
+		if i < 3 {
+			fmt.Printf("%-12s %.4fM → %.4fM (ratio paper %.2f× → measured %.2f×)\n",
+				r.Name, float64(r.BeforeFLOPs)/1e6, float64(r.AfterFLOPs)/1e6,
+				paperRatio[i], float64(r.AfterFLOPs)/float64(r.BeforeFLOPs))
+		} else {
+			fmt.Printf("%-12s %.2fM FLOPs (single-exit baseline)\n", r.Name, float64(r.BeforeFLOPs)/1e6)
+		}
+	}
+
+	section("§V-D — latency")
+	for i, r := range rows {
+		fmt.Printf("%-14s per-event paper %.1f → measured %.1f time units | per-inference %.3f MFLOPs\n",
+			r.System, paperLat[i], r.MeanLatencyS, r.MeanInfFLOPs/1e6)
+	}
+
+	section("Fig. 7a — runtime learning curve")
+	q, s, err := ehinfer.LearningCurve(sc, deployed, 16)
+	check(err)
+	fmt.Print("Q-learning per-episode acc(all): ")
+	for _, v := range q {
+		fmt.Printf("%.1f ", 100*v)
+	}
+	var sAvg float64
+	for _, v := range s {
+		sAvg += v
+	}
+	sAvg /= float64(len(s))
+	late := (q[len(q)-1] + q[len(q)-2]) / 2
+	fmt.Printf("\nstatic mean %.1f%% | Q final %.1f%% (paper: +10.2%% relative → measured %+.1f%%)\n",
+		100*sAvg, 100*late, 100*(late/sAvg-1))
+
+	section("Fig. 7b — exit usage")
+	qh, sh, qp, sp, err := ehinfer.ExitUsage(sc, deployed, 12)
+	check(err)
+	n := float64(sc.Schedule.Len())
+	fmt.Printf("Q-learning paper {71.0, 2.8, 11.4}%% → measured {%.1f, %.1f, %.1f}%% (processed %d)\n",
+		100*float64(qh[0])/n, 100*float64(qh[1])/n, 100*float64(qh[2])/n, qp)
+	fmt.Printf("Static LUT paper {57.6, 3.8, 15.2}%% → measured {%.1f, %.1f, %.1f}%% (processed %d)\n",
+		100*float64(sh[0])/n, 100*float64(sh[1])/n, 100*float64(sh[2])/n, sp)
+	fmt.Printf("processed events: paper +11.2%% → measured %+.1f%%\n", 100*(float64(qp)/float64(sp)-1))
+
+	fmt.Printf("\nall experiments done in %.1fs\n", time.Since(start).Seconds())
+}
+
+func f6(v int64) float64 { return float64(v) / 1e6 }
+
+func section(title string) {
+	fmt.Printf("\n======== %s ========\n", title)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,96 @@
+// Command sweep explores the EH design space: it runs the full system
+// comparison over a grid of harvesting strengths and capacitor sizes and
+// prints an IEpmJ table per system, with multi-seed mean ± std. This is
+// the "how do the results move with the power condition" analysis the
+// paper motivates but does not include.
+//
+// Usage:
+//
+//	sweep [-peaks 0.02,0.032,0.05] [-caps 3,6,10] [-seeds 3] [-events 500]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	ehinfer "repro"
+	"repro/internal/energy"
+	"repro/internal/mcu"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		peaksArg = flag.String("peaks", "0.020,0.032,0.050", "comma-separated trace peak powers (mW)")
+		capsArg  = flag.String("caps", "3,6,10", "comma-separated capacitor sizes (mJ)")
+		seeds    = flag.Int("seeds", 3, "seeds per grid cell")
+		events   = flag.Int("events", 500, "events per run")
+	)
+	flag.Parse()
+
+	peaks, err := parseFloats(*peaksArg)
+	if err != nil {
+		fatal(err)
+	}
+	caps, err := parseFloats(*capsArg)
+	if err != nil {
+		fatal(err)
+	}
+
+	deployed, err := ehinfer.BuildDeployed(ehinfer.Fig1bNonuniform(), 1)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%8s %6s | %-26s %-26s\n", "peak mW", "cap mJ", "ours IEpmJ (mean±std)", "LeNet-Cifar IEpmJ")
+	for _, peak := range peaks {
+		for _, capMJ := range caps {
+			ours := metrics.NewAggregate("ours")
+			lenet := metrics.NewAggregate("lenet")
+			for s := 0; s < *seeds; s++ {
+				seed := uint64(100 + s)
+				trace := energy.SyntheticSolarTrace(energy.SolarConfig{
+					Seconds: 21600, PeakPower: peak, Seed: seed,
+				})
+				sc := &ehinfer.Scenario{
+					Trace:    trace,
+					Schedule: energy.UniformSchedule(*events, trace.Duration(), 10, seed),
+					Device:   mcu.MSP432(),
+					Storage: &energy.Storage{
+						CapacityMJ: capMJ, TurnOnMJ: 0.5, BrownOutMJ: 0.05,
+						ChargeEfficiency: 0.9, LeakMWPerS: 0.0002,
+					},
+					Seed: seed,
+				}
+				rows, err := ehinfer.CompareSystems(sc, deployed, ehinfer.CompareConfig{WarmupEpisodes: 8})
+				if err != nil {
+					fatal(err)
+				}
+				ours.Add(rows[0].IEpmJ)
+				lenet.Add(rows[3].IEpmJ)
+			}
+			fmt.Printf("%8.3f %6.1f | %10.3f ± %-13.3f %10.3f ± %-8.3f\n",
+				peak, capMJ, ours.Mean(), ours.Std(), lenet.Mean(), lenet.Std())
+		}
+	}
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad number %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command train trains the multi-exit LeNet-EE on SynthCIFAR (or real
+// CIFAR-10 binary batches if present), optionally applies a compression
+// policy from JSON, reports per-exit accuracy before and after, and saves
+// the weights.
+//
+// Usage:
+//
+//	train [-epochs N] [-train N] [-test N] [-augment N] [-seed N]
+//	      [-cifar dir] [-policy policy.json] [-out model.gob]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/compress"
+	"repro/internal/dataset"
+	"repro/internal/multiexit"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func main() {
+	var (
+		epochs   = flag.Int("epochs", 6, "training epochs")
+		trainN   = flag.Int("train", 400, "SynthCIFAR training samples")
+		testN    = flag.Int("test", 200, "SynthCIFAR test samples")
+		augment  = flag.Int("augment", 0, "augmented copies per training sample")
+		seed     = flag.Uint64("seed", 31, "random seed")
+		cifarDir = flag.String("cifar", "", "directory with CIFAR-10 binary batches (overrides SynthCIFAR)")
+		policyF  = flag.String("policy", "", "compression policy JSON to apply after training")
+		out      = flag.String("out", "", "output model file (gob)")
+	)
+	flag.Parse()
+
+	var train, test *dataset.Set
+	var err error
+	if *cifarDir != "" {
+		train, test, err = dataset.LoadCIFAR10Dir(*cifarDir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded CIFAR-10: %d train, %d test\n", train.Len(), test.Len())
+	} else {
+		cfg := dataset.SynthConfig{Seed: *seed, NoiseStd: 0.03, Jitter: 0.05}
+		train, test = dataset.TrainTest(cfg, *trainN, *testN)
+		fmt.Printf("generated SynthCIFAR: %d train, %d test\n", train.Len(), test.Len())
+	}
+	if *augment > 0 {
+		train = train.Augmented(*augment, tensor.NewRNG(*seed+0xa46))
+		fmt.Printf("augmented training set to %d samples\n", train.Len())
+	}
+
+	net := multiexit.LeNetEE(tensor.NewRNG(*seed))
+	fmt.Printf("training %d epochs...\n", *epochs)
+	if _, err := multiexit.Train(net, train, multiexit.TrainConfig{
+		Epochs: *epochs, BatchSize: 25, Seed: *seed, Log: os.Stdout,
+	}); err != nil {
+		fatal(err)
+	}
+	accs := multiexit.EvalExits(net, test)
+	fmt.Printf("test accuracy: exit1 %.1f%%, exit2 %.1f%%, exit3 %.1f%%\n",
+		100*accs[0], 100*accs[1], 100*accs[2])
+
+	if *policyF != "" {
+		policy, err := compress.LoadPolicyJSON(*policyF)
+		if err != nil {
+			fatal(err)
+		}
+		if err := compress.Apply(net, policy); err != nil {
+			fatal(err)
+		}
+		caccs := multiexit.EvalExits(net, test)
+		m := compress.MeasureNetwork(net)
+		fmt.Printf("after %s: exits %.1f%% / %.1f%% / %.1f%%; F=%.4f MFLOPs, S=%.1f KB\n",
+			*policyF, 100*caccs[0], 100*caccs[1], 100*caccs[2],
+			float64(m.ModelFLOPs)/1e6, float64(m.WeightBytes)/1024)
+	}
+
+	if *out != "" {
+		if err := nn.SaveParamsFile(*out, net.Params()); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved weights to %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "train:", err)
+	os.Exit(1)
+}

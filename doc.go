@@ -1,0 +1,43 @@
+// Package ehinfer is a Go reproduction of "Intermittent Inference with
+// Nonuniformly Compressed Multi-Exit Neural Network for Energy Harvesting
+// Powered Devices" (Wu et al., DAC 2020).
+//
+// The library provides, end to end:
+//
+//   - a multi-exit CNN (LeNet-EE: 4 conv layers, 2 early exits) with
+//     training, per-exit inference, and suspend/resume incremental
+//     inference (internal/multiexit, internal/nn, internal/tensor);
+//   - power-trace-aware, exit-guided nonuniform compression — channel
+//     pruning + mixed-precision linear quantization searched by dual
+//     DDPG agents under FLOPs/size constraints (internal/compress,
+//     internal/search, internal/ddpg, internal/accmodel);
+//   - an energy-harvesting intermittent-execution simulator — solar and
+//     kinetic traces, capacitor storage with turn-on/brown-out
+//     hysteresis, an MSP432 cost model, checkpointed run-to-completion
+//     execution for baselines (internal/energy, internal/mcu,
+//     internal/intermittent);
+//   - the runtime layer — tabular Q-learning exit selection plus the
+//     incremental-inference decision (internal/qlearn, internal/core);
+//   - the paper's baselines (SonicNet, SpArSeNet, LeNet-Cifar) and the
+//     IEpmJ/accuracy/latency metrics (internal/baselines,
+//     internal/metrics).
+//
+// This package is the public façade: it re-exports the pieces a user
+// composes and provides one-call constructors for the paper's standard
+// experimental setup. The bench suite in bench_test.go regenerates every
+// figure of the paper's evaluation; see EXPERIMENTS.md for paper-vs-
+// measured values and DESIGN.md for the system inventory and the
+// documented substitutions (synthetic dataset, synthetic solar trace,
+// calibrated accuracy surrogate).
+//
+// # Quickstart
+//
+//	net := ehinfer.LeNetEE(ehinfer.NewRNG(1))
+//	policy := ehinfer.Fig1bNonuniform()
+//	deployed, _ := ehinfer.BuildDeployed(policy, 1)
+//	sc := ehinfer.DefaultScenario(1)
+//	rows, _ := ehinfer.CompareSystems(sc, deployed, ehinfer.CompareConfig{})
+//	for _, r := range rows {
+//		fmt.Printf("%s IEpmJ=%.2f\n", r.System, r.IEpmJ)
+//	}
+package ehinfer

@@ -1,0 +1,133 @@
+package accmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/compress"
+)
+
+// Observation is one measured calibration point: a compression policy and
+// the per-exit accuracies it produced (from real post-compression
+// evaluation, e.g. on CIFAR-10 when the data is available).
+type Observation struct {
+	Policy   *compress.Policy
+	ExitAccs []float64
+}
+
+// CalibrationResult reports the fitted coefficients and the fit error.
+type CalibrationResult struct {
+	PruneCoefConv        float64
+	PruneCoefDense       float64
+	WeightQuantCoefConv  float64
+	WeightQuantCoefDense float64
+	ActQuantCoefConv     float64
+	ActQuantCoefDense    float64
+	// RMSE is the root-mean-square accuracy error over all observations
+	// and exits after fitting.
+	RMSE float64
+}
+
+// Apply installs the fitted coefficients as the package calibration.
+func (c CalibrationResult) Apply() {
+	PruneCoefConv = c.PruneCoefConv
+	PruneCoefDense = c.PruneCoefDense
+	WeightQuantCoefConv = c.WeightQuantCoefConv
+	WeightQuantCoefDense = c.WeightQuantCoefDense
+	ActQuantCoefConv = c.ActQuantCoefConv
+	ActQuantCoefDense = c.ActQuantCoefDense
+}
+
+// currentCalibration captures the live package coefficients.
+func currentCalibration() CalibrationResult {
+	return CalibrationResult{
+		PruneCoefConv:        PruneCoefConv,
+		PruneCoefDense:       PruneCoefDense,
+		WeightQuantCoefConv:  WeightQuantCoefConv,
+		WeightQuantCoefDense: WeightQuantCoefDense,
+		ActQuantCoefConv:     ActQuantCoefConv,
+		ActQuantCoefDense:    ActQuantCoefDense,
+	}
+}
+
+// Calibrate fits the six degradation coefficients to measured
+// observations by cyclic coordinate descent with golden-section line
+// search, starting from the current package calibration. The surrogate's
+// functional form is fixed; only the coefficients move. The package
+// calibration is left untouched — call Apply on the result to install it.
+//
+// This is how the shipped paper-anchored calibration was produced, and it
+// lets a downstream user recalibrate against their own dataset (e.g. real
+// CIFAR-10 measurements) without touching the model code.
+func (s *Surrogate) Calibrate(obs []Observation, rounds int) (CalibrationResult, error) {
+	if len(obs) == 0 {
+		return CalibrationResult{}, fmt.Errorf("accmodel: no calibration observations")
+	}
+	for _, o := range obs {
+		if len(o.ExitAccs) != s.net.NumExits() {
+			return CalibrationResult{}, fmt.Errorf("accmodel: observation has %d accuracies for %d exits",
+				len(o.ExitAccs), s.net.NumExits())
+		}
+	}
+	if rounds <= 0 {
+		rounds = 8
+	}
+
+	saved := currentCalibration()
+	defer saved.Apply()
+
+	coeffs := []*float64{
+		&PruneCoefConv, &PruneCoefDense,
+		&WeightQuantCoefConv, &WeightQuantCoefDense,
+		&ActQuantCoefConv, &ActQuantCoefDense,
+	}
+	loss := func() float64 {
+		var sq float64
+		n := 0
+		for _, o := range obs {
+			pred := s.ExitAccuracies(o.Policy)
+			for i := range pred {
+				d := pred[i] - o.ExitAccs[i]
+				sq += d * d
+				n++
+			}
+		}
+		return sq / float64(n)
+	}
+
+	for round := 0; round < rounds; round++ {
+		for _, c := range coeffs {
+			*c = goldenSection(func(v float64) float64 {
+				old := *c
+				*c = v
+				l := loss()
+				*c = old
+				return l
+			}, 0, math.Max(*c*4, 0.2), 40)
+		}
+	}
+	out := currentCalibration()
+	out.RMSE = math.Sqrt(loss())
+	return out, nil
+}
+
+// goldenSection minimizes f over [lo, hi].
+func goldenSection(f func(float64) float64, lo, hi float64, iters int) float64 {
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, fd := f(c), f(d)
+	for i := 0; i < iters; i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = f(d)
+		}
+	}
+	return (a + b) / 2
+}

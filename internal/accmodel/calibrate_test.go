@@ -1,0 +1,81 @@
+package accmodel
+
+import (
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/multiexit"
+)
+
+// TestCalibrateRecoversObservations: generate observations from a known
+// coefficient set, perturb the calibration, and verify Calibrate fits the
+// observations back to low error without permanently mutating the
+// package state.
+func TestCalibrateRecoversObservations(t *testing.T) {
+	net := multiexit.LeNetEE(nil)
+	sur, err := New(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := currentCalibration()
+
+	// Observations generated under the current (true) calibration.
+	policies := []*compress.Policy{
+		compress.FullPrecision(net),
+		compress.Fig1bUniform(net),
+		compress.Fig1bNonuniform(),
+		compress.Uniform(net, 0.5, 4, 4),
+		compress.Uniform(net, 0.8, 2, 8),
+	}
+	var obs []Observation
+	for _, p := range policies {
+		obs = append(obs, Observation{Policy: p, ExitAccs: sur.ExitAccuracies(p)})
+	}
+
+	// Perturb, then fit.
+	perturbed := before
+	perturbed.PruneCoefConv *= 3
+	perturbed.WeightQuantCoefConv *= 0.2
+	perturbed.Apply()
+
+	res, err := sur.Calibrate(obs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RMSE > 0.01 {
+		t.Fatalf("calibration RMSE %.4f too high", res.RMSE)
+	}
+
+	// Package state must be restored (Calibrate does not install).
+	after := currentCalibration()
+	if after != perturbed {
+		t.Fatal("Calibrate mutated package calibration without Apply")
+	}
+
+	// Installing the result should reproduce the observations.
+	res.Apply()
+	defer before.Apply()
+	for i, p := range policies {
+		pred := sur.ExitAccuracies(p)
+		for e := range pred {
+			if diff := pred[e] - obs[i].ExitAccs[e]; diff > 0.02 || diff < -0.02 {
+				t.Fatalf("policy %d exit %d: fitted prediction %.3f vs observed %.3f", i, e, pred[e], obs[i].ExitAccs[e])
+			}
+		}
+	}
+}
+
+func TestCalibrateRejectsBadInput(t *testing.T) {
+	net := multiexit.LeNetEE(nil)
+	sur, err := New(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sur.Calibrate(nil, 3); err == nil {
+		t.Fatal("empty observations accepted")
+	}
+	bad := []Observation{{Policy: compress.FullPrecision(net), ExitAccs: []float64{0.5}}}
+	if _, err := sur.Calibrate(bad, 3); err == nil {
+		t.Fatal("wrong-length accuracies accepted")
+	}
+}

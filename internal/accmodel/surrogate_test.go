@@ -1,0 +1,171 @@
+package accmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/multiexit"
+)
+
+func newSur(t *testing.T) (*Surrogate, *multiexit.Network) {
+	t.Helper()
+	net := multiexit.LeNetEE(nil)
+	sur, err := New(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sur, net
+}
+
+func TestFullPrecisionMatchesAnchorsExactly(t *testing.T) {
+	sur, net := newSur(t)
+	accs := sur.ExitAccuracies(compress.FullPrecision(net))
+	want := []float64{0.649, 0.720, 0.730}
+	for i := range want {
+		if math.Abs(accs[i]-want[i]) > 1e-9 {
+			t.Fatalf("full-precision exit %d = %v, want %v", i+1, accs[i], want[i])
+		}
+	}
+}
+
+func TestUniformAnchorsWithinTolerance(t *testing.T) {
+	sur, net := newSur(t)
+	accs := sur.ExitAccuracies(compress.Fig1bUniform(net))
+	want := []float64{0.573, 0.652, 0.675} // paper Fig. 1b uniform bars
+	for i := range want {
+		if math.Abs(accs[i]-want[i]) > 0.03 {
+			t.Errorf("uniform exit %d = %.3f, paper %.3f (tolerance 0.03)", i+1, accs[i], want[i])
+		}
+	}
+}
+
+func TestNonuniformAnchorsWithinTolerance(t *testing.T) {
+	sur, _ := newSur(t)
+	accs := sur.ExitAccuracies(compress.Fig1bNonuniform())
+	want := []float64{0.619, 0.685, 0.699} // paper Fig. 1b nonuniform bars
+	for i := range want {
+		if math.Abs(accs[i]-want[i]) > 0.03 {
+			t.Errorf("nonuniform exit %d = %.3f, paper %.3f (tolerance 0.03)", i+1, accs[i], want[i])
+		}
+	}
+}
+
+func TestNonuniformBeatsUniformEverywhere(t *testing.T) {
+	// The headline claim of Fig. 1b.
+	sur, net := newSur(t)
+	uni := sur.ExitAccuracies(compress.Fig1bUniform(net))
+	non := sur.ExitAccuracies(compress.Fig1bNonuniform())
+	full := sur.ExitAccuracies(compress.FullPrecision(net))
+	for i := range uni {
+		if !(non[i] > uni[i]) {
+			t.Errorf("exit %d: nonuniform %.3f not above uniform %.3f", i+1, non[i], uni[i])
+		}
+		if !(full[i] > non[i]) {
+			t.Errorf("exit %d: full %.3f not above nonuniform %.3f", i+1, full[i], non[i])
+		}
+	}
+}
+
+func TestMonotoneInBits(t *testing.T) {
+	sur, net := newSur(t)
+	prev := 0.0
+	for bits := 1; bits <= 8; bits++ {
+		accs := sur.ExitAccuracies(compress.Uniform(net, 1.0, bits, 8))
+		if accs[2] < prev-1e-12 {
+			t.Fatalf("accuracy not monotone in weight bits at %d: %v < %v", bits, accs[2], prev)
+		}
+		prev = accs[2]
+	}
+}
+
+func TestMonotoneInPreserveRatio(t *testing.T) {
+	sur, net := newSur(t)
+	prev := 0.0
+	for a := 0.1; a <= 1.0; a += 0.1 {
+		accs := sur.ExitAccuracies(compress.Uniform(net, a, 8, 8))
+		if accs[0] < prev-1e-12 {
+			t.Fatalf("accuracy not monotone in preserve ratio at %.1f", a)
+		}
+		prev = accs[0]
+	}
+}
+
+func TestExtremePruningIsSevere(t *testing.T) {
+	// The search must not find free lunch in near-total pruning. The
+	// calibration is deliberately paper-faithful (the paper claims only
+	// a few points of loss at 0.31× FLOPs), so the requirement here is
+	// a large drop relative to full precision, not collapse to chance.
+	sur, net := newSur(t)
+	accs := sur.ExitAccuracies(compress.Uniform(net, 0.05, 8, 8))
+	if accs[2] > 0.55 {
+		t.Fatalf("pruning to 5%% still predicts %.3f accuracy — surrogate too generous", accs[2])
+	}
+	mild := sur.ExitAccuracies(compress.Uniform(net, 0.75, 8, 8))
+	if accs[2] > mild[2]-0.1 {
+		t.Fatalf("extreme pruning (%.3f) not clearly below mild pruning (%.3f)", accs[2], mild[2])
+	}
+}
+
+func TestShallowLayersMoreSensitive(t *testing.T) {
+	sur, _ := newSur(t)
+	// Same compression applied to Conv1 (feeds exit 1) vs Conv4 (exit 3
+	// only) must hurt exit 3 more through Conv1.
+	pConv1 := &compress.Policy{Layers: []compress.LayerPolicy{
+		{Layer: "Conv1", PreserveRatio: 1.0, WeightBits: 2, ActBits: 8},
+	}}
+	pConv4 := &compress.Policy{Layers: []compress.LayerPolicy{
+		{Layer: "Conv4", PreserveRatio: 1.0, WeightBits: 2, ActBits: 8},
+	}}
+	a1 := sur.ExitAccuracies(pConv1)[2]
+	a4 := sur.ExitAccuracies(pConv4)[2]
+	if !(a1 < a4) {
+		t.Fatalf("quantizing Conv1 (%.4f) should hurt exit 3 more than Conv4 (%.4f)", a1, a4)
+	}
+}
+
+func TestLayersOffPathDoNotAffectExit(t *testing.T) {
+	sur, _ := newSur(t)
+	// Branch-2 layers are not on exit 1's path.
+	p := &compress.Policy{Layers: []compress.LayerPolicy{
+		{Layer: "FC-B31", PreserveRatio: 0.05, WeightBits: 1, ActBits: 1},
+	}}
+	accs := sur.ExitAccuracies(p)
+	if accs[0] != 0.649 {
+		t.Fatalf("compressing FC-B31 changed exit 1 accuracy: %v", accs[0])
+	}
+	if accs[2] >= 0.730 {
+		t.Fatal("compressing FC-B31 should hurt exit 3")
+	}
+}
+
+func TestCustomFullAccuracies(t *testing.T) {
+	net := multiexit.LeNetEE(nil)
+	sur, err := New(net, []float64{0.5, 0.6, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := sur.ExitAccuracies(compress.FullPrecision(net))
+	if accs[0] != 0.5 || accs[2] != 0.7 {
+		t.Fatalf("custom anchors ignored: %v", accs)
+	}
+}
+
+func TestWrongAccuracyCountRejected(t *testing.T) {
+	net := multiexit.LeNetEE(nil)
+	if _, err := New(net, []float64{0.5}); err == nil {
+		t.Fatal("wrong-length accuracies accepted")
+	}
+}
+
+func TestDiscretePruningPlateau(t *testing.T) {
+	sur, _ := newSur(t)
+	// Conv1 has 3 input channels: α=0.9 still keeps all 3, so no damage.
+	p := &compress.Policy{Layers: []compress.LayerPolicy{
+		{Layer: "Conv1", PreserveRatio: 0.9, WeightBits: 32, ActBits: 32},
+	}}
+	accs := sur.ExitAccuracies(p)
+	if accs[0] != 0.649 {
+		t.Fatalf("α=0.9 on a 3-channel input should be free, got %v", accs[0])
+	}
+}

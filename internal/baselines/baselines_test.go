@@ -1,0 +1,70 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestDeclaredFLOPsMatchBuiltArchitectures(t *testing.T) {
+	for _, b := range All() {
+		net := b.Build(nil)
+		got := net.FLOPs()
+		rel := math.Abs(float64(got-b.FLOPs)) / float64(b.FLOPs)
+		if rel > 0.05 {
+			t.Errorf("%s: built architecture has %d MACs, declared %d (%.1f%% off)",
+				b.Name, got, b.FLOPs, 100*rel)
+		}
+	}
+}
+
+func TestPaperOrderAndValues(t *testing.T) {
+	all := All()
+	if len(all) != 3 {
+		t.Fatalf("%d baselines", len(all))
+	}
+	if all[0].Name != "SonicNet" || all[1].Name != "SpArSeNet" || all[2].Name != "LeNet-Cifar" {
+		t.Fatal("baseline order must match the paper's figures")
+	}
+	if all[0].FLOPs != 2_000_000 {
+		t.Fatal("SonicNet is 2.0 MFLOPs in the paper")
+	}
+	if all[1].FLOPs != 11_400_000 {
+		t.Fatal("SpArSeNet is 11.4 MFLOPs in the paper")
+	}
+	wantAcc := []float64{0.754, 0.827, 0.747}
+	for i, b := range all {
+		if b.InferenceAccuracy != wantAcc[i] {
+			t.Errorf("%s accuracy %v, paper %v", b.Name, b.InferenceAccuracy, wantAcc[i])
+		}
+	}
+}
+
+func TestBuiltNetworksInfer(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	x := tensor.New(2, 3, 32, 32)
+	tensor.FillUniform(x, rng, 0, 1)
+	for _, b := range All() {
+		net := b.Build(tensor.NewRNG(2))
+		out := net.Forward(x, false)
+		if out.Dim(0) != 2 || out.Dim(1) != 10 {
+			t.Errorf("%s output shape %v", b.Name, out.Shape())
+		}
+		for _, v := range out.Data {
+			if math.IsNaN(float64(v)) {
+				t.Errorf("%s produced NaN", b.Name)
+				break
+			}
+		}
+	}
+}
+
+func TestLeNetCifarIsClassicLeNet5(t *testing.T) {
+	// 651,720 MACs: conv 3→6 5×5 on 32², pool, conv 6→16 5×5, pool,
+	// FC 400→120→84→10.
+	want := int64(6*3*25*28*28 + 16*6*25*10*10 + 400*120 + 120*84 + 84*10)
+	if LeNetCifar().Build(nil).FLOPs() != want {
+		t.Fatalf("LeNet-Cifar MACs = %d, want %d", LeNetCifar().Build(nil).FLOPs(), want)
+	}
+}

@@ -1,0 +1,90 @@
+package compress
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// policyJSON is the external form of a Policy.
+type policyJSON struct {
+	Format int               `json:"format"`
+	Layers []layerPolicyJSON `json:"layers"`
+}
+
+type layerPolicyJSON struct {
+	Layer         string  `json:"layer"`
+	PreserveRatio float64 `json:"preserve_ratio"`
+	WeightBits    int     `json:"weight_bits"`
+	ActBits       int     `json:"act_bits"`
+}
+
+const policyFormatVersion = 1
+
+// WriteJSON serializes the policy (e.g. a search result) so a deployment
+// pipeline can apply it later without rerunning the search.
+func (p *Policy) WriteJSON(w io.Writer) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	out := policyJSON{Format: policyFormatVersion}
+	for _, lp := range p.Layers {
+		out.Layers = append(out.Layers, layerPolicyJSON{
+			Layer:         lp.Layer,
+			PreserveRatio: lp.PreserveRatio,
+			WeightBits:    lp.WeightBits,
+			ActBits:       lp.ActBits,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadPolicyJSON parses a policy written by WriteJSON and validates it.
+func ReadPolicyJSON(r io.Reader) (*Policy, error) {
+	var in policyJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("compress: decode policy: %w", err)
+	}
+	if in.Format != policyFormatVersion {
+		return nil, fmt.Errorf("compress: unsupported policy format %d", in.Format)
+	}
+	p := &Policy{}
+	for _, lp := range in.Layers {
+		p.Layers = append(p.Layers, LayerPolicy{
+			Layer:         lp.Layer,
+			PreserveRatio: lp.PreserveRatio,
+			WeightBits:    lp.WeightBits,
+			ActBits:       lp.ActBits,
+		})
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// SaveJSON writes the policy to a file path.
+func (p *Policy) SaveJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadPolicyJSON reads a policy from a file path.
+func LoadPolicyJSON(path string) (*Policy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPolicyJSON(f)
+}

@@ -1,0 +1,55 @@
+package compress
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPolicyJSONRoundTrip(t *testing.T) {
+	p := Fig1bNonuniform()
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPolicyJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Layers) != len(p.Layers) {
+		t.Fatalf("layer count %d after round trip", len(back.Layers))
+	}
+	for i := range p.Layers {
+		if back.Layers[i] != p.Layers[i] {
+			t.Fatalf("layer %d differs: %+v vs %+v", i, back.Layers[i], p.Layers[i])
+		}
+	}
+}
+
+func TestReadPolicyJSONValidates(t *testing.T) {
+	bad := `{"format":1,"layers":[{"layer":"Conv1","preserve_ratio":2.0,"weight_bits":8,"act_bits":8}]}`
+	if _, err := ReadPolicyJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("out-of-range preserve ratio accepted")
+	}
+	if _, err := ReadPolicyJSON(strings.NewReader(`{"format":99}`)); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := ReadPolicyJSON(strings.NewReader(`garbage`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestPolicyJSONFileRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/policy.json"
+	p := Fig1bNonuniform()
+	if err := p.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPolicyJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Layers) != len(p.Layers) {
+		t.Fatal("file round trip lost layers")
+	}
+}

@@ -1,0 +1,54 @@
+package compress
+
+import "repro/internal/multiexit"
+
+// Reference policies for the Fig. 1b comparison. Both target the paper's
+// F_target = 1.15 MFLOPs budget on LeNet-EE.
+//
+// The uniform policy applies one (α, bw, ba) triple everywhere, like the
+// single-exit compression pipelines the paper criticizes. At the matched
+// FLOPs budget it needs 2-bit weights to approach the storage target;
+// meeting 16 KB exactly with uniform settings requires 1-bit weights
+// everywhere, which collapses accuracy (the ablation bench shows this).
+//
+// The nonuniform policy is the hand-calibrated reference shaped like the
+// paper's Fig. 4 result: shallow/trunk layers preserved at high precision
+// (Conv1 at 8 bits, no pruning — it feeds every exit), deep trunk layers
+// pruned and quantized hard, and the large branch FC layers (FC-B21,
+// FC-B31) at 1-bit weights, which §V-B observes tolerate extreme
+// quantization. The RL search (internal/search) discovers policies of
+// this shape automatically; this fixed reference keeps the Fig. 1b bench
+// deterministic.
+
+// Fig1bUniform returns the uniform reference policy.
+func Fig1bUniform(net *multiexit.Network) *Policy {
+	return Uniform(net, 0.70, 2, 6)
+}
+
+// Fig1bNonuniform returns the nonuniform reference policy for LeNet-EE.
+// Shallow exits keep precision (their layers are the most fragile and the
+// runtime selects them most often under weak harvesting); deep trunk
+// layers keep their channels (preserving exit-3 FLOPs near the paper's
+// ×0.67) but drop to 1–2 bit weights to meet the 16 KB budget; the large
+// branch FCs take 1-bit weights as in the paper's Fig. 4.
+func Fig1bNonuniform() *Policy {
+	return &Policy{Layers: []LayerPolicy{
+		{Layer: "Conv1", PreserveRatio: 1.00, WeightBits: 8, ActBits: 8},
+		{Layer: "ConvB1", PreserveRatio: 0.35, WeightBits: 8, ActBits: 8},
+		{Layer: "Conv2", PreserveRatio: 0.65, WeightBits: 4, ActBits: 6},
+		{Layer: "ConvB2", PreserveRatio: 0.60, WeightBits: 3, ActBits: 6},
+		{Layer: "Conv3", PreserveRatio: 1.00, WeightBits: 2, ActBits: 5},
+		{Layer: "Conv4", PreserveRatio: 1.00, WeightBits: 1, ActBits: 5},
+		{Layer: "FC-B1", PreserveRatio: 0.40, WeightBits: 8, ActBits: 8},
+		{Layer: "FC-B21", PreserveRatio: 0.25, WeightBits: 1, ActBits: 4},
+		{Layer: "FC-B22", PreserveRatio: 0.80, WeightBits: 6, ActBits: 6},
+		{Layer: "FC-B31", PreserveRatio: 0.35, WeightBits: 1, ActBits: 4},
+		{Layer: "FC-B32", PreserveRatio: 0.80, WeightBits: 6, ActBits: 6},
+	}}
+}
+
+// PaperFTargetFLOPs is the paper's FLOPs constraint (1.15 MFLOPs).
+const PaperFTargetFLOPs = 1_150_000
+
+// PaperSTargetBytes is the paper's weight-size constraint (16 KB).
+const PaperSTargetBytes = 16 * 1024

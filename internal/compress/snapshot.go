@@ -1,0 +1,66 @@
+package compress
+
+import (
+	"repro/internal/multiexit"
+	"repro/internal/nn"
+)
+
+// Snapshot captures a network's trained weights and compression state so a
+// search algorithm can Apply a candidate policy, measure it, and Restore
+// the pristine network — the inner loop of the RL search.
+type Snapshot struct {
+	values [][]float32
+	params []*nn.Param
+	layers []nn.Layer
+}
+
+// NewSnapshot captures the current weights of net.
+func NewSnapshot(net *multiexit.Network) *Snapshot {
+	s := &Snapshot{layers: net.CompressibleLayers()}
+	for _, p := range net.Params() {
+		s.params = append(s.params, p)
+		s.values = append(s.values, append([]float32(nil), p.Value.Data...))
+	}
+	return s
+}
+
+// Restore writes the captured weights back and clears all pruning masks,
+// quantization bitwidths, and activation-quantization tags.
+func (s *Snapshot) Restore() {
+	for i, p := range s.params {
+		copy(p.Value.Data, s.values[i])
+	}
+	for _, l := range s.layers {
+		switch layer := l.(type) {
+		case *nn.Conv2D:
+			layer.KeptInC = 0
+			layer.WeightBitsPerValue = 32
+			layer.ActBits = 0
+		case *nn.Dense:
+			layer.KeptIn = 0
+			layer.WeightBitsPerValue = 32
+			layer.ActBits = 0
+		}
+	}
+}
+
+// Measure summarizes a compressed network's cost: whole-model FLOPs
+// (F_model), weight bytes (S_model), and per-exit FLOPs.
+type Measure struct {
+	ModelFLOPs  int64
+	WeightBytes int64
+	ExitFLOPs   []int64
+}
+
+// MeasureNetwork computes the cost summary of net at its current
+// compression state.
+func MeasureNetwork(net *multiexit.Network) Measure {
+	m := Measure{
+		ModelFLOPs:  net.ModelFLOPs(),
+		WeightBytes: net.WeightBytes(),
+	}
+	for i := 0; i < net.NumExits(); i++ {
+		m.ExitFLOPs = append(m.ExitFLOPs, net.ExitFLOPs(i))
+	}
+	return m
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"repro/internal/baselines"
+	"repro/internal/energy"
+	"repro/internal/intermittent"
+	"repro/internal/mcu"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// BaselineConfig parameterizes a baseline simulation.
+type BaselineConfig struct {
+	Device  *mcu.Device
+	Storage *energy.Storage
+	Seed    uint64
+}
+
+func (c *BaselineConfig) fillDefaults() {
+	if c.Device == nil {
+		c.Device = mcu.MSP432()
+	}
+	if c.Storage == nil {
+		c.Storage = energy.DefaultStorage()
+	}
+}
+
+// RunBaseline simulates a single-exit baseline on the trace and schedule.
+// Each event starts a run-to-completion inference (SONIC-style): it
+// pauses at every power failure and resumes after recharge, so a single
+// inference can span many power cycles and arbitrary wall time. Events
+// arriving while the device is still busy — or for which the inference
+// cannot finish before the trace ends — are missed. Correctness is drawn
+// from the baseline's published per-inference accuracy.
+func RunBaseline(b baselines.Baseline, trace *energy.Trace, schedule *energy.Schedule, cfg BaselineConfig) (*metrics.Report, error) {
+	cfg.fillDefaults()
+	store := *cfg.Storage
+	engine, err := intermittent.New(cfg.Device, &store, trace)
+	if err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(cfg.Seed + 0xba5e)
+	report := &metrics.Report{System: b.Name, NumExits: 1}
+
+	for _, ev := range schedule.Events {
+		outcome := metrics.EventOutcome{T: ev.T, Exit: -1}
+		if engine.Now() > float64(ev.T) {
+			// Busy finishing a previous inference.
+			report.Outcomes = append(report.Outcomes, outcome)
+			continue
+		}
+		engine.AdvanceTo(float64(ev.T))
+		res, ok := engine.RunToCompletion(b.FLOPs)
+		if !ok {
+			report.Outcomes = append(report.Outcomes, outcome)
+			continue
+		}
+		outcome.Processed = true
+		outcome.Exit = 0
+		outcome.Correct = rng.Float64() < b.InferenceAccuracy
+		outcome.FinishSec = res.FinishedAt
+		outcome.EnergyMJ = res.EnergyMJ + res.OverheadMJ
+		outcome.InferenceFLOPs = b.FLOPs
+		report.Outcomes = append(report.Outcomes, outcome)
+	}
+	engine.AdvanceTo(float64(trace.Duration()))
+	report.HarvestedMJ = engine.Stats().HarvestedMJ
+	return report, nil
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compress"
+)
+
+// TestFig5SystemOrdering asserts the paper's headline result: our
+// approach beats every baseline on IEpmJ and all-events accuracy, with
+// the paper's ordering ours > LeNet-Cifar > SonicNet > SpArSeNet.
+func TestFig5SystemOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full comparison skipped in -short")
+	}
+	sc := DefaultScenario(42)
+	d := testDeployed(t, 42)
+	rows, err := CompareSystems(sc, d, CompareConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	ours, sonic, sparse, lenet := rows[0], rows[1], rows[2], rows[3]
+
+	if !(ours.IEpmJ > lenet.IEpmJ && lenet.IEpmJ > sonic.IEpmJ && sonic.IEpmJ > sparse.IEpmJ) {
+		t.Fatalf("IEpmJ ordering broken: ours %.3f lenet %.3f sonic %.3f sparse %.3f",
+			ours.IEpmJ, lenet.IEpmJ, sonic.IEpmJ, sparse.IEpmJ)
+	}
+	// Paper factors: 3.6× over SonicNet, 18.9× over SpArSeNet, 1.28×
+	// over LeNet-Cifar. Require the same direction with generous bands.
+	if ours.IEpmJ/sonic.IEpmJ < 2 {
+		t.Errorf("vs SonicNet only %.1f×, paper reports 3.6×", ours.IEpmJ/sonic.IEpmJ)
+	}
+	if ours.IEpmJ/sparse.IEpmJ < 8 {
+		t.Errorf("vs SpArSeNet only %.1f×, paper reports 18.9×", ours.IEpmJ/sparse.IEpmJ)
+	}
+	if ours.IEpmJ/lenet.IEpmJ < 1.05 {
+		t.Errorf("vs LeNet-Cifar only %.2f×, paper reports 1.28×", ours.IEpmJ/lenet.IEpmJ)
+	}
+
+	// §V-C: baselines win on processed-events accuracy (they only ever
+	// emit full-network results) but lose on all-events accuracy.
+	if !(ours.AccAll > sonic.AccAll && ours.AccAll > sparse.AccAll && ours.AccAll > lenet.AccAll) {
+		t.Error("ours must lead all-events accuracy")
+	}
+	if ours.AccProcessed >= sparse.AccProcessed {
+		t.Error("SpArSeNet should lead processed-events accuracy (82.7% in the paper)")
+	}
+}
+
+// TestLatencyOrdering asserts §V-D: per-event latency ours ≪ baselines.
+func TestLatencyOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full comparison skipped in -short")
+	}
+	sc := DefaultScenario(43)
+	d := testDeployed(t, 43)
+	rows, err := CompareSystems(sc, d, CompareConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, sonic, sparse, lenet := rows[0], rows[1], rows[2], rows[3]
+	if !(ours.MeanLatencyS < lenet.MeanLatencyS) {
+		t.Errorf("ours %.1fs not below LeNet-Cifar %.1fs (paper: 3.15×)", ours.MeanLatencyS, lenet.MeanLatencyS)
+	}
+	if !(ours.MeanLatencyS*3 < sonic.MeanLatencyS) {
+		t.Errorf("ours %.1fs not ≪ SonicNet %.1fs (paper: 7.8×)", ours.MeanLatencyS, sonic.MeanLatencyS)
+	}
+	if !(sonic.MeanLatencyS < sparse.MeanLatencyS) {
+		t.Error("SpArSeNet must be the slowest")
+	}
+	// Per-inference FLOPs (the paper's latency proxy): ours below Sonic
+	// and SpArSe.
+	if !(ours.MeanInfFLOPs < float64(2_000_000)) {
+		t.Error("mean inference FLOPs should undercut SonicNet's 2.0M")
+	}
+}
+
+func TestFig1bRows(t *testing.T) {
+	rows, err := Fig1b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	full, uni, non := rows[0].ExitAccs, rows[1].ExitAccs, rows[2].ExitAccs
+	for i := 0; i < 3; i++ {
+		if !(full[i] > non[i] && non[i] > uni[i]) {
+			t.Errorf("exit %d ordering: full %.3f > nonuniform %.3f > uniform %.3f violated",
+				i+1, full[i], non[i], uni[i])
+		}
+	}
+}
+
+func TestFig6Rows(t *testing.T) {
+	rows, err := Fig6(compress.Fig1bNonuniform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 3 exits + 3 baselines", len(rows))
+	}
+	for i := 0; i < 3; i++ {
+		if rows[i].AfterFLOPs >= rows[i].BeforeFLOPs {
+			t.Errorf("%s not compressed: %d → %d", rows[i].Name, rows[i].BeforeFLOPs, rows[i].AfterFLOPs)
+		}
+	}
+	if rows[4].Name != "SpArSeNet" || rows[4].BeforeFLOPs != 11_400_000 {
+		t.Error("SpArSeNet row wrong")
+	}
+}
+
+func TestExitUsageShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exit-usage experiment skipped in -short")
+	}
+	sc := DefaultScenario(44)
+	d := testDeployed(t, 44)
+	qhist, shist, qproc, sproc, err := ExitUsage(sc, d, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qhist) != 3 || len(shist) != 3 {
+		t.Fatal("histogram sizes wrong")
+	}
+	if qproc == 0 || sproc == 0 {
+		t.Fatal("nothing processed")
+	}
+	// Fig. 7b: Q-learning prioritizes exit 1 over the static LUT and
+	// processes more events.
+	if qhist[0] <= shist[0] {
+		t.Errorf("Q-learning exit-1 count %d not above static %d (paper: 71.0%% vs 57.6%%)", qhist[0], shist[0])
+	}
+	if float64(qproc) < float64(sproc)*1.0 {
+		t.Errorf("Q-learning processed %d < static %d (paper: +11.2%%)", qproc, sproc)
+	}
+}
+
+func TestScenarioRegime(t *testing.T) {
+	sc := DefaultScenario(45)
+	if sc.Schedule.Len() != 500 {
+		t.Fatalf("%d events, paper uses 500", sc.Schedule.Len())
+	}
+	if sc.Trace.Duration() != 21600 {
+		t.Fatalf("trace %d s, want 6 h", sc.Trace.Duration())
+	}
+	mean := sc.Trace.MeanPower()
+	if mean < 0.008 || mean > 0.03 {
+		t.Fatalf("mean power %.4f mW outside the weak-EH regime", mean)
+	}
+	// A SonicNet inference (3 mJ) must exceed one capacitor charge —
+	// the intermittency premise.
+	if sc.Storage.CapacityMJ > 3.0+sc.Storage.CapacityMJ/2 && sc.Storage.CapacityMJ >= 6.1 {
+		t.Fatal("storage too large for the multi-power-cycle regime")
+	}
+}
+
+func TestBuildDeployedRejectsBadPolicy(t *testing.T) {
+	bad := &compress.Policy{Layers: []compress.LayerPolicy{{Layer: "nope", PreserveRatio: 0.5, WeightBits: 8, ActBits: 8}}}
+	if _, err := BuildDeployed(bad, 1); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestLearningCurveAdaptationBeatsStaticEventually(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adaptation test skipped in -short")
+	}
+	// Fig. 7a's claim, with tolerance: after enough episodes the learned
+	// policy should be at least competitive with (and typically above)
+	// the static LUT.
+	sc := DefaultScenario(46)
+	d := testDeployed(t, 46)
+	q, s, err := LearningCurve(sc, d, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qLate := (q[10] + q[11]) / 2
+	sAvg := 0.0
+	for _, v := range s {
+		sAvg += v
+	}
+	sAvg /= float64(len(s))
+	if qLate < sAvg*0.95 {
+		t.Errorf("trained Q-learning %.3f clearly below static %.3f (paper: +10.2%%)", qLate, sAvg)
+	}
+	if math.IsNaN(qLate) {
+		t.Fatal("NaN in learning curve")
+	}
+}

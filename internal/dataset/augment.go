@@ -1,0 +1,89 @@
+package dataset
+
+import "repro/internal/tensor"
+
+// Augmentations for training robustness: horizontal flip, shift-with-pad
+// (the "random crop" of CIFAR pipelines), and additive noise. They
+// operate on CHW images in place or return fresh samples; Augment applies
+// a random combination.
+
+// FlipHorizontal mirrors a CHW image left-right, returning a new tensor.
+func FlipHorizontal(img *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(img.Shape()...)
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	for ci := 0; ci < c; ci++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				out.Set(img.At(ci, y, w-1-x), ci, y, x)
+			}
+		}
+	}
+	return out
+}
+
+// Shift translates a CHW image by (dy, dx), zero-padding exposed pixels.
+func Shift(img *tensor.Tensor, dy, dx int) *tensor.Tensor {
+	out := tensor.New(img.Shape()...)
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	for ci := 0; ci < c; ci++ {
+		for y := 0; y < h; y++ {
+			sy := y - dy
+			if sy < 0 || sy >= h {
+				continue
+			}
+			for x := 0; x < w; x++ {
+				sx := x - dx
+				if sx < 0 || sx >= w {
+					continue
+				}
+				out.Set(img.At(ci, sy, sx), ci, y, x)
+			}
+		}
+	}
+	return out
+}
+
+// AddNoise perturbs pixels with N(0, std²) clamped to [0, 1], in place.
+func AddNoise(img *tensor.Tensor, rng *tensor.RNG, std float64) {
+	for i := range img.Data {
+		v := float64(img.Data[i]) + std*rng.NormFloat64()
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		img.Data[i] = float32(v)
+	}
+}
+
+// Augment returns a randomly augmented copy of the sample: 50% horizontal
+// flip, ±2 px shift, and light noise.
+func Augment(s Sample, rng *tensor.RNG) Sample {
+	img := s.Image
+	if rng.Float64() < 0.5 {
+		img = FlipHorizontal(img)
+	} else {
+		img = img.Clone()
+	}
+	dy := rng.Intn(5) - 2
+	dx := rng.Intn(5) - 2
+	if dy != 0 || dx != 0 {
+		img = Shift(img, dy, dx)
+	}
+	AddNoise(img, rng, 0.02)
+	return Sample{Image: img, Label: s.Label}
+}
+
+// Augmented returns a new set with n augmented variants appended per
+// original sample.
+func (s *Set) Augmented(n int, rng *tensor.RNG) *Set {
+	out := &Set{Samples: append([]Sample(nil), s.Samples...)}
+	for i := 0; i < n; i++ {
+		for _, orig := range s.Samples {
+			out.Samples = append(out.Samples, Augment(orig, rng))
+		}
+	}
+	out.Shuffle(rng)
+	return out
+}

@@ -1,0 +1,94 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestFlipHorizontalInvolution(t *testing.T) {
+	g := NewGenerator(SynthConfig{Seed: 1})
+	img := g.Sample(0).Image
+	back := FlipHorizontal(FlipHorizontal(img))
+	if img.L2Distance(back) != 0 {
+		t.Fatal("double flip must be identity")
+	}
+}
+
+func TestFlipHorizontalMirrors(t *testing.T) {
+	img := tensor.New(1, 1, 3)
+	img.Set(1, 0, 0, 0)
+	img.Set(2, 0, 0, 1)
+	img.Set(3, 0, 0, 2)
+	f := FlipHorizontal(img)
+	if f.At(0, 0, 0) != 3 || f.At(0, 0, 2) != 1 {
+		t.Fatalf("flip wrong: %v", f.Data)
+	}
+}
+
+func TestShiftMovesAndPads(t *testing.T) {
+	img := tensor.New(1, 3, 3)
+	img.Set(5, 0, 1, 1)
+	s := Shift(img, 1, 1)
+	if s.At(0, 2, 2) != 5 {
+		t.Fatal("shift did not move the pixel")
+	}
+	if s.At(0, 0, 0) != 0 {
+		t.Fatal("exposed region must be zero-padded")
+	}
+	if s.At(0, 1, 1) != 0 {
+		t.Fatal("origin must be vacated")
+	}
+}
+
+func TestShiftZeroIsIdentity(t *testing.T) {
+	g := NewGenerator(SynthConfig{Seed: 2})
+	img := g.Sample(1).Image
+	if img.L2Distance(Shift(img, 0, 0)) != 0 {
+		t.Fatal("zero shift must be identity")
+	}
+}
+
+func TestAddNoiseStaysInRange(t *testing.T) {
+	g := NewGenerator(SynthConfig{Seed: 3})
+	img := g.Sample(2).Image.Clone()
+	AddNoise(img, tensor.NewRNG(4), 0.5)
+	for _, v := range img.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("noisy pixel %v out of range", v)
+		}
+	}
+}
+
+func TestAugmentPreservesLabelAndOriginal(t *testing.T) {
+	g := NewGenerator(SynthConfig{Seed: 5})
+	s := g.Sample(7)
+	orig := s.Image.Clone()
+	a := Augment(s, tensor.NewRNG(6))
+	if a.Label != 7 {
+		t.Fatal("augmentation changed the label")
+	}
+	if s.Image.L2Distance(orig) != 0 {
+		t.Fatal("augmentation mutated the original image")
+	}
+	if a.Image.L2Distance(orig) == 0 {
+		t.Fatal("augmentation produced an identical image")
+	}
+}
+
+func TestAugmentedSetSize(t *testing.T) {
+	set := NewGenerator(SynthConfig{Seed: 7}).Generate(20)
+	aug := set.Augmented(2, tensor.NewRNG(8))
+	if aug.Len() != 60 {
+		t.Fatalf("augmented size %d, want 60", aug.Len())
+	}
+	counts := make([]int, NumClasses)
+	for _, s := range aug.Samples {
+		counts[s.Label]++
+	}
+	for c, n := range counts {
+		if n != 6 {
+			t.Fatalf("class %d has %d samples after augmentation, want 6", c, n)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/tensor"
+)
+
+// CIFAR-10 binary format constants: each record is 1 label byte followed
+// by 3072 pixel bytes (RRR...GGG...BBB row-major).
+const (
+	cifarRecordLen = 1 + SampleLen
+)
+
+// LoadCIFAR10Batch reads one CIFAR-10 binary batch file (data_batch_N.bin
+// or test_batch.bin) into a Set, normalizing pixels to [0, 1].
+func LoadCIFAR10Batch(path string) (*Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open CIFAR-10 batch: %w", err)
+	}
+	defer f.Close()
+	return ReadCIFAR10(bufio.NewReader(f))
+}
+
+// ReadCIFAR10 decodes CIFAR-10 binary records from r until EOF.
+func ReadCIFAR10(r io.Reader) (*Set, error) {
+	set := &Set{}
+	buf := make([]byte, cifarRecordLen)
+	for {
+		_, err := io.ReadFull(r, buf)
+		if err == io.EOF {
+			return set, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("dataset: truncated CIFAR-10 record after %d samples", set.Len())
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read CIFAR-10 record: %w", err)
+		}
+		label := int(buf[0])
+		if label >= NumClasses {
+			return nil, fmt.Errorf("dataset: CIFAR-10 label %d out of range", label)
+		}
+		s := Sample{Label: label}
+		img := make([]float32, SampleLen)
+		for i, b := range buf[1:] {
+			img[i] = float32(b) / 255
+		}
+		s.Image = tensor.FromSlice(img, Channels, Height, Width)
+		set.Samples = append(set.Samples, s)
+	}
+}
+
+// LoadCIFAR10Dir loads all data_batch_*.bin files in dir as the train set
+// and test_batch.bin as the test set.
+func LoadCIFAR10Dir(dir string) (train, test *Set, err error) {
+	train = &Set{}
+	matches, err := filepath.Glob(filepath.Join(dir, "data_batch_*.bin"))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(matches) == 0 {
+		return nil, nil, fmt.Errorf("dataset: no CIFAR-10 train batches in %s", dir)
+	}
+	for _, m := range matches {
+		batch, err := LoadCIFAR10Batch(m)
+		if err != nil {
+			return nil, nil, err
+		}
+		train.Samples = append(train.Samples, batch.Samples...)
+	}
+	test, err = LoadCIFAR10Batch(filepath.Join(dir, "test_batch.bin"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return train, test, nil
+}

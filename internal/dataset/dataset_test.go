@@ -1,0 +1,208 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1 := NewGenerator(SynthConfig{Seed: 7})
+	g2 := NewGenerator(SynthConfig{Seed: 7})
+	s1 := g1.Sample(3)
+	s2 := g2.Sample(3)
+	if s1.Image.L2Distance(s2.Image) != 0 {
+		t.Fatal("same seed must generate identical samples")
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	a := NewGenerator(SynthConfig{Seed: 1}).Sample(0)
+	b := NewGenerator(SynthConfig{Seed: 2}).Sample(0)
+	if a.Image.L2Distance(b.Image) == 0 {
+		t.Fatal("different seeds must generate different samples")
+	}
+}
+
+func TestSamplePixelRange(t *testing.T) {
+	g := NewGenerator(SynthConfig{Seed: 3})
+	for class := 0; class < NumClasses; class++ {
+		s := g.Sample(class)
+		if s.Label != class {
+			t.Fatalf("label = %d, want %d", s.Label, class)
+		}
+		for _, v := range s.Image.Data {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %v outside [0,1]", v)
+			}
+		}
+	}
+}
+
+func TestSampleBadLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGenerator(SynthConfig{Seed: 1}).Sample(NumClasses)
+}
+
+func TestGenerateClassBalance(t *testing.T) {
+	set := NewGenerator(SynthConfig{Seed: 4}).Generate(100)
+	counts := make([]int, NumClasses)
+	for _, s := range set.Samples {
+		counts[s.Label]++
+	}
+	for c, n := range counts {
+		if n != 10 {
+			t.Fatalf("class %d has %d samples, want 10", c, n)
+		}
+	}
+}
+
+func TestIntraClassClosertThanInterClass(t *testing.T) {
+	// Classes must be geometrically separated for a CNN to learn them:
+	// mean intra-class distance should undercut inter-class distance.
+	g := NewGenerator(SynthConfig{Seed: 5})
+	const per = 8
+	classes := [][]*tensor.Tensor{}
+	for c := 0; c < 3; c++ {
+		var imgs []*tensor.Tensor
+		for i := 0; i < per; i++ {
+			imgs = append(imgs, g.Sample(c).Image)
+		}
+		classes = append(classes, imgs)
+	}
+	var intra, inter float64
+	var nIntra, nInter int
+	for c := 0; c < 3; c++ {
+		for d := 0; d < 3; d++ {
+			for i := 0; i < per; i++ {
+				for j := 0; j < per; j++ {
+					if c == d && i >= j {
+						continue
+					}
+					dist := classes[c][i].L2Distance(classes[d][j])
+					if c == d {
+						intra += dist
+						nIntra++
+					} else {
+						inter += dist
+						nInter++
+					}
+				}
+			}
+		}
+	}
+	if intra/float64(nIntra) >= inter/float64(nInter) {
+		t.Fatalf("intra-class distance %.3f not below inter-class %.3f",
+			intra/float64(nIntra), inter/float64(nInter))
+	}
+}
+
+func TestBatchShapesAndLabels(t *testing.T) {
+	set := NewGenerator(SynthConfig{Seed: 6}).Generate(20)
+	x, labels := set.Batch(5, 15)
+	if x.Dim(0) != 10 || x.Dim(1) != Channels || x.Dim(2) != Height || x.Dim(3) != Width {
+		t.Fatalf("batch shape %v", x.Shape())
+	}
+	if len(labels) != 10 {
+		t.Fatalf("labels length %d", len(labels))
+	}
+	if labels[0] != set.Samples[5].Label {
+		t.Fatal("labels misaligned with samples")
+	}
+}
+
+func TestBatchBadRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGenerator(SynthConfig{Seed: 6}).Generate(5).Batch(3, 3)
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	set := NewGenerator(SynthConfig{Seed: 7}).Generate(30)
+	before := make([]int, NumClasses)
+	for _, s := range set.Samples {
+		before[s.Label]++
+	}
+	set.Shuffle(tensor.NewRNG(1))
+	after := make([]int, NumClasses)
+	for _, s := range set.Samples {
+		after[s.Label]++
+	}
+	for c := range before {
+		if before[c] != after[c] {
+			t.Fatal("shuffle changed the label multiset")
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	set := NewGenerator(SynthConfig{Seed: 8}).Generate(10)
+	if set.Subset(4).Len() != 4 {
+		t.Fatal("Subset(4) wrong size")
+	}
+	if set.Subset(100).Len() != 10 {
+		t.Fatal("oversized Subset must clamp")
+	}
+}
+
+func TestTrainTestDisjointButSameClasses(t *testing.T) {
+	train, test := TrainTest(SynthConfig{Seed: 9}, 20, 20)
+	if train.Len() != 20 || test.Len() != 20 {
+		t.Fatal("wrong sizes")
+	}
+	// Same prototypes (same seed): a train and test sample of the same
+	// class should be closer than samples of different classes.
+	if train.Samples[0].Image.L2Distance(test.Samples[0].Image) == 0 {
+		t.Fatal("train/test samples should not be identical")
+	}
+}
+
+func TestReadCIFAR10RoundTrip(t *testing.T) {
+	// Construct two records in CIFAR-10 binary layout.
+	var buf bytes.Buffer
+	for rec := 0; rec < 2; rec++ {
+		buf.WriteByte(byte(rec + 3)) // labels 3, 4
+		for i := 0; i < SampleLen; i++ {
+			buf.WriteByte(byte(i % 256))
+		}
+	}
+	set, err := ReadCIFAR10(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 2 {
+		t.Fatalf("decoded %d records", set.Len())
+	}
+	if set.Samples[0].Label != 3 || set.Samples[1].Label != 4 {
+		t.Fatal("labels decoded wrong")
+	}
+	if set.Samples[0].Image.Data[255] != 1.0 {
+		t.Fatalf("pixel normalization wrong: %v", set.Samples[0].Image.Data[255])
+	}
+}
+
+func TestReadCIFAR10Truncated(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteByte(1)
+	buf.Write(make([]byte, 100)) // short record
+	if _, err := ReadCIFAR10(&buf); err == nil {
+		t.Fatal("truncated record must error")
+	}
+}
+
+func TestReadCIFAR10BadLabel(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteByte(200)
+	buf.Write(make([]byte, SampleLen))
+	if _, err := ReadCIFAR10(&buf); err == nil {
+		t.Fatal("out-of-range label must error")
+	}
+}

@@ -1,0 +1,309 @@
+// Package ddpg implements Deep Deterministic Policy Gradient (Lillicrap
+// et al., 2015) on the in-repo nn substrate: deterministic actor,
+// Q-critic, target networks with Polyak averaging, a uniform replay
+// buffer, and Ornstein–Uhlenbeck exploration noise. The compression
+// search (§III-B) runs two of these agents — one emitting layer pruning
+// rates, one emitting weight/activation bitwidths — over the layer-wise
+// observation of Eq. 9.
+package ddpg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Config sizes an agent.
+type Config struct {
+	ObsDim    int
+	ActionDim int
+	// Hidden sizes of actor and critic MLPs (default {64, 48}).
+	Hidden []int
+	// ActorLR/CriticLR are Adam step sizes (defaults 1e-3 / 1e-2 scaled
+	// for the short episodes of the compression search).
+	ActorLR  float64
+	CriticLR float64
+	// Gamma is the discount (default 1: episodes are short layer walks).
+	Gamma float64
+	// Tau is the Polyak averaging rate for target networks (default
+	// 0.01).
+	Tau float64
+	// BufferSize is the replay capacity in transitions (default 2000).
+	BufferSize int
+	// BatchSize for updates (default 64).
+	BatchSize int
+	// NoiseSigma is the OU noise scale (default 0.35); NoiseDecay
+	// multiplies it each episode (default 0.99).
+	NoiseSigma float64
+	NoiseDecay float64
+	Seed       uint64
+}
+
+func (c *Config) fillDefaults() {
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{64, 48}
+	}
+	if c.ActorLR == 0 {
+		c.ActorLR = 1e-3
+	}
+	if c.CriticLR == 0 {
+		c.CriticLR = 1e-2
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 1
+	}
+	if c.Tau == 0 {
+		c.Tau = 0.01
+	}
+	if c.BufferSize == 0 {
+		c.BufferSize = 2000
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 64
+	}
+	if c.NoiseSigma == 0 {
+		c.NoiseSigma = 0.35
+	}
+	if c.NoiseDecay == 0 {
+		c.NoiseDecay = 0.99
+	}
+}
+
+// Transition is one replay entry.
+type Transition struct {
+	Obs      []float32
+	Action   []float32
+	Reward   float64
+	NextObs  []float32
+	Terminal bool
+}
+
+// Agent is one DDPG learner with deterministic policy µ(o) ∈ [0,1]^A.
+type Agent struct {
+	cfg Config
+
+	actor        *nn.Sequential
+	critic       *nn.Sequential
+	actorTarget  *nn.Sequential
+	criticTarget *nn.Sequential
+
+	actorOpt  *nn.Adam
+	criticOpt *nn.Adam
+
+	buffer []Transition
+	bufAt  int
+	full   bool
+
+	noise []float64 // OU state
+	sigma float64
+
+	rng *tensor.RNG
+}
+
+// New builds a DDPG agent.
+func New(cfg Config) (*Agent, error) {
+	cfg.fillDefaults()
+	if cfg.ObsDim <= 0 || cfg.ActionDim <= 0 {
+		return nil, fmt.Errorf("ddpg: need positive obs/action dims, got %d/%d", cfg.ObsDim, cfg.ActionDim)
+	}
+	rng := tensor.NewRNG(cfg.Seed + 0xdd96)
+
+	actorSizes := append(append([]int{cfg.ObsDim}, cfg.Hidden...), cfg.ActionDim)
+	criticSizes := append(append([]int{cfg.ObsDim + cfg.ActionDim}, cfg.Hidden...), 1)
+
+	a := &Agent{
+		cfg:          cfg,
+		actor:        nn.MLP("actor", actorSizes),
+		critic:       nn.MLP("critic", criticSizes),
+		actorTarget:  nn.MLP("actorT", actorSizes),
+		criticTarget: nn.MLP("criticT", criticSizes),
+		buffer:       make([]Transition, 0, cfg.BufferSize),
+		noise:        make([]float64, cfg.ActionDim),
+		sigma:        cfg.NoiseSigma,
+		rng:          rng,
+	}
+	nn.InitFanIn(a.actor, rng, 3e-3)
+	nn.InitFanIn(a.critic, rng, 3e-3)
+	copyParams(a.actorTarget, a.actor)
+	copyParams(a.criticTarget, a.critic)
+	a.actorOpt = nn.NewAdam(a.actor.Params(), cfg.ActorLR)
+	a.criticOpt = nn.NewAdam(a.critic.Params(), cfg.CriticLR)
+	return a, nil
+}
+
+func copyParams(dst, src *nn.Sequential) {
+	dp, sp := dst.Params(), src.Params()
+	for i := range dp {
+		copy(dp[i].Value.Data, sp[i].Value.Data)
+	}
+}
+
+// sigmoid squashes actor outputs into (0, 1) — the continuous action
+// space of §III-B.
+func sigmoid(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// forwardActor computes µ(obs) for a batch [N, ObsDim] with the given
+// network; output is squashed to (0, 1).
+func forwardActor(net *nn.Sequential, obs *tensor.Tensor, train bool) *tensor.Tensor {
+	out := net.Forward(obs, train)
+	sq := out.Clone()
+	for i, v := range sq.Data {
+		sq.Data[i] = sigmoid(v)
+	}
+	return sq
+}
+
+// Act returns the exploration action for an observation: µ(o) plus OU
+// noise, clamped to [0, 1].
+func (a *Agent) Act(obs []float32, explore bool) []float32 {
+	x := tensor.FromSlice(append([]float32(nil), obs...), 1, a.cfg.ObsDim)
+	out := forwardActor(a.actor, x, false)
+	act := make([]float32, a.cfg.ActionDim)
+	for i := range act {
+		v := float64(out.Data[i])
+		if explore {
+			// Ornstein–Uhlenbeck: dx = θ(µ−x)dt + σ dW, θ=0.15, µ=0.
+			a.noise[i] += 0.15*(0-a.noise[i]) + a.sigma*a.rng.NormFloat64()
+			v += a.noise[i]
+		}
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		act[i] = float32(v)
+	}
+	return act
+}
+
+// EndEpisode decays exploration noise and resets the OU state.
+func (a *Agent) EndEpisode() {
+	a.sigma *= a.cfg.NoiseDecay
+	for i := range a.noise {
+		a.noise[i] = 0
+	}
+}
+
+// Remember appends a transition to the replay buffer.
+func (a *Agent) Remember(t Transition) {
+	if len(a.buffer) < a.cfg.BufferSize {
+		a.buffer = append(a.buffer, t)
+		return
+	}
+	a.full = true
+	a.buffer[a.bufAt] = t
+	a.bufAt = (a.bufAt + 1) % a.cfg.BufferSize
+}
+
+// BufferLen returns the number of stored transitions.
+func (a *Agent) BufferLen() int { return len(a.buffer) }
+
+// Update performs one critic and one actor gradient step from a replay
+// minibatch, then Polyak-averages the targets. It is a no-op until the
+// buffer holds a full batch.
+func (a *Agent) Update() {
+	n := a.cfg.BatchSize
+	if len(a.buffer) < n {
+		return
+	}
+	obsDim, actDim := a.cfg.ObsDim, a.cfg.ActionDim
+
+	obs := tensor.New(n, obsDim)
+	act := tensor.New(n, actDim)
+	nextObs := tensor.New(n, obsDim)
+	rewards := make([]float64, n)
+	terminal := make([]bool, n)
+	for i := 0; i < n; i++ {
+		t := a.buffer[a.rng.Intn(len(a.buffer))]
+		copy(obs.Data[i*obsDim:(i+1)*obsDim], t.Obs)
+		copy(act.Data[i*actDim:(i+1)*actDim], t.Action)
+		copy(nextObs.Data[i*obsDim:(i+1)*obsDim], t.NextObs)
+		rewards[i] = t.Reward
+		terminal[i] = t.Terminal
+	}
+
+	// Critic targets: y = r + γ Q'(o', µ'(o')) (Eq. 13).
+	nextAct := forwardActor(a.actorTarget, nextObs, false)
+	nextQ := a.criticTarget.Forward(concat(nextObs, nextAct), false)
+	targets := make([]float32, n)
+	for i := 0; i < n; i++ {
+		y := rewards[i]
+		if !terminal[i] {
+			y += a.cfg.Gamma * float64(nextQ.Data[i])
+		}
+		targets[i] = float32(y)
+	}
+
+	// Critic step: minimize MSE(Q(o,a), y) (Eq. 14).
+	a.criticOpt.ZeroGrad()
+	q := a.critic.Forward(concat(obs, act), true)
+	grad := tensor.New(n, 1)
+	for i := 0; i < n; i++ {
+		grad.Data[i] = 2 * (q.Data[i] - targets[i]) / float32(n)
+	}
+	a.critic.Backward(grad)
+	a.criticOpt.Step()
+
+	// Actor step: ascend ∇_a Q(o, µ(o)) ∇µ (Eq. 15).
+	a.actorOpt.ZeroGrad()
+	actorOut := a.actor.Forward(obs, true)
+	// Squash with sigmoid, tracking the local derivative for backprop.
+	squashed := actorOut.Clone()
+	dSquash := make([]float32, squashed.Len())
+	for i, v := range squashed.Data {
+		s := sigmoid(v)
+		squashed.Data[i] = s
+		dSquash[i] = s * (1 - s)
+	}
+	qIn := concat(obs, squashed)
+	_ = a.critic.Forward(qIn, true)
+	dQ := tensor.New(n, 1)
+	for i := range dQ.Data {
+		dQ.Data[i] = -1 / float32(n) // maximize Q
+	}
+	dIn := a.critic.Backward(dQ)
+	// Route the action part of the critic's input gradient through the
+	// sigmoid into the actor. The critic's own params also accumulated
+	// gradients here; they are discarded by not stepping criticOpt.
+	dAct := tensor.New(n, actDim)
+	for i := 0; i < n; i++ {
+		for j := 0; j < actDim; j++ {
+			dAct.Data[i*actDim+j] = dIn.Data[i*(obsDim+actDim)+obsDim+j] * dSquash[i*actDim+j]
+		}
+	}
+	// Clear critic gradients polluted by the actor pass.
+	for _, p := range a.critic.Params() {
+		p.ZeroGrad()
+	}
+	a.actor.Backward(dAct)
+	a.actorOpt.Step()
+
+	a.polyak(a.actorTarget, a.actor)
+	a.polyak(a.criticTarget, a.critic)
+}
+
+func (a *Agent) polyak(target, src *nn.Sequential) {
+	tau := float32(a.cfg.Tau)
+	tp, sp := target.Params(), src.Params()
+	for i := range tp {
+		for j := range tp[i].Value.Data {
+			tp[i].Value.Data[j] = (1-tau)*tp[i].Value.Data[j] + tau*sp[i].Value.Data[j]
+		}
+	}
+}
+
+func concat(a, b *tensor.Tensor) *tensor.Tensor {
+	n := a.Dim(0)
+	da, db := a.Dim(1), b.Dim(1)
+	out := tensor.New(n, da+db)
+	for i := 0; i < n; i++ {
+		copy(out.Data[i*(da+db):], a.Data[i*da:(i+1)*da])
+		copy(out.Data[i*(da+db)+da:], b.Data[i*db:(i+1)*db])
+	}
+	return out
+}

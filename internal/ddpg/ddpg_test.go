@@ -1,0 +1,159 @@
+package ddpg
+
+import (
+	"testing"
+)
+
+func TestNewRejectsBadDims(t *testing.T) {
+	if _, err := New(Config{ObsDim: 0, ActionDim: 1}); err == nil {
+		t.Fatal("zero obs dim accepted")
+	}
+}
+
+func TestActBounds(t *testing.T) {
+	a, err := New(Config{ObsDim: 3, ActionDim: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []float32{0.5, 0.1, 0.9}
+	for i := 0; i < 50; i++ {
+		act := a.Act(obs, true)
+		if len(act) != 2 {
+			t.Fatalf("action dim %d", len(act))
+		}
+		for _, v := range act {
+			if v < 0 || v > 1 {
+				t.Fatalf("action %v outside [0,1]", v)
+			}
+		}
+	}
+}
+
+func TestActDeterministicWithoutExploration(t *testing.T) {
+	a, _ := New(Config{ObsDim: 2, ActionDim: 1, Seed: 2})
+	obs := []float32{0.3, 0.7}
+	a1 := a.Act(obs, false)
+	a2 := a.Act(obs, false)
+	if a1[0] != a2[0] {
+		t.Fatal("greedy policy must be deterministic")
+	}
+}
+
+func TestReplayBufferWrapsAround(t *testing.T) {
+	a, _ := New(Config{ObsDim: 1, ActionDim: 1, BufferSize: 8, Seed: 3})
+	for i := 0; i < 20; i++ {
+		a.Remember(Transition{
+			Obs: []float32{0}, Action: []float32{0}, NextObs: []float32{0},
+		})
+	}
+	if a.BufferLen() != 8 {
+		t.Fatalf("buffer length %d, want capacity 8", a.BufferLen())
+	}
+}
+
+func TestUpdateNoopUntilBatchAvailable(t *testing.T) {
+	a, _ := New(Config{ObsDim: 1, ActionDim: 1, BatchSize: 16, Seed: 4})
+	a.Remember(Transition{Obs: []float32{0}, Action: []float32{0}, NextObs: []float32{0}})
+	a.Update() // must not panic with a near-empty buffer
+}
+
+func TestNoiseDecay(t *testing.T) {
+	a, _ := New(Config{ObsDim: 1, ActionDim: 1, NoiseSigma: 0.5, NoiseDecay: 0.5, Seed: 5})
+	a.EndEpisode()
+	a.EndEpisode()
+	if a.sigma > 0.13 {
+		t.Fatalf("noise did not decay: %v", a.sigma)
+	}
+}
+
+// TestLearnsBanditTarget trains DDPG on a stateless continuous bandit:
+// reward = −(a − 0.8)². The greedy action should move toward 0.8.
+func TestLearnsBanditTarget(t *testing.T) {
+	a, err := New(Config{
+		ObsDim:     2,
+		ActionDim:  1,
+		Hidden:     []int{24},
+		BatchSize:  32,
+		BufferSize: 500,
+		Seed:       6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []float32{0.5, 0.5}
+	const target = 0.8
+	before := a.Act(obs, false)[0]
+	for ep := 0; ep < 400; ep++ {
+		act := a.Act(obs, true)
+		d := float64(act[0]) - target
+		r := -d * d
+		a.Remember(Transition{Obs: obs, Action: act, Reward: r, NextObs: obs, Terminal: true})
+		a.Update()
+		if ep%20 == 19 {
+			a.EndEpisode()
+		}
+	}
+	after := a.Act(obs, false)[0]
+	errBefore := abs(float64(before) - target)
+	errAfter := abs(float64(after) - target)
+	if errAfter > errBefore && errAfter > 0.2 {
+		t.Fatalf("no learning: action %v → %v (target %v)", before, after, target)
+	}
+	if errAfter > 0.3 {
+		t.Fatalf("greedy action %v too far from target %v", after, target)
+	}
+}
+
+// TestLearnsObsDependentPolicy: the optimal action equals the observation
+// — requires the actor to actually use its input.
+func TestLearnsObsDependentPolicy(t *testing.T) {
+	a, err := New(Config{
+		ObsDim:     1,
+		ActionDim:  1,
+		Hidden:     []int{24},
+		BatchSize:  32,
+		BufferSize: 1000,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := newTestRNG(8)
+	for ep := 0; ep < 1500; ep++ {
+		o := float32(0.2 + 0.6*rng.next())
+		obs := []float32{o}
+		act := a.Act(obs, true)
+		d := float64(act[0] - o)
+		a.Remember(Transition{Obs: obs, Action: act, Reward: -d * d, NextObs: obs, Terminal: true})
+		a.Update()
+		if ep%25 == 24 {
+			a.EndEpisode()
+		}
+	}
+	var worst float64
+	for _, o := range []float32{0.25, 0.5, 0.75} {
+		act := a.Act([]float32{o}, false)
+		if d := abs(float64(act[0] - o)); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.3 {
+		t.Fatalf("policy not observation-dependent enough: worst error %v", worst)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// minimal deterministic rng for test inputs.
+type testRNG struct{ s uint64 }
+
+func newTestRNG(seed uint64) *testRNG { return &testRNG{s: seed} }
+func (r *testRNG) next() float64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return float64(r.s>>11) / float64(1<<53)
+}

@@ -1,0 +1,128 @@
+package energy
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteTraceCSV writes a trace as "t,power_mw" rows with a header.
+func WriteTraceCSV(w io.Writer, t *Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_seconds", "power_mw"}); err != nil {
+		return err
+	}
+	for i, p := range t.Power {
+		if err := cw.Write([]string{strconv.Itoa(i), strconv.FormatFloat(p, 'g', -1, 64)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTraceCSV parses a trace written by WriteTraceCSV, or any CSV whose
+// final column is power in mW (a header row is skipped if non-numeric).
+// Real NREL RSR exports can be fed through this after unit conversion.
+func ReadTraceCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	trace := &Trace{}
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("energy: parse trace CSV: %w", err)
+		}
+		row++
+		if len(rec) == 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(rec[len(rec)-1], 64)
+		if err != nil {
+			if row == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("energy: trace CSV row %d: %w", row, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("energy: trace CSV row %d: negative power %g", row, v)
+		}
+		trace.Power = append(trace.Power, v)
+	}
+	return trace, nil
+}
+
+// LoadTraceCSV reads a trace file from disk.
+func LoadTraceCSV(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTraceCSV(f)
+}
+
+// SaveTraceCSV writes a trace file to disk.
+func SaveTraceCSV(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTraceCSV(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteScheduleCSV writes events as "t,class" rows.
+func WriteScheduleCSV(w io.Writer, s *Schedule) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_seconds", "class"}); err != nil {
+		return err
+	}
+	for _, e := range s.Events {
+		if err := cw.Write([]string{strconv.Itoa(e.T), strconv.Itoa(e.Class)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadScheduleCSV parses events written by WriteScheduleCSV.
+func ReadScheduleCSV(r io.Reader) (*Schedule, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	s := &Schedule{}
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("energy: parse schedule CSV: %w", err)
+		}
+		row++
+		if len(rec) < 2 {
+			continue
+		}
+		t, err1 := strconv.Atoi(rec[0])
+		c, err2 := strconv.Atoi(rec[1])
+		if err1 != nil || err2 != nil {
+			if row == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("energy: schedule CSV row %d malformed", row)
+		}
+		s.Events = append(s.Events, Event{T: t, Class: c, SampleIndex: -1})
+	}
+	return s, nil
+}

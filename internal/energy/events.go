@@ -1,0 +1,97 @@
+package energy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Event is one sensing trigger: at time T (seconds into the trace) an
+// input with the given class appears and should be classified.
+type Event struct {
+	// T is the trigger time in seconds.
+	T int
+	// Class is the ground-truth label of the event's input.
+	Class int
+	// SampleIndex selects a concrete test-set sample for empirical
+	// inference (−1 when the simulation is accuracy-model driven).
+	SampleIndex int
+}
+
+// Schedule is a time-ordered set of events.
+type Schedule struct {
+	Events []Event
+}
+
+// Len returns the number of events.
+func (s *Schedule) Len() int { return len(s.Events) }
+
+// UniformSchedule draws n events uniformly at random over [0, duration)
+// seconds with round-robin class labels — the paper's "500 events
+// randomly distributed across the duration of the EH power trace".
+func UniformSchedule(n, duration, classes int, seed uint64) *Schedule {
+	if n < 0 || duration <= 0 || classes <= 0 {
+		panic(fmt.Sprintf("energy: invalid schedule n=%d duration=%d classes=%d", n, duration, classes))
+	}
+	rng := tensor.NewRNG(seed + 0xe7e47)
+	events := make([]Event, n)
+	for i := range events {
+		events[i] = Event{
+			T:           rng.Intn(duration),
+			Class:       i % classes,
+			SampleIndex: -1,
+		}
+	}
+	sort.Slice(events, func(a, b int) bool { return events[a].T < events[b].T })
+	return &Schedule{Events: events}
+}
+
+// BurstySchedule draws events in Poisson-like bursts: burst start times
+// uniform, burst sizes geometric, spacing ~1 s. It models the
+// wildlife-camera scenario where animal activity clusters.
+func BurstySchedule(n, duration, classes int, meanBurst float64, seed uint64) *Schedule {
+	if meanBurst < 1 {
+		meanBurst = 1
+	}
+	rng := tensor.NewRNG(seed + 0xb0457)
+	var events []Event
+	for len(events) < n {
+		start := rng.Intn(duration)
+		size := 1
+		for rng.Float64() < 1-1/meanBurst && size < 16 {
+			size++
+		}
+		for b := 0; b < size && len(events) < n; b++ {
+			t := start + b
+			if t >= duration {
+				break
+			}
+			events = append(events, Event{T: t, Class: len(events) % classes, SampleIndex: -1})
+		}
+	}
+	sort.Slice(events, func(a, b int) bool { return events[a].T < events[b].T })
+	return &Schedule{Events: events}
+}
+
+// AttachSamples assigns each event a concrete sample index with the
+// event's class from the given per-class index lists, cycling when a
+// class has fewer samples than events.
+func (s *Schedule) AttachSamples(byClass [][]int, seed uint64) error {
+	rng := tensor.NewRNG(seed + 0xa77ac4)
+	used := make([]int, len(byClass))
+	for i := range s.Events {
+		c := s.Events[i].Class
+		if c < 0 || c >= len(byClass) || len(byClass[c]) == 0 {
+			return fmt.Errorf("energy: no samples available for class %d", c)
+		}
+		pick := byClass[c][used[c]%len(byClass[c])]
+		used[c]++
+		// Occasionally randomize within the class so repeats differ.
+		if used[c] >= len(byClass[c]) {
+			pick = byClass[c][rng.Intn(len(byClass[c]))]
+		}
+		s.Events[i].SampleIndex = pick
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package energy
+
+import "fmt"
+
+// Storage models the capacitor-backed energy buffer of an intermittently
+// powered device. Harvested energy charges the buffer (with a charging
+// efficiency < 1); computation drains it. The device can compute only
+// while the buffer is above the brown-out threshold, and after a power
+// failure it must recharge past the turn-on threshold before resuming —
+// the classic intermittent-computing hysteresis.
+type Storage struct {
+	// CapacityMJ is the usable buffer capacity in mJ.
+	CapacityMJ float64
+	// TurnOnMJ is the level required to (re)start computing after a
+	// brown-out.
+	TurnOnMJ float64
+	// BrownOutMJ is the level below which computation halts.
+	BrownOutMJ float64
+	// ChargeEfficiency scales harvested energy into stored energy.
+	ChargeEfficiency float64
+	// LeakMWPerS is a constant leakage drain in mW.
+	LeakMWPerS float64
+
+	level float64
+	on    bool
+}
+
+// DefaultStorage returns the buffer used throughout the experiments:
+// a 10 mJ usable capacitor (≈ 470 µF class at MSP432 voltages) with 70%
+// charging efficiency and a 1 mJ turn-on / 0.05 mJ brown-out window.
+func DefaultStorage() *Storage {
+	return &Storage{
+		CapacityMJ:       10,
+		TurnOnMJ:         1.0,
+		BrownOutMJ:       0.05,
+		ChargeEfficiency: 0.7,
+		LeakMWPerS:       0.001,
+	}
+}
+
+// Validate reports configuration errors.
+func (s *Storage) Validate() error {
+	switch {
+	case s.CapacityMJ <= 0:
+		return fmt.Errorf("energy: storage capacity must be positive, got %g", s.CapacityMJ)
+	case s.TurnOnMJ < s.BrownOutMJ:
+		return fmt.Errorf("energy: turn-on threshold %g below brown-out %g", s.TurnOnMJ, s.BrownOutMJ)
+	case s.TurnOnMJ > s.CapacityMJ:
+		return fmt.Errorf("energy: turn-on threshold %g exceeds capacity %g", s.TurnOnMJ, s.CapacityMJ)
+	case s.ChargeEfficiency <= 0 || s.ChargeEfficiency > 1:
+		return fmt.Errorf("energy: charging efficiency %g outside (0, 1]", s.ChargeEfficiency)
+	case s.BrownOutMJ < 0 || s.LeakMWPerS < 0:
+		return fmt.Errorf("energy: negative threshold or leakage")
+	}
+	return nil
+}
+
+// Level returns the current stored energy (mJ).
+func (s *Storage) Level() float64 { return s.level }
+
+// SetLevel forces the stored energy (clamped to [0, capacity]); tests and
+// simulation warm-up use this.
+func (s *Storage) SetLevel(mj float64) {
+	if mj < 0 {
+		mj = 0
+	}
+	if mj > s.CapacityMJ {
+		mj = s.CapacityMJ
+	}
+	s.level = mj
+	s.on = s.level >= s.TurnOnMJ
+}
+
+// On reports whether the device is currently powered (past turn-on and
+// not browned out).
+func (s *Storage) On() bool { return s.on }
+
+// Harvest charges the buffer with harvested energy (mJ, pre-efficiency)
+// over dt seconds, applying charging efficiency, leakage, and the
+// capacity clamp. It returns the energy actually stored.
+func (s *Storage) Harvest(mj, dt float64) float64 {
+	stored := mj * s.ChargeEfficiency
+	before := s.level
+	s.level += stored
+	s.level -= s.LeakMWPerS * dt
+	if s.level < 0 {
+		s.level = 0
+	}
+	if s.level > s.CapacityMJ {
+		s.level = s.CapacityMJ
+	}
+	if !s.on && s.level >= s.TurnOnMJ {
+		s.on = true
+	}
+	return s.level - before
+}
+
+// Available returns the energy spendable before brown-out (mJ).
+func (s *Storage) Available() float64 {
+	if !s.on {
+		return 0
+	}
+	a := s.level - s.BrownOutMJ
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// Spend drains mj from the buffer for computation. It returns false —
+// and drains only down to the brown-out floor, turning the device off —
+// if the request exceeds the available energy (a power failure mid-task).
+func (s *Storage) Spend(mj float64) bool {
+	if mj < 0 {
+		panic(fmt.Sprintf("energy: negative spend %g", mj))
+	}
+	if !s.on {
+		return false
+	}
+	if mj <= s.Available() {
+		s.level -= mj
+		if s.level <= s.BrownOutMJ {
+			s.on = false
+		}
+		return true
+	}
+	s.level = s.BrownOutMJ
+	s.on = false
+	return false
+}

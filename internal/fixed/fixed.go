@@ -1,0 +1,316 @@
+// Package fixed implements integer-quantized inference kernels of the
+// kind an MSP432-class MCU executes: int8 weights, uint8 activations,
+// int32 accumulators, and power-of-two-free requantization through an
+// explicit float scale (the MSP430/432 LEA-style MAC pipeline).
+//
+// The compress package's "fake quantization" simulates quantized accuracy
+// in float32; this package is the deployment-side counterpart proving the
+// arithmetic is implementable with pure integer MACs: QuantizeLayer lowers
+// a float layer to integer form, and the kernels here reproduce the fake-
+// quantized float results within rounding tolerance (validated by tests).
+package fixed
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// QuantizedTensor is an integer tensor with a scale: value ≈ scale × q.
+type QuantizedTensor struct {
+	Shape []int
+	Q     []int32
+	Scale float64
+}
+
+// Volume returns the element count.
+func (t *QuantizedTensor) Volume() int {
+	v := 1
+	for _, d := range t.Shape {
+		v *= d
+	}
+	return v
+}
+
+// Dequantize expands the tensor back to float32.
+func (t *QuantizedTensor) Dequantize() *tensor.Tensor {
+	out := tensor.New(t.Shape...)
+	for i, q := range t.Q {
+		out.Data[i] = float32(float64(q) * t.Scale)
+	}
+	return out
+}
+
+// QuantizeWeights lowers float weights to k-bit signed integers with the
+// given scale: q = clamp(round(w/s), −2^{k−1}, 2^{k−1}−1).
+func QuantizeWeights(w *tensor.Tensor, scale float64, bits int) (*QuantizedTensor, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("fixed: non-positive weight scale %g", scale)
+	}
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("fixed: weight bits %d outside [1,16]", bits)
+	}
+	lb := -int32(1) << uint(bits-1)
+	ub := int32(1)<<uint(bits-1) - 1
+	qt := &QuantizedTensor{
+		Shape: append([]int(nil), w.Shape()...),
+		Q:     make([]int32, w.Len()),
+		Scale: scale,
+	}
+	for i, v := range w.Data {
+		q := int32(math.Round(float64(v) / scale))
+		if q < lb {
+			q = lb
+		}
+		if q > ub {
+			q = ub
+		}
+		qt.Q[i] = q
+	}
+	return qt, nil
+}
+
+// QuantizeActivations lowers non-negative float activations to k-bit
+// unsigned integers spanning [0, maxVal]: q = clamp(round(x/s), 0, 2^k−1)
+// with s = maxVal/(2^k−1).
+func QuantizeActivations(x *tensor.Tensor, maxVal float64, bits int) (*QuantizedTensor, error) {
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("fixed: activation bits %d outside [1,16]", bits)
+	}
+	if maxVal <= 0 {
+		maxVal = 1e-9
+	}
+	levels := float64(int32(1)<<uint(bits) - 1)
+	scale := maxVal / levels
+	qt := &QuantizedTensor{
+		Shape: append([]int(nil), x.Shape()...),
+		Q:     make([]int32, x.Len()),
+		Scale: scale,
+	}
+	for i, v := range x.Data {
+		f := float64(v)
+		if f < 0 || math.IsNaN(f) {
+			f = 0
+		}
+		// Clamp in the float domain before integer conversion so
+		// out-of-range inputs cannot overflow int32.
+		q := math.Round(f / scale)
+		if q > levels {
+			q = levels
+		}
+		qt.Q[i] = int32(q)
+	}
+	return qt, nil
+}
+
+// ConvLayer is an integer convolution: weights [outC, inC, kh, kw] as
+// int32 (holding int8..int16 range values), bias pre-scaled into the
+// accumulator domain.
+type ConvLayer struct {
+	OutC, InC, KH, KW int
+	Stride, Pad       int
+	W                 *QuantizedTensor
+	// BiasAcc is the bias expressed in accumulator units (bias /
+	// (wScale·xScale)), added before requantization.
+	BiasAcc []int64
+	// WScale is the weight scale (copied from W for convenience).
+	WScale float64
+}
+
+// NewConvLayerFrom lowers an nn.Conv2D to integer form with the given
+// weight bitwidth. The weight scale is the L2-optimal scale for the
+// layer's current weights.
+func NewConvLayerFrom(l *nn.Conv2D, bits int, wScale float64) (*ConvLayer, error) {
+	qw, err := QuantizeWeights(l.W.Value, wScale, bits)
+	if err != nil {
+		return nil, err
+	}
+	return &ConvLayer{
+		OutC: l.OutC, InC: l.InC, KH: l.KH, KW: l.KW,
+		Stride: l.StrideH, Pad: l.PadH,
+		W:      qw,
+		WScale: wScale,
+		// BiasAcc is filled by the caller once the input scale is known.
+	}, nil
+}
+
+// SetBias converts float biases into accumulator units for the given
+// input activation scale.
+func (c *ConvLayer) SetBias(bias []float32, xScale float64) {
+	c.BiasAcc = make([]int64, len(bias))
+	den := c.WScale * xScale
+	for i, b := range bias {
+		c.BiasAcc[i] = int64(math.Round(float64(b) / den))
+	}
+}
+
+// Forward runs the integer convolution on a quantized CHW input and
+// returns int64 accumulators [outC, outH, outW] plus the accumulator
+// scale (wScale·xScale). ReLU and requantization are applied by the
+// caller via RequantizeReLU.
+func (c *ConvLayer) Forward(x *QuantizedTensor, h, w int) ([]int64, int, int, float64, error) {
+	if x.Volume() != c.InC*h*w {
+		return nil, 0, 0, 0, fmt.Errorf("fixed: conv input volume %d ≠ %d×%d×%d", x.Volume(), c.InC, h, w)
+	}
+	outH := (h+2*c.Pad-c.KH)/c.Stride + 1
+	outW := (w+2*c.Pad-c.KW)/c.Stride + 1
+	if outH <= 0 || outW <= 0 {
+		return nil, 0, 0, 0, fmt.Errorf("fixed: conv output empty for %dx%d input", h, w)
+	}
+	acc := make([]int64, c.OutC*outH*outW)
+	for oc := 0; oc < c.OutC; oc++ {
+		bias := int64(0)
+		if c.BiasAcc != nil {
+			bias = c.BiasAcc[oc]
+		}
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				sum := bias
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.KH; ky++ {
+						iy := oy*c.Stride - c.Pad + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < c.KW; kx++ {
+							ix := ox*c.Stride - c.Pad + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							wq := c.W.Q[((oc*c.InC+ic)*c.KH+ky)*c.KW+kx]
+							xq := x.Q[(ic*h+iy)*w+ix]
+							sum += int64(wq) * int64(xq)
+						}
+					}
+				}
+				acc[(oc*outH+oy)*outW+ox] = sum
+			}
+		}
+	}
+	return acc, outH, outW, c.WScale * x.Scale, nil
+}
+
+// DenseLayer is an integer fully-connected layer.
+type DenseLayer struct {
+	In, Out int
+	W       *QuantizedTensor // [Out, In]
+	BiasAcc []int64
+	WScale  float64
+}
+
+// NewDenseLayerFrom lowers an nn.Dense layer.
+func NewDenseLayerFrom(l *nn.Dense, bits int, wScale float64) (*DenseLayer, error) {
+	qw, err := QuantizeWeights(l.W.Value, wScale, bits)
+	if err != nil {
+		return nil, err
+	}
+	return &DenseLayer{In: l.In, Out: l.Out, W: qw, WScale: wScale}, nil
+}
+
+// SetBias converts float biases into accumulator units.
+func (d *DenseLayer) SetBias(bias []float32, xScale float64) {
+	d.BiasAcc = make([]int64, len(bias))
+	den := d.WScale * xScale
+	for i, b := range bias {
+		d.BiasAcc[i] = int64(math.Round(float64(b) / den))
+	}
+}
+
+// Forward computes integer out = W·x + b, returning accumulators and the
+// accumulator scale.
+func (d *DenseLayer) Forward(x *QuantizedTensor) ([]int64, float64, error) {
+	if x.Volume() != d.In {
+		return nil, 0, fmt.Errorf("fixed: dense input %d ≠ %d", x.Volume(), d.In)
+	}
+	acc := make([]int64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		sum := int64(0)
+		if d.BiasAcc != nil {
+			sum = d.BiasAcc[o]
+		}
+		row := d.W.Q[o*d.In : (o+1)*d.In]
+		for i, wq := range row {
+			sum += int64(wq) * int64(x.Q[i])
+		}
+		acc[o] = sum
+	}
+	return acc, d.WScale * x.Scale, nil
+}
+
+// RequantizeReLU maps int64 accumulators (at accScale) to a k-bit
+// unsigned activation tensor spanning [0, maxVal]: the fused
+// ReLU+requantize step of an integer pipeline.
+func RequantizeReLU(acc []int64, shape []int, accScale, maxVal float64, bits int) (*QuantizedTensor, error) {
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("fixed: requantize bits %d outside [1,16]", bits)
+	}
+	if maxVal <= 0 {
+		maxVal = 1e-9
+	}
+	levels := int64(1)<<uint(bits) - 1
+	outScale := maxVal / float64(levels)
+	// Integer-only requantization uses a fixed-point multiplier
+	// approximating accScale/outScale; we compute it in float here but
+	// round once, matching a Q31 multiplier implementation.
+	mult := accScale / outScale
+	qt := &QuantizedTensor{Shape: append([]int(nil), shape...), Q: make([]int32, len(acc)), Scale: outScale}
+	for i, a := range acc {
+		if a < 0 {
+			a = 0 // ReLU in the accumulator domain (scale > 0)
+		}
+		q := int64(math.Round(float64(a) * mult))
+		if q > levels {
+			q = levels
+		}
+		qt.Q[i] = int32(q)
+	}
+	return qt, nil
+}
+
+// MaxPool2 applies 2×2/stride-2 max pooling on a quantized CHW tensor.
+// Max pooling commutes with quantization, so it operates directly on the
+// integer codes.
+func MaxPool2(x *QuantizedTensor, c, h, w int) (*QuantizedTensor, int, int, error) {
+	if x.Volume() != c*h*w {
+		return nil, 0, 0, fmt.Errorf("fixed: pool input volume %d ≠ %d×%d×%d", x.Volume(), c, h, w)
+	}
+	oh, ow := h/2, w/2
+	if oh == 0 || ow == 0 {
+		return nil, 0, 0, fmt.Errorf("fixed: pool output empty")
+	}
+	out := &QuantizedTensor{Shape: []int{c, oh, ow}, Q: make([]int32, c*oh*ow), Scale: x.Scale}
+	for ci := 0; ci < c; ci++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := int32(math.MinInt32)
+				for ky := 0; ky < 2; ky++ {
+					for kx := 0; kx < 2; kx++ {
+						v := x.Q[(ci*h+oy*2+ky)*w+ox*2+kx]
+						if v > best {
+							best = v
+						}
+					}
+				}
+				out.Q[(ci*oh+oy)*ow+ox] = best
+			}
+		}
+	}
+	return out, oh, ow, nil
+}
+
+// ArgMax returns the index of the largest accumulator — integer
+// classification needs no softmax.
+func ArgMax(acc []int64) int {
+	if len(acc) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range acc {
+		if v > acc[best] {
+			best = i
+		}
+	}
+	return best
+}

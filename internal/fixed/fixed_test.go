@@ -1,0 +1,264 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/compress"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestQuantizeWeightsRoundTrip(t *testing.T) {
+	w := tensor.FromSlice([]float32{-1, -0.5, 0, 0.5, 1}, 5)
+	qt, err := QuantizeWeights(w, 1.0/127, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := qt.Dequantize()
+	for i := range w.Data {
+		if math.Abs(float64(back.Data[i]-w.Data[i])) > 1.0/127 {
+			t.Fatalf("round-trip error too large at %d: %v vs %v", i, back.Data[i], w.Data[i])
+		}
+	}
+}
+
+func TestQuantizeWeightsClamps(t *testing.T) {
+	w := tensor.FromSlice([]float32{-1000, 1000}, 2)
+	qt, err := QuantizeWeights(w, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qt.Q[0] != -128 || qt.Q[1] != 127 {
+		t.Fatalf("int8 clamp failed: %v", qt.Q)
+	}
+}
+
+func TestQuantizeWeightsRejectsBadArgs(t *testing.T) {
+	w := tensor.New(2)
+	if _, err := QuantizeWeights(w, 0, 8); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if _, err := QuantizeWeights(w, 1, 0); err == nil {
+		t.Fatal("0 bits accepted")
+	}
+	if _, err := QuantizeWeights(w, 1, 17); err == nil {
+		t.Fatal("17 bits accepted")
+	}
+}
+
+func TestQuantizeActivationsRange(t *testing.T) {
+	x := tensor.FromSlice([]float32{-0.5, 0, 0.5, 1.0, 2.0}, 5)
+	qt, err := QuantizeActivations(x, 1.0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qt.Q[0] != 0 {
+		t.Fatal("negative activations must clamp to 0")
+	}
+	if qt.Q[4] != 255 {
+		t.Fatal("above-range activations must clamp to max level")
+	}
+	if qt.Q[3] != 255 {
+		t.Fatalf("max value must hit top level, got %d", qt.Q[3])
+	}
+}
+
+func TestIntegerConvMatchesFloatReference(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	l := nn.NewConv2D("c", 2, 3, 3, 3, 1, 1)
+	tensor.FillNormal(l.W.Value, rng, 0.3)
+	tensor.FillNormal(l.B.Value, rng, 0.1)
+
+	x := tensor.New(1, 2, 6, 6)
+	tensor.FillUniform(x, rng, 0, 1)
+
+	// Float reference.
+	ref := l.Forward(x, false)
+
+	// Integer pipeline at 8-bit weights / 8-bit activations.
+	wScale := compress.OptimalWeightScale(l.W.Value.Data, 8)
+	conv, err := NewConvLayerFrom(l, 8, wScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := tensor.FromSlice(x.Data, 2, 6, 6)
+	qx, err := QuantizeActivations(img, 1.0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv.SetBias(l.B.Value.Data, qx.Scale)
+	acc, oh, ow, accScale, err := conv.Forward(qx, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oh != 6 || ow != 6 {
+		t.Fatalf("conv output %dx%d", oh, ow)
+	}
+	// Compare dequantized accumulators against the float reference.
+	var maxErr float64
+	for i, a := range acc {
+		got := float64(a) * accScale
+		want := float64(ref.Data[i])
+		if e := math.Abs(got - want); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 0.05 {
+		t.Fatalf("integer conv deviates from float by %g", maxErr)
+	}
+}
+
+func TestIntegerDenseMatchesFloatReference(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	l := nn.NewDense("d", 20, 5)
+	tensor.FillNormal(l.W.Value, rng, 0.3)
+	tensor.FillNormal(l.B.Value, rng, 0.1)
+
+	x := tensor.New(1, 20)
+	tensor.FillUniform(x, rng, 0, 1)
+	ref := l.Forward(x, false)
+
+	wScale := compress.OptimalWeightScale(l.W.Value.Data, 8)
+	dense, err := NewDenseLayerFrom(l, 8, wScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qx, err := QuantizeActivations(tensor.FromSlice(x.Data, 20), 1.0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense.SetBias(l.B.Value.Data, qx.Scale)
+	acc, accScale, err := dense.Forward(qx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range acc {
+		got := float64(a) * accScale
+		want := float64(ref.Data[i])
+		if math.Abs(got-want) > 0.05 {
+			t.Fatalf("dense[%d]: int %g vs float %g", i, got, want)
+		}
+	}
+}
+
+func TestIntegerArgmaxAgreesWithFloat(t *testing.T) {
+	// End-to-end property: for random small dense classifiers, the
+	// integer pipeline's argmax agrees with the float argmax except on
+	// near-ties.
+	rng := tensor.NewRNG(3)
+	agree := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		l := nn.NewDense("d", 12, 4)
+		tensor.FillNormal(l.W.Value, rng, 0.5)
+		x := tensor.New(1, 12)
+		tensor.FillUniform(x, rng, 0, 1)
+		ref := l.Forward(x, false)
+
+		wScale := compress.OptimalWeightScale(l.W.Value.Data, 8)
+		dense, err := NewDenseLayerFrom(l, 8, wScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qx, _ := QuantizeActivations(tensor.FromSlice(x.Data, 12), 1.0, 8)
+		dense.SetBias(l.B.Value.Data, qx.Scale)
+		acc, _, err := dense.Forward(qx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ArgMax(acc) == ref.ArgMax() {
+			agree++
+		}
+	}
+	if agree < trials*9/10 {
+		t.Fatalf("integer argmax agreed on only %d/%d trials", agree, trials)
+	}
+}
+
+func TestRequantizeReLU(t *testing.T) {
+	acc := []int64{-100, 0, 50, 100}
+	qt, err := RequantizeReLU(acc, []int{4}, 0.01, 1.0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qt.Q[0] != 0 {
+		t.Fatal("negative accumulator must ReLU to 0")
+	}
+	if qt.Q[3] <= qt.Q[2] {
+		t.Fatal("requantization must preserve order")
+	}
+	// 100 × 0.01 = 1.0 → top level.
+	if qt.Q[3] != 255 {
+		t.Fatalf("full-scale value → %d, want 255", qt.Q[3])
+	}
+}
+
+func TestMaxPool2Quantized(t *testing.T) {
+	x := &QuantizedTensor{
+		Shape: []int{1, 2, 2},
+		Q:     []int32{1, 2, 3, 4},
+		Scale: 0.5,
+	}
+	out, oh, ow, err := MaxPool2(x, 1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oh != 1 || ow != 1 || out.Q[0] != 4 {
+		t.Fatalf("pool result %v (%dx%d)", out.Q, oh, ow)
+	}
+	if out.Scale != 0.5 {
+		t.Fatal("pooling must preserve scale")
+	}
+}
+
+func TestQuantizedMonotonicityProperty(t *testing.T) {
+	// Quantization preserves order up to one quantization step.
+	f := func(a, b float32) bool {
+		if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) ||
+			math.IsInf(float64(a), 0) || math.IsInf(float64(b), 0) {
+			return true
+		}
+		x := tensor.FromSlice([]float32{a, b}, 2)
+		qt, err := QuantizeActivations(x, 2, 8)
+		if err != nil {
+			return false
+		}
+		af, bf := a, b
+		if af < 0 {
+			af = 0
+		}
+		if bf < 0 {
+			bf = 0
+		}
+		if af > 2 {
+			af = 2
+		}
+		if bf > 2 {
+			bf = 2
+		}
+		if af < bf && qt.Q[0] > qt.Q[1] {
+			return false
+		}
+		if af > bf && qt.Q[0] < qt.Q[1] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvRejectsWrongVolume(t *testing.T) {
+	l := nn.NewConv2D("c", 2, 1, 3, 3, 1, 1)
+	conv, err := NewConvLayerFrom(l, 8, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qx := &QuantizedTensor{Shape: []int{5}, Q: make([]int32, 5), Scale: 1}
+	if _, _, _, _, err := conv.Forward(qx, 6, 6); err == nil {
+		t.Fatal("wrong input volume accepted")
+	}
+}

@@ -1,0 +1,362 @@
+package fixed
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/multiexit"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// LoweredNetwork is an entire multi-exit network lowered to the integer
+// pipeline: the deployable artifact a real MCU would flash. Inference
+// runs segment-by-segment with the same suspend/resume structure as the
+// float multiexit.Network, but every MAC is integer.
+type LoweredNetwork struct {
+	segments [][]loweredOp
+	branches [][]loweredOp
+	// inH/inW is the nominal input size.
+	inH, inW int
+	inC      int
+}
+
+// loweredOp is one integer pipeline stage.
+type loweredOp struct {
+	kind string // "conv", "dense", "pool", "flatten"
+	conv *ConvLayer
+	dens *DenseLayer
+	// actBits/actMax parameterize the fused ReLU+requantization after
+	// conv/dense stages (actBits 0 = raw accumulators, used for
+	// classifier heads).
+	actBits int
+	actMax  float64
+	// spatial geometry for conv/pool stages.
+	h, w, c int
+	// bias holds the float biases; scale binding is deferred until the
+	// input activation scale is known at execution time.
+	bias []float32
+}
+
+// LowerConfig controls lowering.
+type LowerConfig struct {
+	// WeightBits and ActBits apply where the layer itself has no
+	// explicit quantization set (defaults 8/8).
+	WeightBits int
+	ActBits    int
+	// ActMax is the assumed activation range for requantization when no
+	// calibration images are supplied (default 4).
+	ActMax float64
+	// Calibration images (CHW, [0,1] pixels), when provided, set each
+	// layer's requantization range from the observed float activations
+	// (with 10% headroom) — the standard post-training-quantization
+	// calibration pass. Strongly recommended for trained networks.
+	Calibration []*tensor.Tensor
+}
+
+func (c *LowerConfig) fillDefaults() {
+	if c.WeightBits == 0 {
+		c.WeightBits = 8
+	}
+	if c.ActBits == 0 {
+		c.ActBits = 8
+	}
+	if c.ActMax == 0 {
+		c.ActMax = 4
+	}
+}
+
+// Lower converts a (possibly compressed) multi-exit network to the
+// integer pipeline. Per-layer bitwidths honour each layer's
+// WeightBitsPerValue/ActBits when set (i.e. after compress.Apply),
+// falling back to the config defaults.
+func Lower(net *multiexit.Network, cfg LowerConfig) (*LoweredNetwork, error) {
+	cfg.fillDefaults()
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	ln := &LoweredNetwork{inH: 32, inW: 32, inC: 3}
+	calib := calibrateActivations(net, cfg.Calibration)
+	for si, seg := range net.Segments {
+		ops, err := lowerSequential(seg, cfg, calib[segKey{false, si}])
+		if err != nil {
+			return nil, err
+		}
+		ln.segments = append(ln.segments, ops)
+	}
+	for bi, br := range net.Branches {
+		ops, err := lowerSequential(br, cfg, calib[segKey{true, bi}])
+		if err != nil {
+			return nil, err
+		}
+		ln.branches = append(ln.branches, ops)
+	}
+	return ln, nil
+}
+
+type segKey struct {
+	branch bool
+	idx    int
+}
+
+// calibrateActivations runs the float network on the calibration images
+// and records the post-layer max activation for every conv/dense layer,
+// keyed by (segment-or-branch, index) and layer position within it.
+// Returns nil maps when no calibration data is given.
+func calibrateActivations(net *multiexit.Network, images []*tensor.Tensor) map[segKey][]float64 {
+	if len(images) == 0 {
+		return map[segKey][]float64{}
+	}
+	record := func(seq *nn.Sequential, x *tensor.Tensor) (*tensor.Tensor, []float64) {
+		var maxes []float64
+		for _, l := range seq.Layers {
+			x = l.Forward(x, false)
+			switch l.(type) {
+			case *nn.Conv2D, *nn.Dense:
+				maxes = append(maxes, float64(x.MaxAbs()))
+			}
+		}
+		return x, maxes
+	}
+	// Track running per-layer maxima across calibration images.
+	running := map[segKey][]float64{}
+	for _, img := range images {
+		x := img
+		if x.Rank() == 3 {
+			s := x.Shape()
+			x = x.Reshape(1, s[0], s[1], s[2])
+		}
+		for si, seg := range net.Segments {
+			var maxes []float64
+			x, maxes = record(seg, x)
+			mergeMax(running, segKey{false, si}, maxes)
+			_, bmaxes := record(net.Branches[si], x)
+			mergeMax(running, segKey{true, si}, bmaxes)
+		}
+	}
+	return running
+}
+
+func mergeMax(dst map[segKey][]float64, key segKey, vals []float64) {
+	prev, ok := dst[key]
+	if !ok || len(prev) != len(vals) {
+		dst[key] = append([]float64(nil), vals...)
+		return
+	}
+	for i, v := range vals {
+		if v > prev[i] {
+			prev[i] = v
+		}
+	}
+}
+
+func lowerSequential(seq *nn.Sequential, cfg LowerConfig, actMaxes []float64) ([]loweredOp, error) {
+	var ops []loweredOp
+	weightedIdx := 0
+	// actMax returns the calibrated activation ceiling for the next
+	// weighted layer, or the static default.
+	actMax := func() float64 {
+		m := cfg.ActMax
+		if weightedIdx < len(actMaxes) && actMaxes[weightedIdx] > 0 {
+			m = actMaxes[weightedIdx] * 1.1 // headroom
+		}
+		weightedIdx++
+		return m
+	}
+	for i := 0; i < len(seq.Layers); i++ {
+		switch l := seq.Layers[i].(type) {
+		case *nn.Conv2D:
+			bits := cfg.WeightBits
+			if l.WeightBitsPerValue > 0 && l.WeightBitsPerValue < 32 {
+				bits = l.WeightBitsPerValue
+			}
+			if bits > 16 {
+				bits = 16
+			}
+			scale := compress.OptimalWeightScale(l.W.Value.Data, bits)
+			if scale == 0 {
+				scale = 1e-6
+			}
+			conv, err := NewConvLayerFrom(l, bits, scale)
+			if err != nil {
+				return nil, err
+			}
+			actBits := cfg.ActBits
+			if l.ActBits > 0 && l.ActBits < 32 {
+				actBits = l.ActBits
+			}
+			op := loweredOp{kind: "conv", conv: conv, actBits: actBits, actMax: actMax(), h: l.NomH, w: l.NomW}
+			op.biasSrc(l.B.Value.Data)
+			ops = append(ops, op)
+		case *nn.Dense:
+			bits := cfg.WeightBits
+			if l.WeightBitsPerValue > 0 && l.WeightBitsPerValue < 32 {
+				bits = l.WeightBitsPerValue
+			}
+			if bits > 16 {
+				bits = 16
+			}
+			scale := compress.OptimalWeightScale(l.W.Value.Data, bits)
+			if scale == 0 {
+				scale = 1e-6
+			}
+			dens, err := NewDenseLayerFrom(l, bits, scale)
+			if err != nil {
+				return nil, err
+			}
+			actBits := cfg.ActBits
+			if l.Final {
+				actBits = 0 // classifier head: keep raw accumulators
+			} else if l.ActBits > 0 && l.ActBits < 32 {
+				actBits = l.ActBits
+			}
+			op := loweredOp{kind: "dense", dens: dens, actBits: actBits, actMax: actMax()}
+			op.biasSrc(l.B.Value.Data)
+			ops = append(ops, op)
+		case *nn.MaxPool2D:
+			if l.Kernel != 2 || l.Stride != 2 {
+				return nil, fmt.Errorf("fixed: only 2×2/2 pooling lowers (got %d/%d)", l.Kernel, l.Stride)
+			}
+			ops = append(ops, loweredOp{kind: "pool"})
+		case *nn.Flatten:
+			ops = append(ops, loweredOp{kind: "flatten"})
+		case *nn.ReLU:
+			// Fused into the preceding conv/dense requantization.
+		default:
+			return nil, fmt.Errorf("fixed: cannot lower layer %T", seq.Layers[i])
+		}
+	}
+	return ops, nil
+}
+
+// biasSrc stashes float biases for deferred scale binding.
+func (op *loweredOp) biasSrc(b []float32) {
+	op.bias = append([]float32(nil), b...)
+}
+
+// execState is the integer activation flowing through the pipeline.
+type execState struct {
+	t       *QuantizedTensor
+	c, h, w int
+	flat    bool
+}
+
+// runOps executes a lowered op chain on the state; the final op of a
+// classifier branch returns raw accumulators via rawOut.
+func runOps(ops []loweredOp, st execState) (execState, []int64, error) {
+	var lastAcc []int64
+	for _, op := range ops {
+		switch op.kind {
+		case "conv":
+			op.conv.SetBias(op.bias, st.t.Scale)
+			acc, oh, ow, accScale, err := op.conv.Forward(st.t, st.h, st.w)
+			if err != nil {
+				return st, nil, err
+			}
+			qt, err := RequantizeReLU(acc, []int{op.conv.OutC, oh, ow}, accScale, op.actMax, op.actBits)
+			if err != nil {
+				return st, nil, err
+			}
+			st = execState{t: qt, c: op.conv.OutC, h: oh, w: ow}
+		case "dense":
+			op.dens.SetBias(op.bias, st.t.Scale)
+			acc, accScale, err := op.dens.Forward(st.t)
+			if err != nil {
+				return st, nil, err
+			}
+			if op.actBits == 0 {
+				lastAcc = acc
+				st = execState{t: &QuantizedTensor{Shape: []int{op.dens.Out}, Q: make([]int32, op.dens.Out), Scale: accScale}, flat: true}
+				for i, a := range acc {
+					st.t.Q[i] = int32(clampI64(a, -1<<30, 1<<30))
+				}
+				continue
+			}
+			qt, err := RequantizeReLU(acc, []int{op.dens.Out}, accScale, op.actMax, op.actBits)
+			if err != nil {
+				return st, nil, err
+			}
+			st = execState{t: qt, flat: true}
+		case "pool":
+			qt, oh, ow, err := MaxPool2(st.t, st.c, st.h, st.w)
+			if err != nil {
+				return st, nil, err
+			}
+			st = execState{t: qt, c: st.c, h: oh, w: ow}
+		case "flatten":
+			st.flat = true
+		}
+	}
+	return st, lastAcc, nil
+}
+
+func clampI64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// InferTo runs integer inference on a float CHW image ([0,1] pixels) up
+// to the given exit and returns the raw classifier accumulators (argmax
+// = predicted class) and the suspended trunk state for Resume.
+func (ln *LoweredNetwork) InferTo(img *tensor.Tensor, exit int) (*LoweredState, error) {
+	if exit < 0 || exit >= len(ln.segments) {
+		return nil, fmt.Errorf("fixed: exit %d out of range", exit)
+	}
+	qx, err := QuantizeActivations(img, 1.0, 8)
+	if err != nil {
+		return nil, err
+	}
+	st := execState{t: qx, c: ln.inC, h: ln.inH, w: ln.inW}
+	for i := 0; i <= exit; i++ {
+		st, _, err = runOps(ln.segments[i], st)
+		if err != nil {
+			return nil, err
+		}
+	}
+	_, acc, err := runOps(ln.branches[exit], st)
+	if err != nil {
+		return nil, err
+	}
+	if acc == nil {
+		return nil, fmt.Errorf("fixed: branch %d produced no classifier accumulators", exit)
+	}
+	return &LoweredState{trunk: st, Exit: exit, Logits: acc}, nil
+}
+
+// LoweredState is a suspended integer inference.
+type LoweredState struct {
+	trunk  execState
+	Exit   int
+	Logits []int64
+}
+
+// Predicted returns the argmax class.
+func (s *LoweredState) Predicted() int { return ArgMax(s.Logits) }
+
+// Resume continues the integer inference to a deeper exit.
+func (ln *LoweredNetwork) Resume(s *LoweredState, exit int) (*LoweredState, error) {
+	if exit <= s.Exit || exit >= len(ln.segments) {
+		return nil, fmt.Errorf("fixed: cannot resume from %d to %d", s.Exit, exit)
+	}
+	st := s.trunk
+	var err error
+	for i := s.Exit + 1; i <= exit; i++ {
+		st, _, err = runOps(ln.segments[i], st)
+		if err != nil {
+			return nil, err
+		}
+	}
+	_, acc, err := runOps(ln.branches[exit], st)
+	if err != nil {
+		return nil, err
+	}
+	if acc == nil {
+		return nil, fmt.Errorf("fixed: branch %d produced no classifier accumulators", exit)
+	}
+	return &LoweredState{trunk: st, Exit: exit, Logits: acc}, nil
+}

@@ -1,0 +1,152 @@
+package fixed
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/multiexit"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestLowerLeNetEE(t *testing.T) {
+	net := multiexit.LeNetEE(tensor.NewRNG(1))
+	ln, err := Lower(net, LowerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ln.segments) != 3 || len(ln.branches) != 3 {
+		t.Fatalf("lowered %d segments, %d branches", len(ln.segments), len(ln.branches))
+	}
+}
+
+func TestLoweredInferenceAllExits(t *testing.T) {
+	net := multiexit.LeNetEE(tensor.NewRNG(2))
+	ln, err := Lower(net, LowerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := tensor.New(3, 32, 32)
+	tensor.FillUniform(img, tensor.NewRNG(3), 0, 1)
+	for exit := 0; exit < 3; exit++ {
+		st, err := ln.InferTo(img, exit)
+		if err != nil {
+			t.Fatalf("exit %d: %v", exit, err)
+		}
+		if len(st.Logits) != 10 {
+			t.Fatalf("exit %d: %d logits", exit, len(st.Logits))
+		}
+		if p := st.Predicted(); p < 0 || p >= 10 {
+			t.Fatalf("exit %d: prediction %d", exit, p)
+		}
+	}
+}
+
+func TestLoweredResumeMatchesDirect(t *testing.T) {
+	net := multiexit.LeNetEE(tensor.NewRNG(4))
+	ln, err := Lower(net, LowerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := tensor.New(3, 32, 32)
+	tensor.FillUniform(img, tensor.NewRNG(5), 0, 1)
+
+	direct, err := ln.InferTo(img, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ln.InferTo(img, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = ln.Resume(st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct.Logits {
+		if st.Logits[i] != direct.Logits[i] {
+			t.Fatal("integer resume must be bit-identical to direct execution")
+		}
+	}
+}
+
+// TestLoweredAgreesWithFloatOnTrainedNetwork is the deployment-fidelity
+// check: on a trained network, 8-bit integer inference predicts the same
+// class as the float network on a large majority of samples.
+func TestLoweredAgreesWithFloatOnTrainedNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short")
+	}
+	cfg := dataset.SynthConfig{Seed: 21, NoiseStd: 0.03, Jitter: 0.05}
+	train, test := dataset.TrainTest(cfg, 250, 60)
+	net := multiexit.LeNetEE(tensor.NewRNG(31))
+	if _, err := multiexit.Train(net, train, multiexit.TrainConfig{Epochs: 3, BatchSize: 25, Seed: 31}); err != nil {
+		t.Fatal(err)
+	}
+	var calib []*tensor.Tensor
+	for i := 0; i < 16; i++ {
+		calib = append(calib, train.Samples[i].Image)
+	}
+	ln, err := Lower(net, LowerConfig{Calibration: calib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for _, s := range test.Samples {
+		fl := net.InferTo(s.Image, 2)
+		iq, err := ln.InferTo(s.Image, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fl.Predicted() == iq.Predicted() {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(test.Len()); frac < 0.9 {
+		t.Fatalf("calibrated integer/float agreement only %.2f", frac)
+	}
+}
+
+func TestLoweredResumeRejectsBackward(t *testing.T) {
+	net := multiexit.LeNetEE(tensor.NewRNG(6))
+	ln, err := Lower(net, LowerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := tensor.New(3, 32, 32)
+	st, err := ln.InferTo(img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ln.Resume(st, 1); err == nil {
+		t.Fatal("backward resume accepted")
+	}
+}
+
+func TestLowerHonoursCompressedBitwidths(t *testing.T) {
+	net := multiexit.LeNetEE(tensor.NewRNG(7))
+	// Tag one layer with a 4-bit weight setting, as compress.Apply does.
+	fcB21 := net.Branches[1].FindLayer("FC-B21").(*nn.Dense)
+	fcB21.WeightBitsPerValue = 4
+	ln, err := Lower(net, LowerConfig{WeightBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 4-bit layer's integer codes must fit in [−8, 7].
+	var found *DenseLayer
+	for _, ops := range ln.branches {
+		for _, op := range ops {
+			if op.kind == "dense" && op.dens.In == fcB21.In && op.dens.Out == fcB21.Out {
+				found = op.dens
+			}
+		}
+	}
+	if found == nil {
+		t.Fatal("lowered FC-B21 not found")
+	}
+	for _, q := range found.W.Q {
+		if q < -8 || q > 7 {
+			t.Fatalf("4-bit layer has code %d outside [−8, 7]", q)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+// Package intermittent is the discrete-event execution engine for
+// intermittently powered devices: it couples the MCU cost model, the
+// capacitor energy store, and a harvesting trace, and executes compute
+// tasks under two disciplines:
+//
+//   - RunAtomic: a task whose energy cost fits in the current buffer,
+//     executed within one power cycle — how the paper's system runs an
+//     inference to a chosen exit.
+//   - RunToCompletion: a task that spans as many power cycles as needed,
+//     paying FRAM checkpoint/restore overheads at every power failure —
+//     how the SONIC-style baselines finish a fixed full-network
+//     inference (§II's "forced to pause ... wait until enough energy is
+//     harvested").
+//
+// The repro note for this paper warns that a garbage-collected runtime
+// cannot model real power failure, so power cycles are simulated
+// explicitly here as energy-ledger events rather than by crashing the
+// process; every joule is conserved and auditable via Stats.
+package intermittent
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/mcu"
+)
+
+// Engine advances simulated time, harvesting energy from the trace and
+// spending it on compute tasks.
+type Engine struct {
+	Device *mcu.Device
+	Store  *energy.Storage
+	Trace  *energy.Trace
+
+	// now is the current simulation time in seconds.
+	now float64
+	// stats ledger.
+	stats Stats
+
+	// slice is the compute quantum in seconds for interleaving
+	// harvesting with computation.
+	slice float64
+}
+
+// Stats is the engine's cumulative energy/time ledger.
+type Stats struct {
+	HarvestedMJ    float64 // energy offered by the trace (pre-efficiency)
+	StoredMJ       float64 // energy actually stored
+	ComputeMJ      float64 // energy spent on MACs
+	CheckpointMJ   float64 // energy spent checkpointing/restoring
+	PowerCycles    int     // number of brown-out → recharge cycles
+	TasksCompleted int
+	TasksAborted   int
+}
+
+// New builds an engine at t=0. The store starts at the turn-on threshold
+// so the device boots immediately (warm start); call Store.SetLevel to
+// change that.
+func New(dev *mcu.Device, store *energy.Storage, trace *energy.Trace) (*Engine, error) {
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	if err := store.Validate(); err != nil {
+		return nil, err
+	}
+	if trace == nil || trace.Duration() == 0 {
+		return nil, fmt.Errorf("intermittent: empty trace")
+	}
+	store.SetLevel(store.TurnOnMJ)
+	return &Engine{
+		Device: dev,
+		Store:  store,
+		Trace:  trace,
+		slice:  0.1,
+	}, nil
+}
+
+// Now returns the current simulation time (seconds).
+func (e *Engine) Now() float64 { return e.now }
+
+// Stats returns the cumulative ledger.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Ended reports whether simulated time has run past the trace.
+func (e *Engine) Ended() bool { return e.now >= float64(e.Trace.Duration()) }
+
+// harvestStep harvests over [e.now, e.now+dt), advancing time.
+func (e *Engine) harvestStep(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	// Integrate trace power over the interval second-by-second.
+	t := e.now
+	end := e.now + dt
+	for t < end {
+		sec := int(t)
+		next := float64(sec + 1)
+		if next > end {
+			next = end
+		}
+		span := next - t
+		mj := e.Trace.At(sec) * span
+		e.stats.HarvestedMJ += mj
+		e.stats.StoredMJ += e.Store.Harvest(mj, span)
+		t = next
+	}
+	e.now = end
+}
+
+// AdvanceTo moves simulation time forward to t (seconds), harvesting
+// along the way. Requests in the past are no-ops.
+func (e *Engine) AdvanceTo(t float64) {
+	if t > e.now {
+		e.harvestStep(t - e.now)
+	}
+}
+
+// RecentPower returns the mean harvesting power (mW) over the trailing
+// window seconds — the "charging efficiency" observable the runtime
+// Q-learning uses as state.
+func (e *Engine) RecentPower(window int) float64 {
+	if window <= 0 {
+		window = 60
+	}
+	end := int(e.now)
+	start := end - window
+	if start < 0 {
+		start = 0
+	}
+	if end <= start {
+		return e.Trace.At(end)
+	}
+	var sum float64
+	for t := start; t < end; t++ {
+		sum += e.Trace.At(t)
+	}
+	return sum / float64(end-start)
+}
+
+// WaitForEnergy advances time until the buffer has at least mj available
+// (and the device is on), or deadline (seconds) is reached, or the trace
+// ends. It reports whether the energy target was met.
+func (e *Engine) WaitForEnergy(mj float64, deadline float64) bool {
+	limit := float64(e.Trace.Duration())
+	if deadline > 0 && deadline < limit {
+		limit = deadline
+	}
+	for e.now < limit {
+		if e.Store.On() && e.Store.Available() >= mj {
+			return true
+		}
+		step := e.slice * 10 // 1 s waiting granularity
+		if e.now+step > limit {
+			step = limit - e.now
+		}
+		if step <= 0 {
+			break
+		}
+		e.harvestStep(step)
+	}
+	return e.Store.On() && e.Store.Available() >= mj
+}
+
+// TaskResult describes one executed task.
+type TaskResult struct {
+	// StartedAt/FinishedAt are simulation timestamps (seconds).
+	StartedAt  float64
+	FinishedAt float64
+	// EnergyMJ is the compute energy spent (excluding checkpoints).
+	EnergyMJ float64
+	// OverheadMJ is checkpoint/restore energy spent.
+	OverheadMJ float64
+	// PowerCycles is the number of power failures endured.
+	PowerCycles int
+	// Completed is false if the trace ended before the task finished.
+	Completed bool
+}
+
+// RunAtomic executes a task of the given MAC count entirely within the
+// current power cycle. The caller must have verified affordability
+// (EnergyFor(flops) ≤ Store.Available()); if the buffer cannot cover the
+// task the engine aborts it, reports ok=false, and the partially spent
+// energy is lost — mirroring a mid-inference power failure without a
+// checkpoint.
+func (e *Engine) RunAtomic(flops int64) (TaskResult, bool) {
+	res := TaskResult{StartedAt: e.now}
+	cost := e.Device.ComputeEnergyMJ(flops)
+	dur := e.Device.ComputeSeconds(flops)
+	if !e.Store.On() || e.Store.Available() < cost {
+		e.Store.Spend(cost) // drains to brown-out floor
+		e.stats.TasksAborted++
+		res.FinishedAt = e.now
+		return res, false
+	}
+	e.Store.Spend(cost)
+	e.stats.ComputeMJ += cost
+	e.harvestStep(dur)
+	e.stats.TasksCompleted++
+	res.FinishedAt = e.now
+	res.EnergyMJ = cost
+	res.Completed = true
+	return res, true
+}
+
+// EnergyFor returns the energy cost (mJ) of a MAC count on this device.
+func (e *Engine) EnergyFor(flops int64) float64 {
+	return e.Device.ComputeEnergyMJ(flops)
+}
+
+// RunToCompletion executes a task of the given MAC count across as many
+// power cycles as necessary (SONIC-style). Progress is preserved across
+// failures via checkpoint/restore, each costing energy and time. Returns
+// ok=false only if the trace ends first.
+func (e *Engine) RunToCompletion(flops int64) (TaskResult, bool) {
+	res := TaskResult{StartedAt: e.now}
+	remaining := float64(flops)
+	flopsPerSlice := e.Device.MFLOPSPerSecond * 1e6 * e.slice
+	needRestore := false
+	limit := float64(e.Trace.Duration())
+
+	for remaining > 0 {
+		if e.now >= limit {
+			e.stats.TasksAborted++
+			res.FinishedAt = e.now
+			return res, false
+		}
+		// Execute one slice (or the remainder).
+		sliceFlops := flopsPerSlice
+		if sliceFlops > remaining {
+			sliceFlops = remaining
+		}
+		cost := e.Device.ComputeEnergyMJ(int64(sliceFlops + 0.5))
+		// The buffer must cover the slice, its checkpoint reserve, and
+		// a restore if one is pending — otherwise no forward progress
+		// is possible this cycle. Waiting for this level (not merely
+		// the turn-on threshold) guarantees liveness even when the
+		// turn-on window is smaller than one compute slice.
+		need := cost + e.Device.CheckpointEnergyMJ
+		if needRestore {
+			need += e.Device.RestoreEnergyMJ
+		}
+		if !e.Store.On() || e.Store.Available() < need {
+			if e.Store.On() && e.Store.Available() >= e.Device.CheckpointEnergyMJ {
+				// Power failure imminent: checkpoint and brown out.
+				e.Store.Spend(e.Device.CheckpointEnergyMJ)
+				e.stats.CheckpointMJ += e.Device.CheckpointEnergyMJ
+				res.OverheadMJ += e.Device.CheckpointEnergyMJ
+				e.harvestStep(e.Device.CheckpointSeconds)
+				e.Store.SetLevel(e.Store.BrownOutMJ)
+				e.stats.PowerCycles++
+				res.PowerCycles++
+				needRestore = true
+				need += e.Device.RestoreEnergyMJ - e.Device.CheckpointEnergyMJ
+			}
+			if !e.WaitForEnergy(need, limit) {
+				e.stats.TasksAborted++
+				res.FinishedAt = e.now
+				return res, false
+			}
+			continue
+		}
+		if needRestore {
+			if !e.spendOverhead(e.Device.RestoreEnergyMJ, e.Device.RestoreSeconds, &res) {
+				continue // browned out paying restore; recharge and retry
+			}
+			needRestore = false
+		}
+		e.Store.Spend(cost)
+		e.stats.ComputeMJ += cost
+		res.EnergyMJ += cost
+		dur := sliceFlops / (e.Device.MFLOPSPerSecond * 1e6)
+		e.harvestStep(dur)
+		remaining -= sliceFlops
+	}
+	e.stats.TasksCompleted++
+	res.FinishedAt = e.now
+	res.Completed = true
+	return res, true
+}
+
+// spendOverhead pays a checkpoint/restore cost; returns false if it
+// browned out the device instead.
+func (e *Engine) spendOverhead(mj, sec float64, res *TaskResult) bool {
+	if e.Store.Available() < mj {
+		e.Store.Spend(mj)
+		e.stats.PowerCycles++
+		res.PowerCycles++
+		return false
+	}
+	e.Store.Spend(mj)
+	e.stats.CheckpointMJ += mj
+	res.OverheadMJ += mj
+	e.harvestStep(sec)
+	return true
+}

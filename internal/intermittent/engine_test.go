@@ -1,0 +1,194 @@
+package intermittent
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/mcu"
+)
+
+func newEngine(t *testing.T, trace *energy.Trace) *Engine {
+	t.Helper()
+	store := energy.DefaultStorage()
+	e, err := New(mcu.MSP432(), store, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewRejectsEmptyTrace(t *testing.T) {
+	if _, err := New(mcu.MSP432(), energy.DefaultStorage(), &energy.Trace{}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestAdvanceToHarvests(t *testing.T) {
+	e := newEngine(t, energy.ConstantTrace(100, 2)) // 2 mW
+	before := e.Store.Level()
+	e.AdvanceTo(3)
+	if e.Now() != 3 {
+		t.Fatalf("now = %v", e.Now())
+	}
+	// 3 s × 2 mW × 0.7 efficiency − leak.
+	gained := e.Store.Level() - before
+	if math.Abs(gained-(3*2*0.7-3*0.001)) > 1e-6 {
+		t.Fatalf("gained %v", gained)
+	}
+	if e.Stats().HarvestedMJ != 6 {
+		t.Fatalf("harvested ledger %v", e.Stats().HarvestedMJ)
+	}
+}
+
+func TestAdvanceToPastIsNoop(t *testing.T) {
+	e := newEngine(t, energy.ConstantTrace(100, 1))
+	e.AdvanceTo(5)
+	e.AdvanceTo(2)
+	if e.Now() != 5 {
+		t.Fatal("AdvanceTo must not rewind")
+	}
+}
+
+func TestRunAtomicSpendsAndAdvances(t *testing.T) {
+	e := newEngine(t, energy.ConstantTrace(100, 0))
+	e.Store.SetLevel(5)
+	res, ok := e.RunAtomic(2_000_000) // 3 mJ, 1 s
+	if !ok || !res.Completed {
+		t.Fatal("affordable atomic task failed")
+	}
+	if math.Abs(res.EnergyMJ-3) > 1e-9 {
+		t.Fatalf("energy %v", res.EnergyMJ)
+	}
+	if math.Abs(e.Now()-1) > 1e-9 {
+		t.Fatalf("compute time %v, want 1 s at 2 MFLOP/s", e.Now())
+	}
+	if math.Abs(e.Store.Level()-2) > 0.01 {
+		t.Fatalf("level after = %v", e.Store.Level())
+	}
+}
+
+func TestRunAtomicUnaffordableAborts(t *testing.T) {
+	e := newEngine(t, energy.ConstantTrace(100, 0))
+	e.Store.SetLevel(1)
+	_, ok := e.RunAtomic(2_000_000) // needs 3 mJ
+	if ok {
+		t.Fatal("unaffordable atomic task succeeded")
+	}
+	if e.Store.On() {
+		t.Fatal("failed atomic task must brown out")
+	}
+	if e.Stats().TasksAborted != 1 {
+		t.Fatal("abort not recorded")
+	}
+}
+
+func TestWaitForEnergyReachesTarget(t *testing.T) {
+	e := newEngine(t, energy.ConstantTrace(1000, 2)) // 1.4 mJ/s stored
+	e.Store.SetLevel(0)
+	if !e.WaitForEnergy(5, 0) {
+		t.Fatal("energy target not reached")
+	}
+	if e.Store.Available() < 5 {
+		t.Fatalf("available %v below target", e.Store.Available())
+	}
+}
+
+func TestWaitForEnergyDeadline(t *testing.T) {
+	e := newEngine(t, energy.ConstantTrace(1000, 0.01))
+	e.Store.SetLevel(0)
+	if e.WaitForEnergy(5, 10) {
+		t.Fatal("cannot reach 5 mJ in 10 s at 10 µW")
+	}
+	if e.Now() > 10.5 {
+		t.Fatalf("overshot deadline: %v", e.Now())
+	}
+}
+
+func TestRunToCompletionSingleCycle(t *testing.T) {
+	e := newEngine(t, energy.ConstantTrace(100, 1))
+	e.Store.SetLevel(8)
+	res, ok := e.RunToCompletion(2_000_000) // 3 mJ fits in 8
+	if !ok {
+		t.Fatal("task failed")
+	}
+	if res.PowerCycles != 0 {
+		t.Fatalf("unexpected power cycles: %d", res.PowerCycles)
+	}
+	if math.Abs(res.EnergyMJ-3) > 0.01 {
+		t.Fatalf("energy %v", res.EnergyMJ)
+	}
+}
+
+func TestRunToCompletionSpansPowerCycles(t *testing.T) {
+	// 17.1 mJ task with a 10 mJ buffer: must brown out and recharge.
+	e := newEngine(t, energy.ConstantTrace(100000, 0.5))
+	e.Store.SetLevel(2)
+	res, ok := e.RunToCompletion(11_400_000)
+	if !ok {
+		t.Fatal("task should eventually finish")
+	}
+	if res.PowerCycles == 0 {
+		t.Fatal("task should span power cycles")
+	}
+	if res.OverheadMJ <= 0 {
+		t.Fatal("checkpoint overhead must be charged")
+	}
+	if math.Abs(res.EnergyMJ-17.1) > 0.2 {
+		t.Fatalf("compute energy %v, want ≈17.1", res.EnergyMJ)
+	}
+}
+
+func TestRunToCompletionFailsWhenTraceEnds(t *testing.T) {
+	e := newEngine(t, energy.ConstantTrace(20, 0.001))
+	e.Store.SetLevel(0.2)
+	_, ok := e.RunToCompletion(50_000_000)
+	if ok {
+		t.Fatal("impossible task reported success")
+	}
+	if !e.Ended() {
+		t.Fatal("engine should have consumed the trace")
+	}
+}
+
+func TestEnergyConservationLedger(t *testing.T) {
+	e := newEngine(t, energy.ConstantTrace(2000, 1))
+	for i := 0; i < 5; i++ {
+		e.WaitForEnergy(4, 0)
+		e.RunAtomic(2_000_000)
+	}
+	e.AdvanceTo(2000)
+	s := e.Stats()
+	// Stored energy ≤ harvested × efficiency; compute+checkpoint+level ≤ stored.
+	if s.StoredMJ > s.HarvestedMJ*0.7+1e-6 {
+		t.Fatalf("stored %v exceeds efficiency-limited harvest %v", s.StoredMJ, s.HarvestedMJ*0.7)
+	}
+	spentPlusLevel := s.ComputeMJ + s.CheckpointMJ + e.Store.Level()
+	if spentPlusLevel > s.StoredMJ+e.Store.TurnOnMJ+1e-6 {
+		t.Fatalf("energy appeared from nowhere: spent+level %v > stored %v + initial", spentPlusLevel, s.StoredMJ)
+	}
+}
+
+func TestRecentPowerWindow(t *testing.T) {
+	tr := energy.ConstantTrace(200, 1)
+	for i := 100; i < 200; i++ {
+		tr.Power[i] = 3
+	}
+	e := newEngine(t, tr)
+	e.AdvanceTo(150)
+	p := e.RecentPower(50)
+	if math.Abs(p-3) > 1e-9 {
+		t.Fatalf("recent power %v, want 3", p)
+	}
+	p = e.RecentPower(100)
+	if math.Abs(p-2) > 1e-9 {
+		t.Fatalf("100 s window power %v, want 2", p)
+	}
+}
+
+func TestEnergyFor(t *testing.T) {
+	e := newEngine(t, energy.ConstantTrace(10, 1))
+	if math.Abs(e.EnergyFor(1_000_000)-1.5) > 1e-12 {
+		t.Fatal("EnergyFor must apply the 1.5 mJ/MFLOP constant")
+	}
+}

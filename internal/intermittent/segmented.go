@@ -1,0 +1,106 @@
+package intermittent
+
+import "fmt"
+
+// SegmentTask is one atomically executable slice of an inference (a
+// trunk segment or branch of the multi-exit network). A real deployment
+// checkpoints between segments — the activation at a segment boundary is
+// exactly the paper's resumable State written to FRAM.
+type SegmentTask struct {
+	// Name for diagnostics.
+	Name string
+	// FLOPs is the segment's MAC count.
+	FLOPs int64
+	// CheckpointAfter indicates the segment boundary state should be
+	// persisted (costing checkpoint energy/time) when execution
+	// continues in a later power cycle.
+	CheckpointAfter bool
+}
+
+// SegmentedResult describes a segmented execution.
+type SegmentedResult struct {
+	TaskResult
+	// SegmentsRun is how many segments completed.
+	SegmentsRun int
+	// Checkpoints is how many boundary checkpoints were written.
+	Checkpoints int
+}
+
+// RunSegmented executes a chain of segment tasks. Each segment runs
+// atomically within one power cycle (a segment's working set lives in
+// SRAM and is lost at power failure), but the chain as a whole spans
+// cycles: when the buffer cannot cover the next segment, the boundary
+// state is checkpointed, the device sleeps until recharged, pays a
+// restore, and continues with the next segment. This is the execution
+// model for the paper's own system when an inference (or an incremental
+// continuation) crosses power cycles — contrast with RunToCompletion,
+// which checkpoints at arbitrary slice boundaries (SONIC-style task
+// decomposition of a monolithic inference).
+//
+// Returns ok=false if the trace ends before the chain completes; the
+// partial result reports how far execution got.
+func (e *Engine) RunSegmented(tasks []SegmentTask) (SegmentedResult, bool) {
+	res := SegmentedResult{TaskResult: TaskResult{StartedAt: e.now}}
+	limit := float64(e.Trace.Duration())
+	suspended := false
+
+	for i, task := range tasks {
+		if task.FLOPs < 0 {
+			panic(fmt.Sprintf("intermittent: segment %q has negative FLOPs", task.Name))
+		}
+		cost := e.Device.ComputeEnergyMJ(task.FLOPs)
+		// Reserve checkpoint energy unless this is the last segment.
+		reserve := 0.0
+		if i+1 < len(tasks) && task.CheckpointAfter {
+			reserve = e.Device.CheckpointEnergyMJ
+		}
+		need := cost + reserve
+		if suspended {
+			need += e.Device.RestoreEnergyMJ
+		}
+
+		if !e.Store.On() || e.Store.Available() < need {
+			// Suspend at the boundary: checkpoint (if not already
+			// persisted), recharge, restore.
+			if !suspended && i > 0 {
+				prev := tasks[i-1]
+				if prev.CheckpointAfter && e.Store.Available() >= e.Device.CheckpointEnergyMJ {
+					e.Store.Spend(e.Device.CheckpointEnergyMJ)
+					e.stats.CheckpointMJ += e.Device.CheckpointEnergyMJ
+					res.OverheadMJ += e.Device.CheckpointEnergyMJ
+					res.Checkpoints++
+					e.harvestStep(e.Device.CheckpointSeconds)
+				}
+			}
+			suspended = true
+			e.stats.PowerCycles++
+			res.PowerCycles++
+			if !e.WaitForEnergy(cost+e.Device.RestoreEnergyMJ, limit) {
+				e.stats.TasksAborted++
+				res.FinishedAt = e.now
+				return res, false
+			}
+		}
+		if suspended {
+			if i > 0 {
+				e.Store.Spend(e.Device.RestoreEnergyMJ)
+				e.stats.CheckpointMJ += e.Device.RestoreEnergyMJ
+				res.OverheadMJ += e.Device.RestoreEnergyMJ
+				e.harvestStep(e.Device.RestoreSeconds)
+			}
+			suspended = false
+		}
+		tr, ok := e.RunAtomic(task.FLOPs)
+		if !ok {
+			// Should not happen after the affordability wait; treat as
+			// abort.
+			res.FinishedAt = e.now
+			return res, false
+		}
+		res.EnergyMJ += tr.EnergyMJ
+		res.SegmentsRun++
+	}
+	res.FinishedAt = e.now
+	res.Completed = true
+	return res, true
+}

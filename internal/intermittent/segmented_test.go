@@ -1,0 +1,106 @@
+package intermittent
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/mcu"
+)
+
+func segTasks(flops ...int64) []SegmentTask {
+	var ts []SegmentTask
+	for i, f := range flops {
+		ts = append(ts, SegmentTask{
+			Name:            string(rune('a' + i)),
+			FLOPs:           f,
+			CheckpointAfter: true,
+		})
+	}
+	return ts
+}
+
+func TestRunSegmentedSingleCycle(t *testing.T) {
+	e := newEngine(t, energy.ConstantTrace(1000, 1))
+	e.Store.SetLevel(8)
+	res, ok := e.RunSegmented(segTasks(500_000, 500_000, 500_000))
+	if !ok || !res.Completed {
+		t.Fatal("segmented chain failed")
+	}
+	if res.SegmentsRun != 3 {
+		t.Fatalf("segments run %d", res.SegmentsRun)
+	}
+	if res.PowerCycles != 0 || res.Checkpoints != 0 {
+		t.Fatalf("unexpected suspension: %d cycles, %d checkpoints", res.PowerCycles, res.Checkpoints)
+	}
+	// 1.5 MFLOPs × 1.5 mJ/M = 2.25 mJ.
+	if math.Abs(res.EnergyMJ-2.25) > 0.01 {
+		t.Fatalf("energy %v", res.EnergyMJ)
+	}
+}
+
+func TestRunSegmentedSpansPowerCycles(t *testing.T) {
+	// Each segment costs 3 mJ; the 10 mJ buffer starts at 4 mJ and the
+	// trace trickles, so the chain must suspend at boundaries.
+	e := newEngine(t, energy.ConstantTrace(100000, 0.5))
+	e.Store.SetLevel(4)
+	res, ok := e.RunSegmented(segTasks(2_000_000, 2_000_000, 2_000_000))
+	if !ok {
+		t.Fatal("segmented chain failed")
+	}
+	if res.PowerCycles == 0 {
+		t.Fatal("expected suspensions")
+	}
+	if res.Checkpoints == 0 {
+		t.Fatal("expected boundary checkpoints")
+	}
+	if res.OverheadMJ <= 0 {
+		t.Fatal("checkpoint/restore overhead must be charged")
+	}
+	if math.Abs(res.EnergyMJ-9.0) > 0.05 {
+		t.Fatalf("compute energy %v, want 9", res.EnergyMJ)
+	}
+}
+
+func TestRunSegmentedFailsAtTraceEnd(t *testing.T) {
+	e := newEngine(t, energy.ConstantTrace(30, 0.001))
+	e.Store.SetLevel(1)
+	res, ok := e.RunSegmented(segTasks(2_000_000, 2_000_000))
+	if ok {
+		t.Fatal("impossible chain succeeded")
+	}
+	if res.SegmentsRun > 1 {
+		t.Fatalf("ran %d segments with almost no energy", res.SegmentsRun)
+	}
+}
+
+func TestRunSegmentedMatchesExitDecomposition(t *testing.T) {
+	// Executing the three exit-path segments of the compressed LeNet-EE
+	// costs the same energy as one atomic run of the summed FLOPs.
+	flops := []int64{130_000, 385_000, 510_000}
+	var total int64
+	for _, f := range flops {
+		total += f
+	}
+
+	e1 := newEngine(t, energy.ConstantTrace(1000, 1))
+	e1.Store.SetLevel(9)
+	segRes, ok := e1.RunSegmented(segTasks(flops...))
+	if !ok {
+		t.Fatal("segmented failed")
+	}
+
+	store2 := energy.DefaultStorage()
+	e2, err := New(mcu.MSP432(), store2, energy.ConstantTrace(1000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.Store.SetLevel(9)
+	atomRes, ok := e2.RunAtomic(total)
+	if !ok {
+		t.Fatal("atomic failed")
+	}
+	if math.Abs(segRes.EnergyMJ-atomRes.EnergyMJ) > 0.01 {
+		t.Fatalf("segmented %v vs atomic %v compute energy", segRes.EnergyMJ, atomRes.EnergyMJ)
+	}
+}

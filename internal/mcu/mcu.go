@@ -1,0 +1,89 @@
+// Package mcu models the target microcontroller (TI MSP432 class) as the
+// paper's evaluation does: computation cost is driven by FLOPs through
+// fixed energy and latency coefficients, storage is bounded, and
+// intermittent execution pays explicit FRAM checkpoint/restore costs.
+//
+// The paper reduces the MCU to exactly these proxies — 1.5 mJ per million
+// FLOPs (§V-A) and FLOPs as the latency proxy (§V-D) — so this analytic
+// model reproduces the paper's arithmetic rather than emulating the ISA.
+package mcu
+
+import "fmt"
+
+// Device is the MCU cost model.
+type Device struct {
+	// Name of the device model.
+	Name string
+	// EnergyPerMFLOP is the active-compute energy in mJ per million MACs
+	// (the paper's 1.5 mJ/MFLOP).
+	EnergyPerMFLOP float64
+	// MFLOPSPerSecond is compute throughput in millions of MACs per
+	// second while powered. A 48 MHz MSP432 with the LEA MAC unit
+	// sustains roughly 2 MMAC/s on conv workloads.
+	MFLOPSPerSecond float64
+	// WeightStorageBytes is the persistent storage budget for network
+	// weights (the paper's "tens of KB" FRAM/flash budget).
+	WeightStorageBytes int64
+	// SRAMBytes bounds the largest live activation buffer.
+	SRAMBytes int64
+	// CheckpointEnergyMJ is the energy to checkpoint execution state to
+	// FRAM before a power failure.
+	CheckpointEnergyMJ float64
+	// RestoreEnergyMJ is the energy to restore state after recharging.
+	RestoreEnergyMJ float64
+	// CheckpointSeconds and RestoreSeconds are the matching latencies.
+	CheckpointSeconds float64
+	RestoreSeconds    float64
+	// IdleListenMW is the sleep current draw of the event-detection
+	// front-end in mW (kept 0 by default: the paper attributes all
+	// energy to inference).
+	IdleListenMW float64
+}
+
+// MSP432 returns the paper's target device model.
+func MSP432() *Device {
+	return &Device{
+		Name:               "MSP432",
+		EnergyPerMFLOP:     1.5,
+		MFLOPSPerSecond:    2.0,
+		WeightStorageBytes: 64 * 1024,
+		SRAMBytes:          64 * 1024,
+		CheckpointEnergyMJ: 0.02,
+		RestoreEnergyMJ:    0.02,
+		CheckpointSeconds:  0.01,
+		RestoreSeconds:     0.01,
+	}
+}
+
+// Validate reports configuration errors.
+func (d *Device) Validate() error {
+	switch {
+	case d.EnergyPerMFLOP <= 0:
+		return fmt.Errorf("mcu: EnergyPerMFLOP must be positive, got %g", d.EnergyPerMFLOP)
+	case d.MFLOPSPerSecond <= 0:
+		return fmt.Errorf("mcu: MFLOPSPerSecond must be positive, got %g", d.MFLOPSPerSecond)
+	case d.WeightStorageBytes <= 0:
+		return fmt.Errorf("mcu: WeightStorageBytes must be positive, got %d", d.WeightStorageBytes)
+	case d.CheckpointEnergyMJ < 0 || d.RestoreEnergyMJ < 0:
+		return fmt.Errorf("mcu: negative checkpoint/restore energy")
+	case d.CheckpointSeconds < 0 || d.RestoreSeconds < 0:
+		return fmt.Errorf("mcu: negative checkpoint/restore latency")
+	}
+	return nil
+}
+
+// ComputeEnergyMJ returns the energy (mJ) to execute the given MAC count.
+func (d *Device) ComputeEnergyMJ(flops int64) float64 {
+	return float64(flops) / 1e6 * d.EnergyPerMFLOP
+}
+
+// ComputeSeconds returns the active compute time (s) for the MAC count.
+func (d *Device) ComputeSeconds(flops int64) float64 {
+	return float64(flops) / 1e6 / d.MFLOPSPerSecond
+}
+
+// FitsStorage reports whether a model of the given weight size fits the
+// device's weight storage budget.
+func (d *Device) FitsStorage(weightBytes int64) bool {
+	return weightBytes <= d.WeightStorageBytes
+}

@@ -1,0 +1,69 @@
+package mcu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMSP432Defaults(t *testing.T) {
+	d := MSP432()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.EnergyPerMFLOP != 1.5 {
+		t.Fatalf("EnergyPerMFLOP = %v, paper uses 1.5 mJ/MFLOP", d.EnergyPerMFLOP)
+	}
+}
+
+func TestComputeEnergyMatchesPaperConstant(t *testing.T) {
+	d := MSP432()
+	// The paper's full-precision exit energies: FLOPs × 1.5 mJ/MFLOP.
+	cases := []struct {
+		flops int64
+		want  float64
+	}{
+		{445_200, 0.6678},
+		{1_260_200, 1.8903},
+		{1_620_200, 2.4303},
+	}
+	for _, c := range cases {
+		if got := d.ComputeEnergyMJ(c.flops); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("energy(%d) = %v, want %v", c.flops, got, c.want)
+		}
+	}
+}
+
+func TestComputeSeconds(t *testing.T) {
+	d := MSP432()
+	if got := d.ComputeSeconds(2_000_000); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("2 MFLOPs at 2 MFLOP/s should take 1 s, got %v", got)
+	}
+}
+
+func TestFitsStorage(t *testing.T) {
+	d := MSP432()
+	if !d.FitsStorage(16 * 1024) {
+		t.Fatal("16 KB must fit")
+	}
+	if d.FitsStorage(600 * 1024) {
+		t.Fatal("580+ KB must not fit")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := MSP432()
+	bad.EnergyPerMFLOP = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero energy accepted")
+	}
+	bad = MSP432()
+	bad.MFLOPSPerSecond = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative throughput accepted")
+	}
+	bad = MSP432()
+	bad.CheckpointEnergyMJ = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative checkpoint energy accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV dumps per-event outcomes as CSV for external analysis
+// (plotting the paper's figures from raw data).
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"t", "processed", "correct", "exit", "incremental", "finish_s", "latency_s", "flops", "energy_mj"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, o := range r.Outcomes {
+		rec := []string{
+			strconv.Itoa(o.T),
+			strconv.FormatBool(o.Processed),
+			strconv.FormatBool(o.Correct),
+			strconv.Itoa(o.Exit),
+			strconv.FormatBool(o.Incremental),
+			strconv.FormatFloat(o.FinishSec, 'f', 3, 64),
+			strconv.FormatFloat(o.Latency(), 'f', 3, 64),
+			strconv.FormatInt(o.InferenceFLOPs, 10),
+			strconv.FormatFloat(o.EnergyMJ, 'f', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses outcomes written by WriteCSV back into a report (system
+// name and harvested energy are not stored in the CSV and must be set by
+// the caller).
+func ReadCSV(r io.Reader) (*Report, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("metrics: parse CSV: %w", err)
+	}
+	rep := &Report{}
+	for i, rec := range rows {
+		if i == 0 {
+			continue // header
+		}
+		if len(rec) != 9 {
+			return nil, fmt.Errorf("metrics: CSV row %d has %d fields, want 9", i, len(rec))
+		}
+		t, err1 := strconv.Atoi(rec[0])
+		processed, err2 := strconv.ParseBool(rec[1])
+		correct, err3 := strconv.ParseBool(rec[2])
+		exit, err4 := strconv.Atoi(rec[3])
+		incr, err5 := strconv.ParseBool(rec[4])
+		finish, err6 := strconv.ParseFloat(rec[5], 64)
+		flops, err7 := strconv.ParseInt(rec[7], 10, 64)
+		energyMJ, err8 := strconv.ParseFloat(rec[8], 64)
+		for _, e := range []error{err1, err2, err3, err4, err5, err6, err7, err8} {
+			if e != nil {
+				return nil, fmt.Errorf("metrics: CSV row %d: %w", i, e)
+			}
+		}
+		rep.Outcomes = append(rep.Outcomes, EventOutcome{
+			T: t, Processed: processed, Correct: correct, Exit: exit,
+			Incremental: incr, FinishSec: finish, InferenceFLOPs: flops, EnergyMJ: energyMJ,
+		})
+		if exit+1 > rep.NumExits {
+			rep.NumExits = exit + 1
+		}
+	}
+	return rep, nil
+}

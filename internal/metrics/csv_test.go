@@ -1,0 +1,41 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := sampleReport()
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Events() != r.Events() {
+		t.Fatalf("round trip lost events: %d vs %d", back.Events(), r.Events())
+	}
+	if back.ProcessedCount() != r.ProcessedCount() || back.CorrectCount() != r.CorrectCount() {
+		t.Fatal("round trip corrupted outcome flags")
+	}
+	if back.Outcomes[2].InferenceFLOPs != 1000000 {
+		t.Fatal("FLOPs lost")
+	}
+	if back.NumExits != 3 {
+		t.Fatalf("inferred NumExits = %d", back.NumExits)
+	}
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("t,processed\n1,true\n")); err == nil {
+		t.Fatal("short rows accepted")
+	}
+	bad := "t,processed,correct,exit,incremental,finish_s,latency_s,flops,energy_mj\nx,true,true,0,false,1,1,1,1\n"
+	if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+		t.Fatal("non-numeric time accepted")
+	}
+}

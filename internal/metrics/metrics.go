@@ -1,0 +1,197 @@
+// Package metrics computes the paper's figures of merit from simulation
+// outcomes: IEpmJ (interesting events correctly processed per milliJoule
+// of harvested energy, Eq. 1), average accuracy over all events and over
+// processed events, per-event and per-inference latency, and exit-usage
+// histograms.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// EventOutcome records how one event was handled.
+type EventOutcome struct {
+	// T is the event trigger time (seconds).
+	T int
+	// Processed is false when the event was missed (insufficient energy
+	// or device busy); missed events count as incorrect (Eq. 1).
+	Processed bool
+	// Correct reports whether the final emitted class was right.
+	Correct bool
+	// Exit is the final exit used (0-based), −1 for missed events.
+	Exit int
+	// Incremental reports whether the result was refined past the
+	// initially selected exit.
+	Incremental bool
+	// FinishSec is when the final result was emitted.
+	FinishSec float64
+	// InferenceFLOPs is the total MACs spent on this event.
+	InferenceFLOPs int64
+	// EnergyMJ is the compute energy spent on this event.
+	EnergyMJ float64
+}
+
+// Latency returns the per-event latency (occurrence → final result).
+func (o EventOutcome) Latency() float64 {
+	if !o.Processed {
+		return 0
+	}
+	return o.FinishSec - float64(o.T)
+}
+
+// Report aggregates a full simulation run.
+type Report struct {
+	System      string
+	Outcomes    []EventOutcome
+	HarvestedMJ float64
+	// NumExits sizes the exit histogram (1 for single-exit baselines).
+	NumExits int
+}
+
+// Events returns the total number of events N.
+func (r *Report) Events() int { return len(r.Outcomes) }
+
+// ProcessedCount returns N1, the number of events that produced a result.
+func (r *Report) ProcessedCount() int {
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Processed {
+			n++
+		}
+	}
+	return n
+}
+
+// CorrectCount returns the number of correctly processed events.
+func (r *Report) CorrectCount() int {
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Processed && o.Correct {
+			n++
+		}
+	}
+	return n
+}
+
+// IEpmJ returns interesting events per milliJoule (Eq. 1): correctly
+// processed events divided by the total harvested energy.
+func (r *Report) IEpmJ() float64 {
+	if r.HarvestedMJ <= 0 {
+		return 0
+	}
+	return float64(r.CorrectCount()) / r.HarvestedMJ
+}
+
+// AccuracyAllEvents returns the average accuracy over all N events, with
+// missed events scored 0 — the quantity IEpmJ maximizes.
+func (r *Report) AccuracyAllEvents() float64 {
+	if len(r.Outcomes) == 0 {
+		return 0
+	}
+	return float64(r.CorrectCount()) / float64(len(r.Outcomes))
+}
+
+// AccuracyProcessed returns the average accuracy over processed events
+// only (§V-C's second accuracy metric).
+func (r *Report) AccuracyProcessed() float64 {
+	p := r.ProcessedCount()
+	if p == 0 {
+		return 0
+	}
+	return float64(r.CorrectCount()) / float64(p)
+}
+
+// MeanEventLatency returns the mean occurrence→result latency over
+// processed events (§V-D's per-event latency, in seconds = time units).
+func (r *Report) MeanEventLatency() float64 {
+	var sum float64
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Processed {
+			sum += o.Latency()
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// MeanInferenceFLOPs returns the mean MACs per processed event — the
+// paper's per-inference latency proxy.
+func (r *Report) MeanInferenceFLOPs() float64 {
+	var sum float64
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Processed {
+			sum += float64(o.InferenceFLOPs)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// ExitHistogram returns the number of processed events finishing at each
+// exit.
+func (r *Report) ExitHistogram() []int {
+	n := r.NumExits
+	if n <= 0 {
+		n = 1
+	}
+	hist := make([]int, n)
+	for _, o := range r.Outcomes {
+		if o.Processed && o.Exit >= 0 && o.Exit < n {
+			hist[o.Exit]++
+		}
+	}
+	return hist
+}
+
+// ExitPercentages returns each exit's share of all events (the Fig. 7b
+// percentages, which do not sum to 100% because missed events are
+// excluded).
+func (r *Report) ExitPercentages() []float64 {
+	hist := r.ExitHistogram()
+	out := make([]float64, len(hist))
+	if len(r.Outcomes) == 0 {
+		return out
+	}
+	for i, h := range hist {
+		out[i] = float64(h) / float64(len(r.Outcomes))
+	}
+	return out
+}
+
+// TotalComputeMJ returns the total inference energy across events.
+func (r *Report) TotalComputeMJ() float64 {
+	var sum float64
+	for _, o := range r.Outcomes {
+		sum += o.EnergyMJ
+	}
+	return sum
+}
+
+// Summary renders a one-paragraph report.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: events=%d processed=%d correct=%d\n",
+		r.System, r.Events(), r.ProcessedCount(), r.CorrectCount())
+	fmt.Fprintf(&b, "  IEpmJ=%.3f  acc(all)=%.1f%%  acc(processed)=%.1f%%\n",
+		r.IEpmJ(), 100*r.AccuracyAllEvents(), 100*r.AccuracyProcessed())
+	fmt.Fprintf(&b, "  latency/event=%.1fs  FLOPs/inference=%.3fM  harvested=%.1fmJ  spent=%.1fmJ\n",
+		r.MeanEventLatency(), r.MeanInferenceFLOPs()/1e6, r.HarvestedMJ, r.TotalComputeMJ())
+	if r.NumExits > 1 {
+		fmt.Fprintf(&b, "  exit shares: ")
+		for i, p := range r.ExitPercentages() {
+			fmt.Fprintf(&b, "exit%d=%.1f%% ", i+1, 100*p)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

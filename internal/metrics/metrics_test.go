@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		System:      "test",
+		HarvestedMJ: 100,
+		NumExits:    3,
+		Outcomes: []EventOutcome{
+			{T: 10, Processed: true, Correct: true, Exit: 0, FinishSec: 12, InferenceFLOPs: 100000, EnergyMJ: 0.2},
+			{T: 20, Processed: true, Correct: false, Exit: 1, FinishSec: 25, InferenceFLOPs: 500000, EnergyMJ: 0.8},
+			{T: 30, Processed: true, Correct: true, Exit: 2, FinishSec: 36, InferenceFLOPs: 1000000, EnergyMJ: 1.5},
+			{T: 40, Processed: false, Exit: -1},
+		},
+	}
+}
+
+func TestCounts(t *testing.T) {
+	r := sampleReport()
+	if r.Events() != 4 || r.ProcessedCount() != 3 || r.CorrectCount() != 2 {
+		t.Fatalf("counts: %d/%d/%d", r.Events(), r.ProcessedCount(), r.CorrectCount())
+	}
+}
+
+func TestIEpmJ(t *testing.T) {
+	r := sampleReport()
+	if math.Abs(r.IEpmJ()-0.02) > 1e-12 {
+		t.Fatalf("IEpmJ = %v, want 2/100", r.IEpmJ())
+	}
+	empty := &Report{}
+	if empty.IEpmJ() != 0 {
+		t.Fatal("no harvest must give 0 IEpmJ")
+	}
+}
+
+func TestAccuracies(t *testing.T) {
+	r := sampleReport()
+	if math.Abs(r.AccuracyAllEvents()-0.5) > 1e-12 {
+		t.Fatalf("acc all = %v (missed events count as wrong)", r.AccuracyAllEvents())
+	}
+	if math.Abs(r.AccuracyProcessed()-2.0/3) > 1e-12 {
+		t.Fatalf("acc processed = %v", r.AccuracyProcessed())
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	r := sampleReport()
+	// (2 + 5 + 6) / 3.
+	if math.Abs(r.MeanEventLatency()-13.0/3) > 1e-12 {
+		t.Fatalf("latency = %v", r.MeanEventLatency())
+	}
+	if math.Abs(r.MeanInferenceFLOPs()-1600000.0/3) > 1e-9 {
+		t.Fatalf("mean FLOPs = %v", r.MeanInferenceFLOPs())
+	}
+}
+
+func TestLatencyNaNWhenNothingProcessed(t *testing.T) {
+	r := &Report{Outcomes: []EventOutcome{{Processed: false}}}
+	if !math.IsNaN(r.MeanEventLatency()) {
+		t.Fatal("latency over zero processed events must be NaN")
+	}
+}
+
+func TestExitHistogramAndPercentages(t *testing.T) {
+	r := sampleReport()
+	hist := r.ExitHistogram()
+	if hist[0] != 1 || hist[1] != 1 || hist[2] != 1 {
+		t.Fatalf("hist %v", hist)
+	}
+	pct := r.ExitPercentages()
+	var sum float64
+	for _, p := range pct {
+		sum += p
+	}
+	// Percentages cover all events; missed events are excluded, so the
+	// sum is 3/4 here (Fig. 7b's bars do not total 100%).
+	if math.Abs(sum-0.75) > 1e-12 {
+		t.Fatalf("exit shares sum to %v, want 0.75", sum)
+	}
+}
+
+func TestTotalComputeMJ(t *testing.T) {
+	r := sampleReport()
+	if math.Abs(r.TotalComputeMJ()-2.5) > 1e-12 {
+		t.Fatalf("total compute = %v", r.TotalComputeMJ())
+	}
+}
+
+func TestSummaryContainsKeyFields(t *testing.T) {
+	s := sampleReport().Summary()
+	for _, want := range []string{"IEpmJ", "acc(all)", "exit1", "latency"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestOutcomeLatency(t *testing.T) {
+	o := EventOutcome{T: 5, Processed: true, FinishSec: 9.5}
+	if o.Latency() != 4.5 {
+		t.Fatalf("latency = %v", o.Latency())
+	}
+	if (EventOutcome{T: 5}).Latency() != 0 {
+		t.Fatal("missed event latency must be 0")
+	}
+}

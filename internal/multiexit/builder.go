@@ -1,0 +1,193 @@
+package multiexit
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Builder constructs custom multi-exit architectures without hand-wiring
+// segments and branches. Trunk layers accumulate into the current
+// segment; each Exit call closes the segment and attaches a classifier
+// branch at that point. Spatial dimensions are tracked so Conv2D nominal
+// sizes (for FLOPs accounting) and Dense input sizes are derived
+// automatically.
+//
+//	b := multiexit.NewBuilder(3, 32, 32, 10)
+//	b.Conv("c1", 8, 5, 1, 0).ReLU().MaxPool(2, 2)
+//	b.Exit("e1", 32)                    // early exit with a 32-wide head
+//	b.Conv("c2", 16, 3, 1, 1).ReLU().MaxPool(2, 2)
+//	b.Exit("e2", 0)                     // 0 = direct linear head
+//	net, err := b.Build()
+type Builder struct {
+	classes int
+	// current spatial state of the trunk.
+	c, h, w int
+
+	segments []*nn.Sequential
+	branches []*nn.Sequential
+	current  *nn.Sequential
+	err      error
+}
+
+// NewBuilder starts a builder for inC×inH×inW inputs and the given class
+// count.
+func NewBuilder(inC, inH, inW, classes int) *Builder {
+	b := &Builder{classes: classes, c: inC, h: inH, w: inW}
+	b.current = nn.NewSequential(fmt.Sprintf("seg%d", 0))
+	if inC <= 0 || inH <= 0 || inW <= 0 {
+		b.err = fmt.Errorf("multiexit: invalid input dims %d×%d×%d", inC, inH, inW)
+	}
+	if classes < 2 {
+		b.err = fmt.Errorf("multiexit: need ≥2 classes, got %d", classes)
+	}
+	return b
+}
+
+func (b *Builder) fail(err error) *Builder {
+	if b.err == nil {
+		b.err = err
+	}
+	return b
+}
+
+// Conv appends a square convolution to the trunk.
+func (b *Builder) Conv(name string, outC, kernel, stride, pad int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	l := nn.NewConv2D(name, b.c, outC, kernel, kernel, stride, pad)
+	l.NomH, l.NomW = b.h, b.w
+	g := l.Geom(b.h, b.w)
+	if err := g.Validate(); err != nil {
+		return b.fail(fmt.Errorf("multiexit: conv %q: %w", name, err))
+	}
+	b.current.Add(l)
+	b.c, b.h, b.w = outC, g.OutH(), g.OutW()
+	return b
+}
+
+// ReLU appends an activation to the trunk.
+func (b *Builder) ReLU() *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.current.Add(nn.NewReLU(fmt.Sprintf("relu@%d", len(b.current.Layers))))
+	return b
+}
+
+// MaxPool appends a square max-pool to the trunk.
+func (b *Builder) MaxPool(kernel, stride int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	l := nn.NewMaxPool2D(fmt.Sprintf("pool@%d", len(b.current.Layers)), kernel, stride)
+	oh, ow := l.OutDims(b.h, b.w)
+	if oh <= 0 || ow <= 0 {
+		return b.fail(fmt.Errorf("multiexit: pool yields empty output at %dx%d", b.h, b.w))
+	}
+	b.current.Add(l)
+	b.h, b.w = oh, ow
+	return b
+}
+
+// Exit closes the current trunk segment and attaches a classifier branch
+// reading the segment output: flatten → [hidden → ReLU →] classes.
+// hidden 0 attaches a direct linear head.
+func (b *Builder) Exit(name string, hidden int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(b.current.Layers) == 0 {
+		return b.fail(fmt.Errorf("multiexit: exit %q follows an empty trunk segment", name))
+	}
+	in := b.c * b.h * b.w
+	branch := nn.NewSequential("branch-" + name)
+	branch.Add(nn.NewFlatten(name + ".flatten"))
+	if hidden > 0 {
+		branch.Add(nn.NewDense(name+".fc1", in, hidden))
+		branch.Add(nn.NewReLU(name + ".relu"))
+		head := nn.NewDense(name+".fc2", hidden, b.classes)
+		head.Final = true
+		branch.Add(head)
+	} else {
+		head := nn.NewDense(name+".fc", in, b.classes)
+		head.Final = true
+		branch.Add(head)
+	}
+	b.segments = append(b.segments, b.current)
+	b.branches = append(b.branches, branch)
+	b.current = nn.NewSequential(fmt.Sprintf("seg%d", len(b.segments)))
+	return b
+}
+
+// ExitConv closes the segment with a conv-then-classify branch (like
+// LeNet-EE's ConvB1/ConvB2 branches): conv(outC, 3×3, pad 1) → ReLU →
+// optional 2×2 pool → flatten → head.
+func (b *Builder) ExitConv(name string, convC, hidden int, pool bool) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(b.current.Layers) == 0 {
+		return b.fail(fmt.Errorf("multiexit: exit %q follows an empty trunk segment", name))
+	}
+	branch := nn.NewSequential("branch-" + name)
+	conv := nn.NewConv2D(name+".conv", b.c, convC, 3, 3, 1, 1)
+	conv.NomH, conv.NomW = b.h, b.w
+	branch.Add(conv, nn.NewReLU(name+".crelu"))
+	h, w := b.h, b.w
+	if pool {
+		branch.Add(nn.NewMaxPool2D(name+".pool", 2, 2))
+		h, w = h/2, w/2
+		if h == 0 || w == 0 {
+			return b.fail(fmt.Errorf("multiexit: exit %q pool yields empty output", name))
+		}
+	}
+	branch.Add(nn.NewFlatten(name + ".flatten"))
+	in := convC * h * w
+	if hidden > 0 {
+		branch.Add(nn.NewDense(name+".fc1", in, hidden))
+		branch.Add(nn.NewReLU(name + ".relu"))
+		head := nn.NewDense(name+".fc2", hidden, b.classes)
+		head.Final = true
+		branch.Add(head)
+	} else {
+		head := nn.NewDense(name+".fc", in, b.classes)
+		head.Final = true
+		branch.Add(head)
+	}
+	b.segments = append(b.segments, b.current)
+	b.branches = append(b.branches, branch)
+	b.current = nn.NewSequential(fmt.Sprintf("seg%d", len(b.segments)))
+	return b
+}
+
+// Build finalizes the network (optionally He-initializing with rng) and
+// validates it. The trailing trunk layers since the last Exit are
+// discarded with an error, so every architecture ends at an exit.
+func (b *Builder) Build(rng *tensor.RNG) (*Network, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.segments) == 0 {
+		return nil, fmt.Errorf("multiexit: no exits defined")
+	}
+	if len(b.current.Layers) != 0 {
+		return nil, fmt.Errorf("multiexit: %d trunk layers after the final exit — end the network with Exit",
+			len(b.current.Layers))
+	}
+	net := &Network{Segments: b.segments, Branches: b.branches, Classes: b.classes}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if rng != nil {
+		for _, s := range net.Segments {
+			nn.InitHe(s, rng)
+		}
+		for _, br := range net.Branches {
+			nn.InitHe(br, rng)
+		}
+	}
+	return net, nil
+}

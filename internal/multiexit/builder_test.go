@@ -1,0 +1,121 @@
+package multiexit
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestBuilderTwoExitNetwork(t *testing.T) {
+	b := NewBuilder(3, 32, 32, 10)
+	b.Conv("c1", 8, 5, 1, 0).ReLU().MaxPool(2, 2)
+	b.Exit("e1", 32)
+	b.Conv("c2", 16, 3, 1, 1).ReLU().MaxPool(2, 2)
+	b.Exit("e2", 0)
+	net, err := b.Build(tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumExits() != 2 {
+		t.Fatalf("%d exits", net.NumExits())
+	}
+	img := tensor.New(3, 32, 32)
+	tensor.FillUniform(img, tensor.NewRNG(2), 0, 1)
+	st := net.InferTo(img, 0)
+	if st.Logits.Len() != 10 {
+		t.Fatal("exit-1 logits wrong")
+	}
+	st = net.Resume(st, 1)
+	if st.Logits.Len() != 10 {
+		t.Fatal("exit-2 logits wrong")
+	}
+}
+
+func TestBuilderExitConvBranch(t *testing.T) {
+	b := NewBuilder(3, 32, 32, 10)
+	b.Conv("c1", 6, 5, 1, 0).ReLU().MaxPool(2, 2)
+	b.ExitConv("e1", 8, 0, true)
+	b.Conv("c2", 12, 3, 1, 1).ReLU().MaxPool(2, 2)
+	b.Exit("e2", 24)
+	net, err := b.Build(tensor.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(net.CompressibleLayers()); got != 6 {
+		t.Fatalf("%d compressible layers, want 6 (2 trunk conv + branch conv + 3 FC)", got)
+	}
+	if net.ExitFLOPs(0) >= net.ExitFLOPs(1) {
+		t.Fatal("exit FLOPs must ascend")
+	}
+}
+
+func TestBuilderRejectsTrailingTrunk(t *testing.T) {
+	b := NewBuilder(3, 32, 32, 10)
+	b.Conv("c1", 8, 5, 1, 0).ReLU()
+	b.Exit("e1", 0)
+	b.Conv("dangling", 8, 3, 1, 1)
+	if _, err := b.Build(nil); err == nil {
+		t.Fatal("trailing trunk layers accepted")
+	}
+}
+
+func TestBuilderRejectsEmptySegment(t *testing.T) {
+	b := NewBuilder(3, 32, 32, 10)
+	b.Conv("c1", 8, 5, 1, 0)
+	b.Exit("e1", 0)
+	b.Exit("e2", 0) // no trunk layers since e1
+	if _, err := b.Build(nil); err == nil {
+		t.Fatal("empty trunk segment accepted")
+	}
+}
+
+func TestBuilderRejectsBadGeometry(t *testing.T) {
+	b := NewBuilder(3, 8, 8, 10)
+	b.Conv("c1", 8, 9, 1, 0) // kernel exceeds input
+	b.Exit("e1", 0)
+	if _, err := b.Build(nil); err == nil {
+		t.Fatal("oversized kernel accepted")
+	}
+}
+
+func TestBuilderRejectsNoExits(t *testing.T) {
+	b := NewBuilder(3, 32, 32, 10)
+	b.Conv("c1", 8, 5, 1, 0)
+	if _, err := b.Build(nil); err == nil {
+		t.Fatal("exit-less network accepted")
+	}
+}
+
+func TestBuilderRejectsBadClasses(t *testing.T) {
+	b := NewBuilder(3, 32, 32, 1)
+	b.Conv("c1", 8, 5, 1, 0)
+	b.Exit("e1", 0)
+	if _, err := b.Build(nil); err == nil {
+		t.Fatal("single-class network accepted")
+	}
+}
+
+func TestBuilderNetworkTrains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short")
+	}
+	b := NewBuilder(3, 32, 32, 10)
+	b.Conv("c1", 8, 5, 1, 0).ReLU().MaxPool(2, 2)
+	b.Exit("e1", 24)
+	b.Conv("c2", 16, 3, 1, 1).ReLU().MaxPool(2, 2)
+	b.Exit("e2", 0)
+	net, err := b.Build(tensor.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := tinySets(t)
+	if _, err := Train(net, train, TrainConfig{Epochs: 3, BatchSize: 25, Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	accs := EvalExits(net, test)
+	for i, a := range accs {
+		if a < 0.2 {
+			t.Errorf("builder-net exit %d accuracy %.3f too low", i+1, a)
+		}
+	}
+}

@@ -1,0 +1,368 @@
+// Package multiexit implements the paper's multi-exit neural network: a
+// convolutional trunk with early-exit classifier branches attached along
+// the data path (Fig. 1c). It provides whole-network and per-exit
+// inference, the suspended/incremental inference the intermittent runtime
+// needs (run to exit i, later resume to exit i+1 without recomputing the
+// trunk), per-exit FLOPs and weight-size accounting, joint multi-exit
+// training, and entropy-based confidence measurement.
+package multiexit
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Network is a trunk of m segments with one classifier branch per segment.
+// Exit i consumes trunk segments 0..i followed by branch i; the last
+// branch is the network's final classifier.
+type Network struct {
+	// Segments[i] transforms t_{i-1} (or the input image for i=0) into
+	// the trunk activation t_i.
+	Segments []*nn.Sequential
+	// Branches[i] maps t_i to class logits for exit i.
+	Branches []*nn.Sequential
+	// Classes is the number of output classes.
+	Classes int
+}
+
+// NumExits returns the number of exits (== number of segments).
+func (n *Network) NumExits() int { return len(n.Segments) }
+
+// Validate checks structural invariants.
+func (n *Network) Validate() error {
+	if len(n.Segments) == 0 {
+		return fmt.Errorf("multiexit: network has no segments")
+	}
+	if len(n.Segments) != len(n.Branches) {
+		return fmt.Errorf("multiexit: %d segments but %d branches", len(n.Segments), len(n.Branches))
+	}
+	if n.Classes <= 1 {
+		return fmt.Errorf("multiexit: need at least 2 classes, got %d", n.Classes)
+	}
+	return nil
+}
+
+// Params returns all trainable parameters.
+func (n *Network) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, s := range n.Segments {
+		ps = append(ps, s.Params()...)
+	}
+	for _, b := range n.Branches {
+		ps = append(ps, b.Params()...)
+	}
+	return ps
+}
+
+// ForwardAll runs the whole network, returning the logits of every exit.
+// When train is true each layer caches state for BackwardAll.
+func (n *Network) ForwardAll(x *tensor.Tensor, train bool) []*tensor.Tensor {
+	logits := make([]*tensor.Tensor, n.NumExits())
+	t := x
+	for i, seg := range n.Segments {
+		t = seg.Forward(t, train)
+		logits[i] = n.Branches[i].Forward(t, train)
+	}
+	return logits
+}
+
+// BackwardAll back-propagates per-exit logit gradients produced by
+// ForwardAll(train=true). gradLogits[i] may be nil to skip that exit's
+// loss contribution.
+func (n *Network) BackwardAll(gradLogits []*tensor.Tensor) {
+	m := n.NumExits()
+	if len(gradLogits) != m {
+		panic(fmt.Sprintf("multiexit: BackwardAll got %d gradients for %d exits", len(gradLogits), m))
+	}
+	var downstream *tensor.Tensor
+	for i := m - 1; i >= 0; i-- {
+		var g *tensor.Tensor
+		if gradLogits[i] != nil {
+			g = n.Branches[i].Backward(gradLogits[i])
+		}
+		if downstream != nil {
+			if g == nil {
+				g = downstream
+			} else {
+				g.AddInPlace(downstream)
+			}
+		}
+		if g == nil {
+			// No loss signal flows through this or any later exit.
+			downstream = nil
+			continue
+		}
+		downstream = n.Segments[i].Backward(g)
+	}
+}
+
+// State is a suspended inference: the trunk activation after the segment
+// feeding exit NextExit-1, allowing incremental continuation to deeper
+// exits without recomputing shallow trunk work. It is what the paper's
+// runtime checkpoints to FRAM between power cycles.
+type State struct {
+	// Trunk is t_i, the activation after segment i.
+	Trunk *tensor.Tensor
+	// Exit is the index i of the deepest exit already computable from
+	// Trunk (i.e. Trunk feeds Branches[Exit]).
+	Exit int
+	// Logits of exit Exit, already computed.
+	Logits *tensor.Tensor
+}
+
+// InferTo runs inference on a single image (CHW or 1CHW) up to the given
+// exit, returning the suspended state. It is the runtime's entry point
+// when an event fires and exit is chosen from available energy.
+func (n *Network) InferTo(img *tensor.Tensor, exit int) *State {
+	if exit < 0 || exit >= n.NumExits() {
+		panic(fmt.Sprintf("multiexit: exit %d out of range [0,%d)", exit, n.NumExits()))
+	}
+	x := img
+	if x.Rank() == 3 {
+		s := x.Shape()
+		x = x.Reshape(1, s[0], s[1], s[2])
+	}
+	t := x
+	for i := 0; i <= exit; i++ {
+		t = n.Segments[i].Forward(t, false)
+	}
+	logits := n.Branches[exit].Forward(t, false)
+	return &State{Trunk: t, Exit: exit, Logits: logits}
+}
+
+// Resume continues a suspended inference to a deeper exit. Only segments
+// (state.Exit, exit] and branch exit are evaluated — the incremental
+// inference of §II. It panics if exit does not exceed state.Exit.
+func (n *Network) Resume(state *State, exit int) *State {
+	if exit <= state.Exit || exit >= n.NumExits() {
+		panic(fmt.Sprintf("multiexit: cannot resume from exit %d to exit %d", state.Exit, exit))
+	}
+	t := state.Trunk
+	for i := state.Exit + 1; i <= exit; i++ {
+		t = n.Segments[i].Forward(t, false)
+	}
+	logits := n.Branches[exit].Forward(t, false)
+	return &State{Trunk: t, Exit: exit, Logits: logits}
+}
+
+// Confidence returns the normalized-entropy-based confidence of the
+// state's result in [0, 1]: 1 − H(p)/log(classes). Higher is more
+// confident; the runtime compares it against a threshold to decide
+// whether incremental inference is worthwhile.
+func (s *State) Confidence() float64 {
+	probs := nn.Softmax(s.Logits)
+	return 1 - nn.NormalizedEntropy(probs.Data)
+}
+
+// Predicted returns the argmax class of the state's logits.
+func (s *State) Predicted() int { return s.Logits.ArgMax() }
+
+// weightedPath returns the conv/dense layers, in execution order, on exit
+// j's direct path: trunk segments 0..j followed by branch j. ReLU, pool,
+// and flatten layers carry no MACs and are skipped.
+func (n *Network) weightedPath(j int) []nn.Layer {
+	var path []nn.Layer
+	appendWeighted := func(s *nn.Sequential) {
+		for _, l := range s.Layers {
+			switch l.(type) {
+			case *nn.Conv2D, *nn.Dense:
+				path = append(path, l)
+			}
+		}
+	}
+	for k := 0; k <= j; k++ {
+		appendWeighted(n.Segments[k])
+	}
+	appendWeighted(n.Branches[j])
+	return path
+}
+
+// inRatio returns the fraction of a layer's inputs surviving channel
+// pruning.
+func inRatio(l nn.Layer) float64 {
+	switch layer := l.(type) {
+	case *nn.Conv2D:
+		return float64(layer.EffectiveInC()) / float64(layer.InC)
+	case *nn.Dense:
+		return float64(layer.EffectiveIn()) / float64(layer.In)
+	}
+	return 1
+}
+
+// pathFLOPs sums MACs over an ordered weighted path applying the paper's
+// chain rule for channel pruning: pruning the input channels of layer l+1
+// also eliminates the corresponding output channels of layer l (§III-A
+// "It reduces the FLOPs of the previous layer by reducing the number of
+// output channels"). Each layer's own FLOPs() already accounts for its
+// input-channel pruning; the consumer's ratio scales its output side. The
+// final classifier's outputs are all needed, so its ratio is 1.
+func pathFLOPs(path []nn.Layer) int64 {
+	var f float64
+	for i, l := range path {
+		out := 1.0
+		if i+1 < len(path) {
+			out = inRatio(path[i+1])
+		}
+		f += float64(l.FLOPs()) * out
+	}
+	return int64(f + 0.5)
+}
+
+// ExitFLOPs returns the per-sample MACs to produce exit i's result by
+// direct execution from the input image: trunk segments 0..i plus branch
+// i, with chain-pruning applied. This is the quantity the paper reports
+// per exit (0.4452/1.2602/1.6202 MFLOPs before compression).
+func (n *Network) ExitFLOPs(i int) int64 {
+	return pathFLOPs(n.weightedPath(i))
+}
+
+// MarginalFLOPs returns the additional MACs needed to go from exit i's
+// suspended state to exit j's result (trunk segments i+1..j plus branch
+// j). For i < 0 it equals ExitFLOPs(j). Like the paper, resume cost uses
+// the chain approximation (no recompute surcharge for trunk channels the
+// shallower execution skipped).
+func (n *Network) MarginalFLOPs(i, j int) int64 {
+	if j <= i {
+		panic(fmt.Sprintf("multiexit: MarginalFLOPs needs j > i, got i=%d j=%d", i, j))
+	}
+	if i < 0 {
+		return n.ExitFLOPs(j)
+	}
+	full := n.weightedPath(j)
+	// Drop the prefix covered by segments 0..i.
+	var prefix int
+	for k := 0; k <= i; k++ {
+		for _, l := range n.Segments[k].Layers {
+			switch l.(type) {
+			case *nn.Conv2D, *nn.Dense:
+				prefix++
+			}
+		}
+	}
+	return pathFLOPs(full[prefix:])
+}
+
+// ModelFLOPs returns the whole-network MAC count with every layer counted
+// once (all trunk segments plus all branches), chain-pruned along each
+// layer's primary consumer (trunk successor for trunk layers, branch
+// successor within branches). This is the paper's F_model = Σ_i flop_i
+// with flop_i the FLOPs exclusive to exit i, constrained by F_target in
+// Eq. 8.
+func (n *Network) ModelFLOPs() int64 {
+	m := n.NumExits()
+	var f float64
+	firstWeighted := func(s *nn.Sequential) nn.Layer {
+		for _, l := range s.Layers {
+			switch l.(type) {
+			case *nn.Conv2D, *nn.Dense:
+				return l
+			}
+		}
+		return nil
+	}
+	chainSum := func(layers []nn.Layer, successor nn.Layer) {
+		for i, l := range layers {
+			out := 1.0
+			if i+1 < len(layers) {
+				out = inRatio(layers[i+1])
+			} else if successor != nil {
+				out = inRatio(successor)
+			}
+			f += float64(l.FLOPs()) * out
+		}
+	}
+	weighted := func(s *nn.Sequential) []nn.Layer {
+		var ls []nn.Layer
+		for _, l := range s.Layers {
+			switch l.(type) {
+			case *nn.Conv2D, *nn.Dense:
+				ls = append(ls, l)
+			}
+		}
+		return ls
+	}
+	for i := 0; i < m; i++ {
+		var successor nn.Layer
+		if i+1 < m {
+			successor = firstWeighted(n.Segments[i+1])
+		} else {
+			successor = firstWeighted(n.Branches[i])
+		}
+		chainSum(weighted(n.Segments[i]), successor)
+		chainSum(weighted(n.Branches[i]), nil)
+	}
+	return int64(f + 0.5)
+}
+
+// WeightBytes returns total weight storage over all segments and branches
+// at current quantization, rounding each layer up to whole bytes.
+func (n *Network) WeightBytes() int64 {
+	var b int64
+	for _, s := range n.Segments {
+		b += s.WeightBytes()
+	}
+	for _, br := range n.Branches {
+		b += br.WeightBytes()
+	}
+	return b
+}
+
+// CompressibleLayers returns the conv/dense layers in the paper's Fig. 4
+// order: trunk and branch layers interleaved by depth (Conv1, ConvB1,
+// Conv2, ConvB2, Conv3, Conv4, FC-B1, FC-B21, FC-B22, FC-B31, FC-B32 for
+// LeNet-EE). Only layers with weights are returned.
+func (n *Network) CompressibleLayers() []nn.Layer {
+	var convs, fcs []nn.Layer
+	m := n.NumExits()
+	for i := 0; i < m; i++ {
+		for _, l := range n.Segments[i].Layers {
+			switch l.(type) {
+			case *nn.Conv2D:
+				convs = append(convs, l)
+			case *nn.Dense:
+				fcs = append(fcs, l)
+			}
+		}
+		for _, l := range n.Branches[i].Layers {
+			switch l.(type) {
+			case *nn.Conv2D:
+				convs = append(convs, l)
+			case *nn.Dense:
+				fcs = append(fcs, l)
+			}
+		}
+	}
+	return append(convs, fcs...)
+}
+
+// SegmentOfLayer returns the index of the trunk segment or branch
+// (segment index, isBranch) containing the named layer, or (-1, false).
+func (n *Network) SegmentOfLayer(name string) (int, bool) {
+	for i, s := range n.Segments {
+		if s.FindLayer(name) != nil {
+			return i, false
+		}
+	}
+	for i, b := range n.Branches {
+		if b.FindLayer(name) != nil {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// EarliestExitUsing returns the shallowest exit whose computation includes
+// the named layer. Compression of that layer therefore affects this exit
+// and every deeper one — the coupling the exit-guided reward exploits.
+func (n *Network) EarliestExitUsing(name string) int {
+	seg, isBranch := n.SegmentOfLayer(name)
+	if seg < 0 {
+		return -1
+	}
+	if isBranch {
+		return seg
+	}
+	return seg
+}

@@ -1,0 +1,151 @@
+package multiexit
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// TrainConfig controls joint multi-exit training.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Momentum  float64
+	// ExitWeights scales each exit's loss; nil means equal weights. The
+	// paper trains all exits jointly so shallow exits stay accurate.
+	ExitWeights []float64
+	// Log, when non-nil, receives one line per epoch.
+	Log io.Writer
+	// Seed for shuffling.
+	Seed uint64
+}
+
+func (c *TrainConfig) fillDefaults() {
+	if c.Epochs == 0 {
+		c.Epochs = 5
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.LR == 0 {
+		c.LR = 0.01
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.9
+	}
+}
+
+// Train jointly optimizes all exits with softmax cross-entropy: the total
+// loss is Σ_i w_i · CE(exit_i), back-propagated through shared trunk
+// segments in one pass. Returns the final-epoch mean training loss.
+func Train(net *Network, train *dataset.Set, cfg TrainConfig) (float64, error) {
+	cfg.fillDefaults()
+	if err := net.Validate(); err != nil {
+		return 0, err
+	}
+	if train.Len() == 0 {
+		return 0, fmt.Errorf("multiexit: empty training set")
+	}
+	m := net.NumExits()
+	weights := cfg.ExitWeights
+	if weights == nil {
+		weights = make([]float64, m)
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != m {
+		return 0, fmt.Errorf("multiexit: %d exit weights for %d exits", len(weights), m)
+	}
+
+	params := net.Params()
+	opt := nn.NewSGD(params, cfg.LR, cfg.Momentum, 1e-4)
+	rng := tensor.NewRNG(cfg.Seed + 0x7ea1)
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		train.Shuffle(rng)
+		var epochLoss float64
+		batches := 0
+		for at := 0; at < train.Len(); at += cfg.BatchSize {
+			end := at + cfg.BatchSize
+			if end > train.Len() {
+				end = train.Len()
+			}
+			x, labels := train.Batch(at, end)
+			opt.ZeroGrad()
+			logits := net.ForwardAll(x, true)
+			grads := make([]*tensor.Tensor, m)
+			var loss float64
+			for i := 0; i < m; i++ {
+				li, gi := nn.CrossEntropyLoss(logits[i], labels)
+				loss += weights[i] * li
+				gi.ScaleInPlace(float32(weights[i]))
+				grads[i] = gi
+			}
+			net.BackwardAll(grads)
+			nn.ClipGradNorm(params, 5)
+			opt.Step()
+			epochLoss += loss
+			batches++
+		}
+		lastLoss = epochLoss / float64(batches)
+		if cfg.Log != nil {
+			accs := EvalExits(net, train.Subset(500))
+			fmt.Fprintf(cfg.Log, "epoch %d: loss=%.4f train-acc=%v\n", epoch+1, lastLoss, fmtAccs(accs))
+		}
+	}
+	return lastLoss, nil
+}
+
+func fmtAccs(accs []float64) string {
+	s := "["
+	for i, a := range accs {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.3f", a)
+	}
+	return s + "]"
+}
+
+// EvalExits returns the accuracy of every exit on the set.
+func EvalExits(net *Network, set *dataset.Set) []float64 {
+	m := net.NumExits()
+	correct := make([]int, m)
+	if set.Len() == 0 {
+		return make([]float64, m)
+	}
+	const batch = 64
+	for at := 0; at < set.Len(); at += batch {
+		end := at + batch
+		if end > set.Len() {
+			end = set.Len()
+		}
+		x, labels := set.Batch(at, end)
+		logits := net.ForwardAll(x, false)
+		for i := 0; i < m; i++ {
+			n, c := logits[i].Dim(0), logits[i].Dim(1)
+			for s := 0; s < n; s++ {
+				row := logits[i].Data[s*c : (s+1)*c]
+				best := 0
+				for j, v := range row {
+					if v > row[best] {
+						best = j
+					}
+				}
+				if best == labels[s] {
+					correct[i]++
+				}
+			}
+		}
+	}
+	accs := make([]float64, m)
+	for i := range accs {
+		accs[i] = float64(correct[i]) / float64(set.Len())
+	}
+	return accs
+}

@@ -1,0 +1,96 @@
+package multiexit
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/tensor"
+)
+
+func tinySets(t *testing.T) (*dataset.Set, *dataset.Set) {
+	t.Helper()
+	// Easy, low-noise variant so a few epochs suffice.
+	cfg := dataset.SynthConfig{Seed: 21, NoiseStd: 0.03, Jitter: 0.05}
+	return dataset.TrainTest(cfg, 300, 120)
+}
+
+func TestTrainImprovesAllExits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short")
+	}
+	train, test := tinySets(t)
+	net := LeNetEE(tensor.NewRNG(31))
+	before := EvalExits(net, test)
+
+	loss, err := Train(net, train, TrainConfig{Epochs: 5, BatchSize: 25, LR: 0.01, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss <= 0 {
+		t.Fatalf("implausible final loss %v", loss)
+	}
+	after := EvalExits(net, test)
+	for i := range after {
+		if after[i] < 0.35 {
+			t.Errorf("exit %d accuracy %.3f too low after training", i+1, after[i])
+		}
+		if after[i] <= before[i] {
+			t.Errorf("exit %d did not improve: %.3f → %.3f", i+1, before[i], after[i])
+		}
+	}
+}
+
+func TestTrainRejectsEmptySet(t *testing.T) {
+	net := LeNetEE(tensor.NewRNG(1))
+	if _, err := Train(net, &dataset.Set{}, TrainConfig{Epochs: 1}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+}
+
+func TestTrainRejectsBadExitWeights(t *testing.T) {
+	net := LeNetEE(tensor.NewRNG(1))
+	set := dataset.NewGenerator(dataset.SynthConfig{Seed: 1}).Generate(10)
+	_, err := Train(net, set, TrainConfig{Epochs: 1, ExitWeights: []float64{1, 1}})
+	if err == nil {
+		t.Fatal("wrong-length exit weights accepted")
+	}
+}
+
+func TestEvalExitsEmptySet(t *testing.T) {
+	net := LeNetEE(tensor.NewRNG(1))
+	accs := EvalExits(net, &dataset.Set{})
+	for _, a := range accs {
+		if a != 0 {
+			t.Fatal("empty set should yield zero accuracies")
+		}
+	}
+}
+
+func TestBackwardAllWithNilGradients(t *testing.T) {
+	// Skipping an exit's loss must not crash and must still propagate
+	// gradients from deeper exits through the trunk.
+	net := LeNetEE(tensor.NewRNG(41))
+	x := tensor.New(2, 3, 32, 32)
+	tensor.FillUniform(x, tensor.NewRNG(42), 0, 1)
+	logits := net.ForwardAll(x, true)
+	grads := make([]*tensor.Tensor, 3)
+	grads[2] = tensor.New(logits[2].Shape()...)
+	grads[2].Fill(0.1)
+	net.BackwardAll(grads)
+
+	conv1 := net.Segments[0].FindLayer("Conv1")
+	var gradSum float64
+	for _, p := range conv1.Params() {
+		gradSum += p.Grad.AbsSum()
+	}
+	if gradSum == 0 {
+		t.Fatal("final-exit gradient did not reach Conv1 through the trunk")
+	}
+	// Branch 0 must have no gradient (its loss was skipped).
+	fcB1 := net.Branches[0].FindLayer("FC-B1")
+	for _, p := range fcB1.Params() {
+		if p.Grad.AbsSum() != 0 {
+			t.Fatal("skipped exit accumulated gradient")
+		}
+	}
+}

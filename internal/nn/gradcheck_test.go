@@ -1,0 +1,123 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// numericalGrad estimates dLoss/dParam by central differences, where the
+// loss is the sum of the layer chain's output elements weighted by w.
+func numericalGrad(forward func() float64, v *float32) float64 {
+	const eps = 1e-2
+	orig := *v
+	*v = orig + eps
+	plus := forward()
+	*v = orig - eps
+	minus := forward()
+	*v = orig
+	return (plus - minus) / (2 * eps)
+}
+
+// checkLayerGradients validates Backward against finite differences for
+// both parameters and inputs.
+func checkLayerGradients(t *testing.T, layer Layer, x *tensor.Tensor, tol float64) {
+	t.Helper()
+	rng := tensor.NewRNG(99)
+	// Random linear loss L = Σ w_i out_i makes dL/dOut = w.
+	out := layer.Forward(x, true)
+	w := tensor.New(out.Shape()...)
+	tensor.FillNormal(w, rng, 1)
+
+	forward := func() float64 {
+		o := layer.Forward(x, true)
+		var s float64
+		for i, v := range o.Data {
+			s += float64(v) * float64(w.Data[i])
+		}
+		return s
+	}
+
+	// Analytic gradients.
+	layer.Forward(x, true)
+	for _, p := range layer.Params() {
+		p.ZeroGrad()
+	}
+	dx := layer.Backward(w.Clone())
+
+	for _, p := range layer.Params() {
+		for _, idx := range []int{0, p.Value.Len() / 2, p.Value.Len() - 1} {
+			got := float64(p.Grad.Data[idx])
+			want := numericalGrad(forward, &p.Value.Data[idx])
+			if math.Abs(got-want) > tol*(math.Abs(want)+1) {
+				t.Fatalf("%s param %s[%d]: grad %g, numeric %g", layer.Name(), p.Name, idx, got, want)
+			}
+		}
+	}
+	for _, idx := range []int{0, x.Len() / 2, x.Len() - 1} {
+		got := float64(dx.Data[idx])
+		want := numericalGrad(forward, &x.Data[idx])
+		if math.Abs(got-want) > tol*(math.Abs(want)+1) {
+			t.Fatalf("%s input[%d]: grad %g, numeric %g", layer.Name(), idx, got, want)
+		}
+	}
+}
+
+func TestConv2DGradients(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	l := NewConv2D("c", 2, 3, 3, 3, 1, 1)
+	tensor.FillNormal(l.W.Value, rng, 0.5)
+	tensor.FillNormal(l.B.Value, rng, 0.5)
+	x := tensor.New(2, 2, 5, 5)
+	tensor.FillNormal(x, rng, 1)
+	checkLayerGradients(t, l, x, 5e-2)
+}
+
+func TestConv2DStridedGradients(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	l := NewConv2D("cs", 1, 2, 2, 2, 2, 0)
+	tensor.FillNormal(l.W.Value, rng, 0.5)
+	x := tensor.New(1, 1, 6, 6)
+	tensor.FillNormal(x, rng, 1)
+	checkLayerGradients(t, l, x, 5e-2)
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	l := NewDense("d", 7, 4)
+	tensor.FillNormal(l.W.Value, rng, 0.5)
+	tensor.FillNormal(l.B.Value, rng, 0.5)
+	x := tensor.New(3, 7)
+	tensor.FillNormal(x, rng, 1)
+	checkLayerGradients(t, l, x, 5e-2)
+}
+
+func TestMaxPoolGradients(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	l := NewMaxPool2D("p", 2, 2)
+	x := tensor.New(1, 2, 4, 4)
+	tensor.FillNormal(x, rng, 1)
+	// Max pooling is piecewise linear; finite differences are valid away
+	// from ties, which random init avoids almost surely.
+	checkLayerGradients(t, l, x, 5e-2)
+}
+
+func TestCrossEntropyGradientNumerically(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	logits := tensor.New(4, 5)
+	tensor.FillNormal(logits, rng, 1)
+	labels := []int{0, 2, 4, 1}
+
+	_, grad := CrossEntropyLoss(logits, labels)
+	for _, idx := range []int{0, 7, 19} {
+		want := numericalGrad(func() float64 {
+			l, _ := CrossEntropyLoss(logits, labels)
+			return l
+		}, &logits.Data[idx])
+		got := float64(grad.Data[idx])
+		if math.Abs(got-want) > 1e-2*(math.Abs(want)+1) {
+			t.Fatalf("CE grad[%d] = %g, numeric %g", idx, got, want)
+		}
+	}
+}

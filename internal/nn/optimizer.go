@@ -1,0 +1,141 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer updates a fixed set of parameters from their accumulated
+// gradients.
+type Optimizer interface {
+	Step()
+	ZeroGrad()
+}
+
+// SGD is stochastic gradient descent with classical momentum and optional
+// L2 weight decay. It is the optimizer used to train the multi-exit
+// networks on the synthetic dataset.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	params      []*Param
+	velocities  []*tensor.Tensor
+}
+
+// NewSGD builds an SGD optimizer over params.
+func NewSGD(params []*Param, lr, momentum, weightDecay float64) *SGD {
+	if lr <= 0 {
+		panic(fmt.Sprintf("nn: SGD learning rate must be positive, got %g", lr))
+	}
+	vel := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		vel[i] = tensor.New(p.Value.Shape()...)
+	}
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay, params: params, velocities: vel}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step() {
+	lr := float32(o.LR)
+	mom := float32(o.Momentum)
+	wd := float32(o.WeightDecay)
+	for i, p := range o.params {
+		v := o.velocities[i]
+		for j := range p.Value.Data {
+			g := p.Grad.Data[j]
+			if wd != 0 {
+				g += wd * p.Value.Data[j]
+			}
+			v.Data[j] = mom*v.Data[j] + g
+			p.Value.Data[j] -= lr * v.Data[j]
+		}
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (o *SGD) ZeroGrad() {
+	for _, p := range o.params {
+		p.ZeroGrad()
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm does not
+// exceed maxNorm, returning the pre-clip norm. LeNet-scale SGD with
+// momentum occasionally meets exploding gradients on hard batches;
+// clipping keeps training stable without tuning the learning rate per
+// dataset.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			sq += float64(g) * float64(g)
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		scale := float32(maxNorm / norm)
+		for _, p := range params {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] *= scale
+			}
+		}
+	}
+	return norm
+}
+
+// Adam implements the Adam optimizer; the DDPG actor/critic networks use
+// it, matching the original DDPG recipe.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	params []*Param
+	m, v   []*tensor.Tensor
+	t      int
+}
+
+// NewAdam builds an Adam optimizer with the standard defaults
+// (β1=0.9, β2=0.999, ε=1e-8) unless overridden via the fields.
+func NewAdam(params []*Param, lr float64) *Adam {
+	m := make([]*tensor.Tensor, len(params))
+	v := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		m[i] = tensor.New(p.Value.Shape()...)
+		v[i] = tensor.New(p.Value.Shape()...)
+	}
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8, params: params, m: m, v: v}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step() {
+	o.t++
+	b1 := o.Beta1
+	b2 := o.Beta2
+	bc1 := 1 - math.Pow(b1, float64(o.t))
+	bc2 := 1 - math.Pow(b2, float64(o.t))
+	for i, p := range o.params {
+		mi, vi := o.m[i], o.v[i]
+		for j := range p.Value.Data {
+			g := float64(p.Grad.Data[j])
+			mNew := b1*float64(mi.Data[j]) + (1-b1)*g
+			vNew := b2*float64(vi.Data[j]) + (1-b2)*g*g
+			mi.Data[j] = float32(mNew)
+			vi.Data[j] = float32(vNew)
+			mHat := mNew / bc1
+			vHat := vNew / bc2
+			p.Value.Data[j] -= float32(o.LR * mHat / (math.Sqrt(vHat) + o.Epsilon))
+		}
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (o *Adam) ZeroGrad() {
+	for _, p := range o.params {
+		p.ZeroGrad()
+	}
+}

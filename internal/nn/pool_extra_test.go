@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestAvgPoolForwardValues(t *testing.T) {
+	l := NewAvgPool2D("a", 2, 2)
+	x := tensor.FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	out := l.Forward(x, false)
+	want := []float32{3.5, 5.5, 11.5, 13.5}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("avg pool = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestAvgPoolGradients(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	l := NewAvgPool2D("a", 2, 2)
+	x := tensor.New(1, 2, 4, 4)
+	tensor.FillNormal(x, rng, 1)
+	checkLayerGradients(t, l, x, 5e-2)
+}
+
+func TestAvgPoolPreservesMean(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	l := NewAvgPool2D("a", 2, 2)
+	x := tensor.New(1, 1, 6, 6)
+	tensor.FillUniform(x, rng, 0, 1)
+	out := l.Forward(x, false)
+	inMean := x.Sum() / float64(x.Len())
+	outMean := out.Sum() / float64(out.Len())
+	if math.Abs(inMean-outMean) > 1e-5 {
+		t.Fatalf("non-overlapping average pooling must preserve the mean: %v vs %v", inMean, outMean)
+	}
+}
+
+func TestDropoutInferencePassthrough(t *testing.T) {
+	l := NewDropout("d", 0.5, 1)
+	x := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 4)
+	out := l.Forward(x, false)
+	if out.L2Distance(x) != 0 {
+		t.Fatal("inference-mode dropout must be identity")
+	}
+}
+
+func TestDropoutTrainDropsAndScales(t *testing.T) {
+	l := NewDropout("d", 0.5, 2)
+	x := tensor.New(1, 10000)
+	x.Fill(1)
+	out := l.Forward(x, true)
+	zeros := 0
+	for _, v := range out.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2: // 1/(1−0.5)
+		default:
+			t.Fatalf("unexpected value %v (inverted dropout scales survivors)", v)
+		}
+	}
+	frac := float64(zeros) / float64(out.Len())
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("drop fraction %.3f, want ≈0.5", frac)
+	}
+	// Expected activation preserved.
+	if mean := out.Sum() / float64(out.Len()); math.Abs(mean-1) > 0.05 {
+		t.Fatalf("mean after dropout %v, want ≈1", mean)
+	}
+}
+
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	l := NewDropout("d", 0.3, 3)
+	x := tensor.New(1, 100)
+	x.Fill(1)
+	out := l.Forward(x, true)
+	grad := tensor.New(1, 100)
+	grad.Fill(1)
+	dx := l.Backward(grad)
+	for i := range out.Data {
+		if (out.Data[i] == 0) != (dx.Data[i] == 0) {
+			t.Fatal("gradient mask must match forward mask")
+		}
+	}
+}
+
+func TestDropoutInvalidProbabilityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDropout("d", 1.0, 1)
+}

@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Sequential chains layers. The multi-exit network composes several
+// Sequential segments (trunk pieces and exit branches) so inference can be
+// suspended after a segment and resumed later — the paper's incremental
+// inference.
+type Sequential struct {
+	name   string
+	Layers []Layer
+}
+
+// NewSequential builds a named layer chain.
+func NewSequential(name string, layers ...Layer) *Sequential {
+	return &Sequential{name: name, Layers: layers}
+}
+
+// Name returns the segment name.
+func (s *Sequential) Name() string { return s.name }
+
+// Add appends layers to the chain.
+func (s *Sequential) Add(layers ...Layer) { s.Layers = append(s.Layers, layers...) }
+
+// Forward runs every layer in order.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs the chain in reverse, returning dL/dIn.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns all trainable parameters in the chain.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// FLOPs returns the per-sample MAC count of the chain.
+func (s *Sequential) FLOPs() int64 {
+	var f int64
+	for _, l := range s.Layers {
+		f += l.FLOPs()
+	}
+	return f
+}
+
+// WeightBits returns the total weight storage of the chain in bits.
+func (s *Sequential) WeightBits() int64 {
+	var b int64
+	for _, l := range s.Layers {
+		b += l.WeightBits()
+	}
+	return b
+}
+
+// WeightBytes returns the total weight storage of the chain in bytes,
+// rounding each layer up to whole bytes.
+func (s *Sequential) WeightBytes() int64 {
+	var b int64
+	for _, l := range s.Layers {
+		b += (l.WeightBits() + 7) / 8
+	}
+	return b
+}
+
+// FindLayer returns the first layer with the given name, or nil.
+func (s *Sequential) FindLayer(name string) Layer {
+	for _, l := range s.Layers {
+		if l.Name() == name {
+			return l
+		}
+	}
+	return nil
+}
+
+// MLP builds a fully-connected network with ReLU activations between the
+// given layer sizes, used for the DDPG actor and critic. The final layer
+// has no activation (callers apply tanh/sigmoid as needed).
+func MLP(name string, sizes []int) *Sequential {
+	if len(sizes) < 2 {
+		panic(fmt.Sprintf("nn: MLP %q needs at least input and output sizes, got %v", name, sizes))
+	}
+	s := NewSequential(name)
+	for i := 0; i+1 < len(sizes); i++ {
+		s.Add(NewDense(fmt.Sprintf("%s.fc%d", name, i), sizes[i], sizes[i+1]))
+		if i+2 < len(sizes) {
+			s.Add(NewReLU(fmt.Sprintf("%s.relu%d", name, i)))
+		}
+	}
+	return s
+}

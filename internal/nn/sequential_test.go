@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestSequentialForwardOrder(t *testing.T) {
+	d1 := NewDense("d1", 2, 3)
+	d2 := NewDense("d2", 3, 1)
+	s := NewSequential("s", d1, NewReLU("r"), d2)
+	out := s.Forward(tensor.New(4, 2), false)
+	if out.Dim(0) != 4 || out.Dim(1) != 1 {
+		t.Fatalf("sequential out shape %v", out.Shape())
+	}
+}
+
+func TestSequentialParamsCollectsAll(t *testing.T) {
+	s := NewSequential("s", NewDense("d1", 2, 3), NewReLU("r"), NewDense("d2", 3, 1))
+	if got := len(s.Params()); got != 4 {
+		t.Fatalf("param count = %d, want 4 (2×W + 2×B)", got)
+	}
+}
+
+func TestSequentialFLOPsAndBytes(t *testing.T) {
+	s := NewSequential("s", NewDense("d1", 10, 20), NewDense("d2", 20, 5))
+	if s.FLOPs() != 10*20+20*5 {
+		t.Fatalf("FLOPs = %d", s.FLOPs())
+	}
+	wantBits := int64((10*20+20)*32 + (20*5+5)*32)
+	if s.WeightBits() != wantBits {
+		t.Fatalf("WeightBits = %d, want %d", s.WeightBits(), wantBits)
+	}
+	if s.WeightBytes() != wantBits/8 {
+		t.Fatalf("WeightBytes = %d", s.WeightBytes())
+	}
+}
+
+func TestWeightBytesRoundsUpPerLayer(t *testing.T) {
+	d := NewDense("d", 1, 3) // 6 values
+	d.WeightBitsPerValue = 1 // 6 bits → 1 byte after rounding
+	s := NewSequential("s", d)
+	if s.WeightBytes() != 1 {
+		t.Fatalf("WeightBytes = %d, want 1", s.WeightBytes())
+	}
+}
+
+func TestFindLayer(t *testing.T) {
+	d := NewDense("needle", 2, 2)
+	s := NewSequential("s", NewReLU("r"), d)
+	if s.FindLayer("needle") != d {
+		t.Fatal("FindLayer missed an existing layer")
+	}
+	if s.FindLayer("absent") != nil {
+		t.Fatal("FindLayer invented a layer")
+	}
+}
+
+func TestMLPStructure(t *testing.T) {
+	m := MLP("m", []int{4, 8, 8, 2})
+	dense, relu := 0, 0
+	for _, l := range m.Layers {
+		switch l.(type) {
+		case *Dense:
+			dense++
+		case *ReLU:
+			relu++
+		}
+	}
+	if dense != 3 || relu != 2 {
+		t.Fatalf("MLP has %d dense, %d relu; want 3, 2 (no output ReLU)", dense, relu)
+	}
+}
+
+func TestMLPTooShortPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MLP("m", []int{4})
+}
+
+func TestInitFanInBoundsFinalLayer(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	m := MLP("m", []int{4, 16, 2})
+	InitFanIn(m, rng, 1e-3)
+	var lastDense *Dense
+	for _, l := range m.Layers {
+		if d, ok := l.(*Dense); ok {
+			lastDense = d
+		}
+	}
+	for _, v := range lastDense.W.Value.Data {
+		if v < -1e-3 || v > 1e-3 {
+			t.Fatalf("final layer weight %v outside ±1e-3", v)
+		}
+	}
+}
+
+func TestInitHeNonZero(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	s := NewSequential("s", NewConv2D("c", 3, 4, 3, 3, 1, 1), NewDense("d", 8, 2))
+	InitHe(s, rng)
+	for _, p := range s.Params() {
+		if p.Name == "c.B" || p.Name == "d.B" {
+			continue // biases stay zero
+		}
+		if p.Value.AbsSum() == 0 {
+			t.Fatalf("param %s left at zero", p.Name)
+		}
+	}
+}

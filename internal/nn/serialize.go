@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// paramBlob is the on-disk form of one parameter.
+type paramBlob struct {
+	Name  string
+	Shape []int
+	Data  []float32
+}
+
+// modelBlob is the on-disk form of a parameter set.
+type modelBlob struct {
+	// Format is a version tag for forward compatibility.
+	Format int
+	Params []paramBlob
+}
+
+const modelFormatVersion = 1
+
+// SaveParams serializes a parameter set (weights only, not gradients) to
+// w using encoding/gob. The layer structure itself is code, so loading
+// requires rebuilding the same architecture first.
+func SaveParams(w io.Writer, params []*Param) error {
+	blob := modelBlob{Format: modelFormatVersion}
+	for _, p := range params {
+		blob.Params = append(blob.Params, paramBlob{
+			Name:  p.Name,
+			Shape: append([]int(nil), p.Value.Shape()...),
+			Data:  p.Value.Data,
+		})
+	}
+	return gob.NewEncoder(w).Encode(blob)
+}
+
+// LoadParams reads parameters saved by SaveParams into the given
+// parameter set, matching by name and validating shapes.
+func LoadParams(r io.Reader, params []*Param) error {
+	var blob modelBlob
+	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
+		return fmt.Errorf("nn: decode model: %w", err)
+	}
+	if blob.Format != modelFormatVersion {
+		return fmt.Errorf("nn: unsupported model format %d", blob.Format)
+	}
+	byName := make(map[string]paramBlob, len(blob.Params))
+	for _, pb := range blob.Params {
+		byName[pb.Name] = pb
+	}
+	for _, p := range params {
+		pb, ok := byName[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: model file missing parameter %q", p.Name)
+		}
+		if len(pb.Data) != p.Value.Len() {
+			return fmt.Errorf("nn: parameter %q has %d values, want %d", p.Name, len(pb.Data), p.Value.Len())
+		}
+		if len(pb.Shape) != p.Value.Rank() {
+			return fmt.Errorf("nn: parameter %q rank mismatch", p.Name)
+		}
+		for i, d := range pb.Shape {
+			if p.Value.Dim(i) != d {
+				return fmt.Errorf("nn: parameter %q shape %v, want %v", p.Name, pb.Shape, p.Value.Shape())
+			}
+		}
+		copy(p.Value.Data, pb.Data)
+	}
+	return nil
+}
+
+// SaveParamsFile writes parameters to a file path.
+func SaveParamsFile(path string, params []*Param) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveParams(f, params); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadParamsFile reads parameters from a file path.
+func LoadParamsFile(path string, params []*Param) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return LoadParams(f, params)
+}

@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	src := NewSequential("m", NewConv2D("c", 3, 4, 3, 3, 1, 1), NewDense("d", 8, 2))
+	InitHe(src, rng)
+
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewSequential("m", NewConv2D("c", 3, 4, 3, 3, 1, 1), NewDense("d", 8, 2))
+	if err := LoadParams(&buf, dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	sp, dp := src.Params(), dst.Params()
+	for i := range sp {
+		if sp[i].Value.L2Distance(dp[i].Value) != 0 {
+			t.Fatalf("param %s differs after round trip", sp[i].Name)
+		}
+	}
+}
+
+func TestLoadRejectsMissingParam(t *testing.T) {
+	src := NewSequential("m", NewDense("d", 4, 2))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewSequential("m", NewDense("other", 4, 2))
+	if err := LoadParams(&buf, dst.Params()); err == nil {
+		t.Fatal("missing parameter accepted")
+	}
+}
+
+func TestLoadRejectsShapeMismatch(t *testing.T) {
+	src := NewSequential("m", NewDense("d", 4, 2))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewSequential("m", NewDense("d", 4, 3))
+	if err := LoadParams(&buf, dst.Params()); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dst := NewSequential("m", NewDense("d", 4, 2))
+	if err := LoadParams(bytes.NewBufferString("not a gob"), dst.Params()); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/model.gob"
+	rng := tensor.NewRNG(2)
+	src := NewSequential("m", NewDense("d", 6, 3))
+	InitHe(src, rng)
+	if err := SaveParamsFile(path, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewSequential("m", NewDense("d", 6, 3))
+	if err := LoadParamsFile(path, dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if src.Params()[0].Value.L2Distance(dst.Params()[0].Value) != 0 {
+		t.Fatal("file round trip corrupted weights")
+	}
+}

@@ -1,0 +1,76 @@
+package qlearn
+
+import "repro/internal/tensor"
+
+// DoubleTable implements double Q-learning (van Hasselt, 2010): two
+// tables updated alternately, each using the other's value for the
+// bootstrap target, which removes the max-operator overestimation bias
+// of plain Q-learning. An extension beyond the paper, useful when the
+// reward noise (stochastic event correctness) inflates plain Q-values.
+type DoubleTable struct {
+	A, B *Table
+	rng  *tensor.RNG
+}
+
+// NewDoubleTable builds a double Q-learner.
+func NewDoubleTable(states, actions int, alpha, gamma, epsilon float64, seed uint64) *DoubleTable {
+	return &DoubleTable{
+		A:   NewTable(states, actions, alpha, gamma, epsilon),
+		B:   NewTable(states, actions, alpha, gamma, epsilon),
+		rng: tensor.NewRNG(seed + 0xdb1e),
+	}
+}
+
+// Q returns the averaged action value.
+func (d *DoubleTable) Q(s, a int) float64 {
+	return (d.A.Q(s, a) + d.B.Q(s, a)) / 2
+}
+
+// Best returns argmax over the averaged tables.
+func (d *DoubleTable) Best(s int) int {
+	best := 0
+	bestV := d.Q(s, 0)
+	for a := 1; a < d.A.NumActions; a++ {
+		if v := d.Q(s, a); v > bestV {
+			best, bestV = a, v
+		}
+	}
+	return best
+}
+
+// Select returns an ε-greedy action over the averaged tables.
+func (d *DoubleTable) Select(s int, rng *tensor.RNG) int {
+	if rng != nil && rng.Float64() < d.A.Epsilon {
+		return rng.Intn(d.A.NumActions)
+	}
+	return d.Best(s)
+}
+
+// SetEpsilon sets exploration on both tables.
+func (d *DoubleTable) SetEpsilon(eps float64) {
+	d.A.Epsilon = eps
+	d.B.Epsilon = eps
+}
+
+// Update applies the double-Q rule: with probability ½ update A using
+// B's evaluation of A's greedy action, else symmetrically.
+func (d *DoubleTable) Update(s, a int, r float64, s2 int) {
+	if d.rng.Float64() < 0.5 {
+		aStar := d.A.Best(s2)
+		target := r + d.A.Gamma*d.B.Q(s2, aStar)
+		d.A.SetQ(s, a, d.A.Q(s, a)+d.A.Alpha*(target-d.A.Q(s, a)))
+	} else {
+		bStar := d.B.Best(s2)
+		target := r + d.B.Gamma*d.A.Q(s2, bStar)
+		d.B.SetQ(s, a, d.B.Q(s, a)+d.B.Alpha*(target-d.B.Q(s, a)))
+	}
+}
+
+// UpdateTerminal applies the no-bootstrap update to a random table.
+func (d *DoubleTable) UpdateTerminal(s, a int, r float64) {
+	if d.rng.Float64() < 0.5 {
+		d.A.UpdateTerminal(s, a, r)
+	} else {
+		d.B.UpdateTerminal(s, a, r)
+	}
+}

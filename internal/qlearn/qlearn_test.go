@@ -1,0 +1,179 @@
+package qlearn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestTableUpdateFixedPoint(t *testing.T) {
+	// With a constant reward and terminal updates, Q(s,a) converges to r.
+	tab := NewTable(1, 1, 0.5, 0.9, 0)
+	for i := 0; i < 100; i++ {
+		tab.UpdateTerminal(0, 0, 2.0)
+	}
+	if math.Abs(tab.Q(0, 0)-2.0) > 1e-6 {
+		t.Fatalf("terminal fixed point = %v, want 2", tab.Q(0, 0))
+	}
+}
+
+func TestUpdateBootstrapsFromNextState(t *testing.T) {
+	tab := NewTable(2, 1, 1.0, 0.5, 0)
+	tab.SetQ(1, 0, 10)
+	tab.Update(0, 0, 1, 1)
+	// α=1 → Q(0,0) = r + γ·maxQ(1) = 1 + 5.
+	if math.Abs(tab.Q(0, 0)-6) > 1e-9 {
+		t.Fatalf("Q = %v, want 6", tab.Q(0, 0))
+	}
+}
+
+func TestBestBreaksTiesLow(t *testing.T) {
+	tab := NewTable(1, 3, 0.1, 0.9, 0)
+	if tab.Best(0) != 0 {
+		t.Fatal("all-zero Q must pick action 0 (the cheapest exit)")
+	}
+	tab.SetQ(0, 2, 1)
+	if tab.Best(0) != 2 {
+		t.Fatal("Best must find the max")
+	}
+}
+
+func TestSelectEpsilonGreedy(t *testing.T) {
+	tab := NewTable(1, 4, 0.1, 0.9, 1.0) // always explore
+	rng := tensor.NewRNG(1)
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[tab.Select(0, rng)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("ε=1 exploration covered only %d actions", len(seen))
+	}
+	tab.Epsilon = 0
+	tab.SetQ(0, 3, 5)
+	for i := 0; i < 20; i++ {
+		if tab.Select(0, rng) != 3 {
+			t.Fatal("ε=0 must be greedy")
+		}
+	}
+}
+
+func TestQLearningSolvesBandit(t *testing.T) {
+	// Two-armed bandit: arm 1 pays 1, arm 0 pays 0.2. The agent must
+	// learn to prefer arm 1.
+	tab := NewTable(1, 2, 0.2, 0, 0.2)
+	rng := tensor.NewRNG(2)
+	for i := 0; i < 500; i++ {
+		a := tab.Select(0, rng)
+		r := 0.2
+		if a == 1 {
+			r = 1
+		}
+		tab.UpdateTerminal(0, a, r)
+	}
+	if tab.Best(0) != 1 {
+		t.Fatalf("bandit not solved: Q = [%v %v]", tab.Q(0, 0), tab.Q(0, 1))
+	}
+}
+
+func TestQLearningGridChain(t *testing.T) {
+	// 3-state chain: action 1 moves right, reward only at the end.
+	// Discounted values must propagate back: Q(0,right) ≈ γ²·r.
+	tab := NewTable(4, 2, 0.3, 0.9, 0.5)
+	rng := tensor.NewRNG(3)
+	for ep := 0; ep < 3000; ep++ {
+		s := 0
+		for s < 3 {
+			a := tab.Select(s, rng)
+			next := s
+			if a == 1 {
+				next = s + 1
+			}
+			r := 0.0
+			if next == 3 {
+				r = 1
+				tab.UpdateTerminal(s, a, r)
+			} else {
+				tab.Update(s, a, r, next)
+			}
+			s = next
+			if a == 0 {
+				break // staying ends the episode without reward
+			}
+		}
+	}
+	for s := 0; s < 3; s++ {
+		if tab.Best(s) != 1 {
+			t.Fatalf("state %d did not learn to move right", s)
+		}
+	}
+	if math.Abs(tab.Q(0, 1)-0.81) > 0.15 {
+		t.Fatalf("Q(0,right) = %v, want ≈γ² = 0.81", tab.Q(0, 1))
+	}
+}
+
+func TestBin(t *testing.T) {
+	if Bin(-1, 10, 5) != 0 {
+		t.Fatal("negative must bin to 0")
+	}
+	if Bin(100, 10, 5) != 4 {
+		t.Fatal("overflow must bin to n-1")
+	}
+	if Bin(5, 10, 5) != 2 {
+		t.Fatalf("Bin(5,10,5) = %d", Bin(5, 10, 5))
+	}
+	if Bin(3, 0, 5) != 0 {
+		t.Fatal("zero max must bin to 0")
+	}
+}
+
+func TestExitAgentStateEncoding(t *testing.T) {
+	a := NewExitAgent(3, 10, 6, 10, 0.05)
+	s1 := a.State(0, 0)
+	s2 := a.State(10, 0.05)
+	if s1 == s2 {
+		t.Fatal("extreme observations must map to different states")
+	}
+	if s2 >= a.Table.NumStates {
+		t.Fatalf("state %d out of table range %d", s2, a.Table.NumStates)
+	}
+}
+
+func TestIncrementalAgentStateEncoding(t *testing.T) {
+	a := NewIncrementalAgent(8, 10, 10)
+	if a.State(0, 0) == a.State(1, 10) {
+		t.Fatal("distinct observations collide")
+	}
+	if a.State(0.99, 9.9) >= a.Table.NumStates {
+		t.Fatal("state out of range")
+	}
+}
+
+func TestStaticLUTSelectsDeepestAffordable(t *testing.T) {
+	lut := NewStaticLUT([]float64{0.2, 0.8, 1.5}, 0.65)
+	if lut.SelectExit(0.1) != -1 {
+		t.Fatal("nothing affordable should return -1")
+	}
+	if lut.SelectExit(0.5) != 0 {
+		t.Fatal("only exit 1 affordable")
+	}
+	if lut.SelectExit(1.0) != 1 {
+		t.Fatal("exits 1-2 affordable, pick 2")
+	}
+	if lut.SelectExit(99) != 2 {
+		t.Fatal("all affordable, pick deepest")
+	}
+}
+
+func TestStaticLUTContinue(t *testing.T) {
+	lut := NewStaticLUT([]float64{0.2, 0.8}, 0.65)
+	if !lut.Continue(0.3, 0.5, 1.0) {
+		t.Fatal("low confidence with energy must continue")
+	}
+	if lut.Continue(0.9, 0.5, 1.0) {
+		t.Fatal("high confidence must stop")
+	}
+	if lut.Continue(0.3, 2.0, 1.0) {
+		t.Fatal("unaffordable continuation must stop")
+	}
+}

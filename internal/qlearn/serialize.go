@@ -1,0 +1,77 @@
+package qlearn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// tableBlob is the on-disk form of a Q-table. On a real deployment this
+// is exactly the LUT the paper persists in FRAM so learning survives
+// power failures.
+type tableBlob struct {
+	Format     int
+	NumStates  int
+	NumActions int
+	Alpha      float64
+	Gamma      float64
+	Epsilon    float64
+	Q          []float64
+}
+
+const tableFormatVersion = 1
+
+// Save serializes the table (including hyperparameters) to w.
+func (t *Table) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(tableBlob{
+		Format:     tableFormatVersion,
+		NumStates:  t.NumStates,
+		NumActions: t.NumActions,
+		Alpha:      t.Alpha,
+		Gamma:      t.Gamma,
+		Epsilon:    t.Epsilon,
+		Q:          t.q,
+	})
+}
+
+// LoadTable reads a table saved by Save.
+func LoadTable(r io.Reader) (*Table, error) {
+	var blob tableBlob
+	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
+		return nil, fmt.Errorf("qlearn: decode table: %w", err)
+	}
+	if blob.Format != tableFormatVersion {
+		return nil, fmt.Errorf("qlearn: unsupported table format %d", blob.Format)
+	}
+	if blob.NumStates <= 0 || blob.NumActions <= 0 || len(blob.Q) != blob.NumStates*blob.NumActions {
+		return nil, fmt.Errorf("qlearn: corrupt table: %d states × %d actions, %d entries",
+			blob.NumStates, blob.NumActions, len(blob.Q))
+	}
+	t := NewTable(blob.NumStates, blob.NumActions, blob.Alpha, blob.Gamma, blob.Epsilon)
+	copy(t.q, blob.Q)
+	return t, nil
+}
+
+// SaveFile writes the table to a file path.
+func (t *Table) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTableFile reads a table from a file path.
+func LoadTableFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadTable(f)
+}

@@ -1,0 +1,53 @@
+package qlearn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableSaveLoadRoundTrip(t *testing.T) {
+	src := NewTable(6, 3, 0.2, 0.9, 0.1)
+	src.SetQ(2, 1, 0.75)
+	src.SetQ(5, 2, -0.5)
+
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := LoadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.NumStates != 6 || dst.NumActions != 3 {
+		t.Fatalf("dims %dx%d", dst.NumStates, dst.NumActions)
+	}
+	if dst.Q(2, 1) != 0.75 || dst.Q(5, 2) != -0.5 {
+		t.Fatal("values lost in round trip")
+	}
+	if dst.Alpha != 0.2 || dst.Gamma != 0.9 || dst.Epsilon != 0.1 {
+		t.Fatal("hyperparameters lost")
+	}
+}
+
+func TestLoadTableRejectsGarbage(t *testing.T) {
+	if _, err := LoadTable(strings.NewReader("junk")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestTableFileRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/q.gob"
+	src := NewTable(4, 2, 0.1, 0.9, 0)
+	src.SetQ(3, 1, 42)
+	if err := src.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := LoadTableFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.Q(3, 1) != 42 {
+		t.Fatal("file round trip lost values")
+	}
+}

@@ -1,0 +1,40 @@
+package qlearn
+
+// StaticLUT is the paper's static exit-selection baseline (§IV, Fig. 7):
+// a fixed lookup from available energy to the deepest exit whose energy
+// cost fits, with no learning and no lookahead. It is the policy the
+// compression phase assumes.
+type StaticLUT struct {
+	// ExitCostsMJ are the per-exit inference energies, ascending.
+	ExitCostsMJ []float64
+	// ConfidenceThreshold gates static incremental inference: continue
+	// while confidence is below it and energy allows.
+	ConfidenceThreshold float64
+}
+
+// NewStaticLUT builds the baseline policy from per-exit costs.
+func NewStaticLUT(exitCostsMJ []float64, confidenceThreshold float64) *StaticLUT {
+	return &StaticLUT{
+		ExitCostsMJ:         append([]float64(nil), exitCostsMJ...),
+		ConfidenceThreshold: confidenceThreshold,
+	}
+}
+
+// SelectExit returns the deepest exit affordable with the available
+// energy, or -1 if none fits.
+func (s *StaticLUT) SelectExit(energyMJ float64) int {
+	best := -1
+	for i, c := range s.ExitCostsMJ {
+		if c <= energyMJ {
+			best = i
+		}
+	}
+	return best
+}
+
+// Continue reports whether the static policy would run an incremental
+// inference given the current confidence and the marginal cost of the
+// next exit.
+func (s *StaticLUT) Continue(confidence, marginalCostMJ, energyMJ float64) bool {
+	return confidence < s.ConfidenceThreshold && marginalCostMJ <= energyMJ
+}

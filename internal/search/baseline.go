@@ -1,0 +1,149 @@
+package search
+
+import (
+	"math"
+
+	"repro/internal/accmodel"
+	"repro/internal/compress"
+	"repro/internal/multiexit"
+	"repro/internal/tensor"
+)
+
+// randomPolicy draws a uniformly random layer policy.
+func (e *env) randomPolicy(rng *tensor.RNG) []compress.LayerPolicy {
+	lps := make([]compress.LayerPolicy, len(e.layers))
+	for l := range e.layers {
+		lps[l] = compress.LayerPolicy{
+			Layer:         e.layers[l].name,
+			PreserveRatio: compress.SnapPreserve(rng.Float64()),
+			WeightBits:    compress.MinBits + rng.Intn(compress.MaxBits-compress.MinBits+1),
+			ActBits:       compress.MinBits + rng.Intn(compress.MaxBits-compress.MinBits+1),
+		}
+	}
+	return lps
+}
+
+// scorePolicy returns the constrained objective: Racc if feasible,
+// negative constraint violation otherwise (so annealing can climb toward
+// feasibility).
+func (e *env) scorePolicy(lps []compress.LayerPolicy) (float64, bool, *evalOut, error) {
+	racc, m, shares, accs, err := e.evaluate(lps)
+	if err != nil {
+		return 0, false, nil, err
+	}
+	out := &evalOut{racc: racc, m: m, shares: shares, accs: accs}
+	if m.ModelFLOPs <= e.cfg.FTarget && m.WeightBytes <= e.cfg.STarget {
+		return racc, true, out, nil
+	}
+	over := 0.0
+	if m.ModelFLOPs > e.cfg.FTarget {
+		over += float64(m.ModelFLOPs-e.cfg.FTarget) / float64(e.cfg.FTarget)
+	}
+	if m.WeightBytes > e.cfg.STarget {
+		over += float64(m.WeightBytes-e.cfg.STarget) / float64(e.cfg.STarget)
+	}
+	return -over, false, out, nil
+}
+
+type evalOut struct {
+	racc   float64
+	m      compress.Measure
+	shares []float64
+	accs   []float64
+}
+
+func (r *Result) record(lps []compress.LayerPolicy, out *evalOut) {
+	r.Policy = &compress.Policy{Layers: append([]compress.LayerPolicy(nil), lps...)}
+	r.Racc = out.racc
+	r.Measure = out.m
+	r.ExitShares = out.shares
+	r.ExitAccs = out.accs
+}
+
+// Random runs pure random search over the policy space with the same
+// evaluation budget as RL — the simplest ablation baseline.
+func Random(net *multiexit.Network, sur *accmodel.Surrogate, cfg Config) (*Result, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	e := newEnv(net, sur, cfg)
+	rng := tensor.NewRNG(cfg.Seed + 0x7a4d)
+	res := &Result{}
+	best := math.Inf(-1)
+	for ep := 0; ep < cfg.Episodes; ep++ {
+		lps := e.randomPolicy(rng)
+		score, feasible, out, err := e.scorePolicy(lps)
+		if err != nil {
+			return nil, err
+		}
+		if feasible && score > best {
+			best = score
+			res.record(lps, out)
+		}
+		res.History = append(res.History, math.Max(best, 0))
+		res.Episodes = ep + 1
+	}
+	return res, nil
+}
+
+// Annealing runs simulated annealing: random single-layer mutations with
+// a geometric temperature schedule. Infeasible states are admitted early
+// (scored by negative violation) so the chain can cross constraint
+// boundaries.
+func Annealing(net *multiexit.Network, sur *accmodel.Surrogate, cfg Config) (*Result, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	e := newEnv(net, sur, cfg)
+	rng := tensor.NewRNG(cfg.Seed + 0xa22ea1)
+
+	cur := e.randomPolicy(rng)
+	curScore, curFeasible, curOut, err := e.scorePolicy(cur)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	best := math.Inf(-1)
+	if curFeasible {
+		best = curScore
+		res.record(cur, curOut)
+	}
+	temp := 0.3
+	for ep := 0; ep < cfg.Episodes; ep++ {
+		cand := append([]compress.LayerPolicy(nil), cur...)
+		l := rng.Intn(len(cand))
+		switch rng.Intn(3) {
+		case 0:
+			cand[l].PreserveRatio = compress.SnapPreserve(cand[l].PreserveRatio + 0.25*(rng.Float64()-0.5))
+		case 1:
+			cand[l].WeightBits = clampBits(cand[l].WeightBits + rng.Intn(5) - 2)
+		default:
+			cand[l].ActBits = clampBits(cand[l].ActBits + rng.Intn(5) - 2)
+		}
+		score, feasible, out, err := e.scorePolicy(cand)
+		if err != nil {
+			return nil, err
+		}
+		if score > curScore || rng.Float64() < math.Exp((score-curScore)/math.Max(temp, 1e-6)) {
+			cur, curScore = cand, score
+		}
+		if feasible && score > best {
+			best = score
+			res.record(cand, out)
+		}
+		res.History = append(res.History, math.Max(best, 0))
+		res.Episodes = ep + 1
+		temp *= 0.985
+	}
+	return res, nil
+}
+
+func clampBits(b int) int {
+	if b < compress.MinBits {
+		return compress.MinBits
+	}
+	if b > compress.MaxBits {
+		return compress.MaxBits
+	}
+	return b
+}

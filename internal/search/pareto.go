@@ -1,0 +1,91 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/accmodel"
+	"repro/internal/compress"
+	"repro/internal/multiexit"
+)
+
+// ParetoPoint is one nondominated design point of the compression space:
+// higher Racc, lower FLOPs, and lower weight size are all better.
+type ParetoPoint struct {
+	Policy      *compress.Policy
+	Racc        float64
+	ModelFLOPs  int64
+	WeightBytes int64
+}
+
+// dominates reports whether p is at least as good as q on every objective
+// and strictly better on one.
+func (p ParetoPoint) dominates(q ParetoPoint) bool {
+	geAll := p.Racc >= q.Racc && p.ModelFLOPs <= q.ModelFLOPs && p.WeightBytes <= q.WeightBytes
+	gtAny := p.Racc > q.Racc || p.ModelFLOPs < q.ModelFLOPs || p.WeightBytes < q.WeightBytes
+	return geAll && gtAny
+}
+
+// ParetoFront accumulates nondominated (accuracy, FLOPs, size) points
+// across a search, exposing the full trade-off surface rather than just
+// the single constrained optimum — the "accuracy vs. efficiency" view of
+// the design space.
+type ParetoFront struct {
+	points []ParetoPoint
+}
+
+// Add offers a point; it is kept only if no existing point dominates it,
+// and existing points it dominates are evicted. Reports whether the point
+// joined the front.
+func (f *ParetoFront) Add(p ParetoPoint) bool {
+	for _, q := range f.points {
+		if q.dominates(p) {
+			return false
+		}
+	}
+	kept := f.points[:0]
+	for _, q := range f.points {
+		if !p.dominates(q) {
+			kept = append(kept, q)
+		}
+	}
+	f.points = append(kept, p)
+	return true
+}
+
+// Points returns the front sorted by descending Racc.
+func (f *ParetoFront) Points() []ParetoPoint {
+	out := append([]ParetoPoint(nil), f.points...)
+	sort.Slice(out, func(a, b int) bool { return out[a].Racc > out[b].Racc })
+	return out
+}
+
+// Len returns the number of nondominated points.
+func (f *ParetoFront) Len() int { return len(f.points) }
+
+// String renders the front as a table.
+func (f *ParetoFront) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %12s %10s\n", "Racc", "FLOPs(M)", "size(KB)")
+	for _, p := range f.Points() {
+		fmt.Fprintf(&b, "%10.4f %12.4f %10.1f\n",
+			p.Racc, float64(p.ModelFLOPs)/1e6, float64(p.WeightBytes)/1024)
+	}
+	return b.String()
+}
+
+// RLWithPareto runs the RL search while also recording the Pareto front
+// of every evaluated candidate (feasible or not).
+func RLWithPareto(net *multiexit.Network, sur *accmodel.Surrogate, cfg Config) (*Result, *ParetoFront, error) {
+	front := &ParetoFront{}
+	res, err := rlInner(net, sur, cfg, func(lps []compress.LayerPolicy, racc float64, m compress.Measure) {
+		front.Add(ParetoPoint{
+			Policy:      &compress.Policy{Layers: append([]compress.LayerPolicy(nil), lps...)},
+			Racc:        racc,
+			ModelFLOPs:  m.ModelFLOPs,
+			WeightBytes: m.WeightBytes,
+		})
+	})
+	return res, front, err
+}

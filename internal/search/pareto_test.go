@@ -1,0 +1,90 @@
+package search
+
+import (
+	"strings"
+	"testing"
+)
+
+func pt(racc float64, flops, bytes int64) ParetoPoint {
+	return ParetoPoint{Racc: racc, ModelFLOPs: flops, WeightBytes: bytes}
+}
+
+func TestParetoDomination(t *testing.T) {
+	f := &ParetoFront{}
+	if !f.Add(pt(0.6, 1000, 100)) {
+		t.Fatal("first point must join")
+	}
+	// Dominated: worse everywhere.
+	if f.Add(pt(0.5, 2000, 200)) {
+		t.Fatal("dominated point joined")
+	}
+	// Dominating: better accuracy, same costs — must evict.
+	if !f.Add(pt(0.7, 1000, 100)) {
+		t.Fatal("dominating point rejected")
+	}
+	if f.Len() != 1 {
+		t.Fatalf("front size %d after eviction", f.Len())
+	}
+	// Trade-off point: worse accuracy but cheaper — joins.
+	if !f.Add(pt(0.5, 500, 50)) {
+		t.Fatal("trade-off point rejected")
+	}
+	if f.Len() != 2 {
+		t.Fatalf("front size %d", f.Len())
+	}
+}
+
+func TestParetoPointsSorted(t *testing.T) {
+	f := &ParetoFront{}
+	f.Add(pt(0.5, 500, 50))
+	f.Add(pt(0.7, 1500, 150))
+	f.Add(pt(0.6, 1000, 100))
+	ps := f.Points()
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Racc > ps[i-1].Racc {
+			t.Fatal("points not sorted by descending Racc")
+		}
+	}
+	if !strings.Contains(f.String(), "Racc") {
+		t.Fatal("String missing header")
+	}
+}
+
+func TestParetoEqualPointsCoexist(t *testing.T) {
+	f := &ParetoFront{}
+	f.Add(pt(0.6, 1000, 100))
+	// Identical point: dominates() is false both ways (no strict
+	// improvement), so it coexists.
+	f.Add(pt(0.6, 1000, 100))
+	if f.Len() != 2 {
+		t.Fatalf("identical points should coexist, got %d", f.Len())
+	}
+}
+
+func TestRLWithParetoBuildsFront(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search test skipped in -short")
+	}
+	net, sur := newSearchNet(t)
+	res, front, err := RLWithPareto(net, sur, testEnvConfig(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if front.Len() == 0 {
+		t.Fatal("empty Pareto front after search")
+	}
+	if res.Episodes != 15 {
+		t.Fatalf("episodes %d", res.Episodes)
+	}
+	// The front must contain a point at least as accurate as the best
+	// feasible result.
+	bestRacc := 0.0
+	for _, p := range front.Points() {
+		if p.Racc > bestRacc {
+			bestRacc = p.Racc
+		}
+	}
+	if res.Policy != nil && bestRacc < res.Racc-1e-9 {
+		t.Fatalf("front best %.4f below result %.4f", bestRacc, res.Racc)
+	}
+}

@@ -1,0 +1,192 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/accmodel"
+	"repro/internal/compress"
+	"repro/internal/energy"
+	"repro/internal/multiexit"
+	"repro/internal/tensor"
+)
+
+func testEnvConfig(episodes int) Config {
+	trace := energy.SyntheticSolarTrace(energy.SolarConfig{Seconds: 4000, PeakPower: 0.03, Seed: 9})
+	sched := energy.UniformSchedule(100, trace.Duration(), 10, 9)
+	return Config{
+		Episodes: episodes,
+		Trace:    trace,
+		Schedule: sched,
+		Storage: &energy.Storage{
+			CapacityMJ: 6, TurnOnMJ: 0.5, BrownOutMJ: 0.05,
+			ChargeEfficiency: 0.9, LeakMWPerS: 0.0002,
+		},
+		Seed: 11,
+	}
+}
+
+func newSearchNet(t *testing.T) (*multiexit.Network, *accmodel.Surrogate) {
+	t.Helper()
+	net := multiexit.LeNetEE(tensor.NewRNG(13))
+	sur, err := accmodel.New(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, sur
+}
+
+func TestConfigRequiresTraceAndSchedule(t *testing.T) {
+	net, sur := newSearchNet(t)
+	if _, err := RL(net, sur, Config{Episodes: 1}); err == nil {
+		t.Fatal("missing trace/schedule accepted")
+	}
+}
+
+func TestEstimateExitSharesSumToOne(t *testing.T) {
+	cfg := testEnvConfig(1)
+	shares := EstimateExitShares([]float64{0.2, 0.8, 1.5}, cfg.Trace, cfg.Schedule, cfg.Storage)
+	if len(shares) != 4 {
+		t.Fatalf("%d shares, want exits+missed", len(shares))
+	}
+	var sum float64
+	for _, s := range shares {
+		if s < 0 {
+			t.Fatalf("negative share %v", s)
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %v", sum)
+	}
+}
+
+func TestEstimateExitSharesRichEnergyPrefersDeepExit(t *testing.T) {
+	trace := energy.ConstantTrace(4000, 1) // plentiful
+	sched := energy.UniformSchedule(50, 4000, 10, 3)
+	shares := EstimateExitShares([]float64{0.2, 0.8, 1.5}, trace, sched, energy.DefaultStorage())
+	if shares[2] < 0.9 {
+		t.Fatalf("with abundant energy the static policy must pick the deepest exit: %v", shares)
+	}
+}
+
+func TestEstimateExitSharesScarceEnergyMisses(t *testing.T) {
+	trace := energy.ConstantTrace(4000, 0.0001)
+	sched := energy.UniformSchedule(50, 4000, 10, 3)
+	shares := EstimateExitShares([]float64{0.5, 1.0, 2.0}, trace, sched, energy.DefaultStorage())
+	if shares[3] < 0.5 {
+		t.Fatalf("scarce energy must miss most events: %v", shares)
+	}
+}
+
+func TestRLSearchFindsFeasiblePolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search test skipped in -short")
+	}
+	net, sur := newSearchNet(t)
+	res, err := RL(net, sur, testEnvConfig(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy == nil {
+		t.Fatal("no policy")
+	}
+	if err := res.Policy.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Measure.ModelFLOPs > compress.PaperFTargetFLOPs {
+		t.Errorf("F_model %d exceeds target", res.Measure.ModelFLOPs)
+	}
+	if res.Measure.WeightBytes > compress.PaperSTargetBytes {
+		t.Errorf("S_model %d exceeds target", res.Measure.WeightBytes)
+	}
+	if res.Racc <= 0 {
+		t.Errorf("Racc %v not positive", res.Racc)
+	}
+	if len(res.History) != 40 {
+		t.Errorf("history length %d", len(res.History))
+	}
+	// Best-so-far history must be non-decreasing.
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] < res.History[i-1]-1e-12 {
+			t.Fatal("best-so-far history decreased")
+		}
+	}
+}
+
+func TestRLSearchLeavesNetworkRestored(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search test skipped in -short")
+	}
+	net, sur := newSearchNet(t)
+	origFLOPs := net.ModelFLOPs()
+	w0 := net.Params()[0].Value.Clone()
+	if _, err := RL(net, sur, testEnvConfig(10)); err != nil {
+		t.Fatal(err)
+	}
+	if net.ModelFLOPs() != origFLOPs {
+		t.Fatal("search left the network compressed")
+	}
+	if net.Params()[0].Value.L2Distance(w0) != 0 {
+		t.Fatal("search left weights modified")
+	}
+}
+
+func TestRandomSearchRuns(t *testing.T) {
+	net, sur := newSearchNet(t)
+	res, err := Random(net, sur, testEnvConfig(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Episodes != 30 {
+		t.Fatalf("episodes %d", res.Episodes)
+	}
+	if res.Policy != nil {
+		if res.Measure.ModelFLOPs > compress.PaperFTargetFLOPs ||
+			res.Measure.WeightBytes > compress.PaperSTargetBytes {
+			t.Fatal("random search recorded an infeasible best")
+		}
+	}
+}
+
+func TestAnnealingSearchImprovesOrMatchesStart(t *testing.T) {
+	net, sur := newSearchNet(t)
+	res, err := Annealing(net, sur, testEnvConfig(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy == nil {
+		t.Skip("annealing found no feasible policy in a short run (acceptable)")
+	}
+	if res.Measure.ModelFLOPs > compress.PaperFTargetFLOPs {
+		t.Fatal("annealing best is infeasible")
+	}
+	last := res.History[len(res.History)-1]
+	if last < res.History[0]-1e-12 {
+		t.Fatal("annealing best-so-far decreased")
+	}
+}
+
+func TestObservationNormalized(t *testing.T) {
+	net, sur := newSearchNet(t)
+	cfg := testEnvConfig(1)
+	if err := cfg.fillDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	e := newEnv(net, sur, cfg)
+	lps := make([]compress.LayerPolicy, len(e.layers))
+	for l := range e.layers {
+		lps[l] = compress.LayerPolicy{
+			Layer: e.layers[l].name, PreserveRatio: 0.5, WeightBits: 4, ActBits: 4,
+		}
+		obs := e.observe(l, lps)
+		if len(obs) != ObsDim {
+			t.Fatalf("obs dim %d", len(obs))
+		}
+		for i, v := range obs {
+			if v < 0 || v > 1.0001 {
+				t.Fatalf("obs[%d] = %v at layer %d outside [0,1]", i, v, l)
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling window.
+type ConvGeom struct {
+	InC, InH, InW int // input channels, height, width
+	KH, KW        int // kernel height, width
+	StrideH       int
+	StrideW       int
+	PadH          int
+	PadW          int
+}
+
+// OutH returns the output height for the geometry.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.PadH-g.KH)/g.StrideH + 1 }
+
+// OutW returns the output width for the geometry.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.PadW-g.KW)/g.StrideW + 1 }
+
+// Validate reports an error if the geometry is degenerate.
+func (g ConvGeom) Validate() error {
+	switch {
+	case g.InC <= 0 || g.InH <= 0 || g.InW <= 0:
+		return fmt.Errorf("tensor: conv geometry has non-positive input dims %+v", g)
+	case g.KH <= 0 || g.KW <= 0:
+		return fmt.Errorf("tensor: conv geometry has non-positive kernel %+v", g)
+	case g.StrideH <= 0 || g.StrideW <= 0:
+		return fmt.Errorf("tensor: conv geometry has non-positive stride %+v", g)
+	case g.PadH < 0 || g.PadW < 0:
+		return fmt.Errorf("tensor: conv geometry has negative padding %+v", g)
+	case g.OutH() <= 0 || g.OutW() <= 0:
+		return fmt.Errorf("tensor: conv geometry yields empty output %+v", g)
+	}
+	return nil
+}
+
+// Im2Col lowers one image (CHW) into a [C*KH*KW, OutH*OutW] matrix so that
+// convolution becomes a single matmul with the [outC, C*KH*KW] filter
+// matrix. Out-of-bounds (padded) taps contribute zero.
+func Im2Col(img *Tensor, g ConvGeom) *Tensor {
+	if img.Len() != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Im2Col image volume %d does not match geometry %+v", img.Len(), g))
+	}
+	outH, outW := g.OutH(), g.OutW()
+	rows := g.InC * g.KH * g.KW
+	cols := outH * outW
+	col := New(rows, cols)
+	src := img.Data
+	dst := col.Data
+	for c := 0; c < g.InC; c++ {
+		chanBase := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				row := (c*g.KH+kh)*g.KW + kw
+				dstRow := dst[row*cols : (row+1)*cols]
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*g.StrideH - g.PadH + kh
+					if ih < 0 || ih >= g.InH {
+						continue
+					}
+					srcRow := src[chanBase+ih*g.InW:]
+					outBase := oh * outW
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*g.StrideW - g.PadW + kw
+						if iw < 0 || iw >= g.InW {
+							continue
+						}
+						dstRow[outBase+ow] = srcRow[iw]
+					}
+				}
+			}
+		}
+	}
+	return col
+}
+
+// Col2Im scatters a [C*KH*KW, OutH*OutW] gradient matrix back onto a CHW
+// image gradient, accumulating overlapping taps. It is the adjoint of
+// Im2Col and is used by the convolution backward pass.
+func Col2Im(col *Tensor, g ConvGeom) *Tensor {
+	outH, outW := g.OutH(), g.OutW()
+	rows := g.InC * g.KH * g.KW
+	cols := outH * outW
+	if col.Dim(0) != rows || col.Dim(1) != cols {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v does not match geometry %+v", col.Shape(), g))
+	}
+	img := New(g.InC, g.InH, g.InW)
+	src := col.Data
+	dst := img.Data
+	for c := 0; c < g.InC; c++ {
+		chanBase := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				row := (c*g.KH+kh)*g.KW + kw
+				srcRow := src[row*cols : (row+1)*cols]
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*g.StrideH - g.PadH + kh
+					if ih < 0 || ih >= g.InH {
+						continue
+					}
+					dstRow := dst[chanBase+ih*g.InW:]
+					outBase := oh * outW
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*g.StrideW - g.PadW + kw
+						if iw < 0 || iw >= g.InW {
+							continue
+						}
+						dstRow[iw] += srcRow[outBase+ow]
+					}
+				}
+			}
+		}
+	}
+	return img
+}

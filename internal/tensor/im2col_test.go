@@ -1,0 +1,136 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConvGeomDims(t *testing.T) {
+	g := ConvGeom{InC: 3, InH: 32, InW: 32, KH: 5, KW: 5, StrideH: 1, StrideW: 1}
+	if g.OutH() != 28 || g.OutW() != 28 {
+		t.Fatalf("valid 5x5: %dx%d, want 28x28", g.OutH(), g.OutW())
+	}
+	g.PadH, g.PadW = 2, 2
+	if g.OutH() != 32 || g.OutW() != 32 {
+		t.Fatalf("same 5x5: %dx%d, want 32x32", g.OutH(), g.OutW())
+	}
+	g.StrideH, g.StrideW = 2, 2
+	if g.OutH() != 16 || g.OutW() != 16 {
+		t.Fatalf("strided: %dx%d, want 16x16", g.OutH(), g.OutW())
+	}
+}
+
+func TestConvGeomValidate(t *testing.T) {
+	good := ConvGeom{InC: 1, InH: 4, InW: 4, KH: 3, KW: 3, StrideH: 1, StrideW: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	bad := good
+	bad.KH = 9 // kernel larger than input with no padding
+	if err := bad.Validate(); err == nil {
+		t.Fatal("oversized kernel accepted")
+	}
+	bad = good
+	bad.StrideH = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero stride accepted")
+	}
+}
+
+// naiveConv computes a single-channel-out convolution directly.
+func naiveConv(img *Tensor, w *Tensor, g ConvGeom) *Tensor {
+	out := New(g.OutH(), g.OutW())
+	for oy := 0; oy < g.OutH(); oy++ {
+		for ox := 0; ox < g.OutW(); ox++ {
+			var acc float64
+			for c := 0; c < g.InC; c++ {
+				for ky := 0; ky < g.KH; ky++ {
+					for kx := 0; kx < g.KW; kx++ {
+						iy := oy*g.StrideH - g.PadH + ky
+						ix := ox*g.StrideW - g.PadW + kx
+						if iy < 0 || iy >= g.InH || ix < 0 || ix >= g.InW {
+							continue
+						}
+						acc += float64(img.At(c, iy, ix)) * float64(w.At(c, ky, kx))
+					}
+				}
+			}
+			out.Set(float32(acc), oy, ox)
+		}
+	}
+	return out
+}
+
+func TestIm2ColMatchesNaiveConvolution(t *testing.T) {
+	rng := NewRNG(5)
+	g := ConvGeom{InC: 2, InH: 6, InW: 7, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	img := New(g.InC, g.InH, g.InW)
+	w := New(g.InC, g.KH, g.KW)
+	FillNormal(img, rng, 1)
+	FillNormal(w, rng, 1)
+
+	col := Im2Col(img, g)
+	wRow := w.Reshape(1, g.InC*g.KH*g.KW)
+	got := MatMul(wRow, col).Reshape(g.OutH(), g.OutW())
+	want := naiveConv(img, w, g)
+	if got.L2Distance(want) > 1e-4 {
+		t.Fatalf("im2col conv diverges from naive by %g", got.L2Distance(want))
+	}
+}
+
+func TestIm2ColStridedNoPad(t *testing.T) {
+	rng := NewRNG(6)
+	g := ConvGeom{InC: 3, InH: 8, InW: 8, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	img := New(g.InC, g.InH, g.InW)
+	w := New(g.InC, g.KH, g.KW)
+	FillNormal(img, rng, 1)
+	FillNormal(w, rng, 1)
+	col := Im2Col(img, g)
+	got := MatMul(w.Reshape(1, -1), col).Reshape(g.OutH(), g.OutW())
+	want := naiveConv(img, w, g)
+	if got.L2Distance(want) > 1e-4 {
+		t.Fatal("strided im2col diverges from naive conv")
+	}
+}
+
+// The adjoint identity <Im2Col(x), y> == <x, Col2Im(y)> must hold for the
+// conv backward pass to be a true gradient.
+func TestCol2ImIsAdjointOfIm2Col(t *testing.T) {
+	rng := NewRNG(7)
+	g := ConvGeom{InC: 2, InH: 5, InW: 5, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}
+	x := New(g.InC, g.InH, g.InW)
+	FillNormal(x, rng, 1)
+	y := New(g.InC*g.KH*g.KW, g.OutH()*g.OutW())
+	FillNormal(y, rng, 1)
+
+	ax := Im2Col(x, g)
+	aty := Col2Im(y, g)
+
+	var lhs, rhs float64
+	for i := range ax.Data {
+		lhs += float64(ax.Data[i]) * float64(y.Data[i])
+	}
+	for i := range x.Data {
+		rhs += float64(x.Data[i]) * float64(aty.Data[i])
+	}
+	if math.Abs(lhs-rhs) > 1e-3*(math.Abs(lhs)+1) {
+		t.Fatalf("adjoint identity violated: %g vs %g", lhs, rhs)
+	}
+}
+
+func TestIm2ColPaddingContributesZero(t *testing.T) {
+	g := ConvGeom{InC: 1, InH: 2, InW: 2, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	img := FromSlice([]float32{1, 1, 1, 1}, 1, 2, 2)
+	col := Im2Col(img, g)
+	// Center tap of the kernel sees all four pixels; corner taps see one.
+	var total float64
+	for _, v := range col.Data {
+		total += float64(v)
+	}
+	// Each input pixel appears exactly 9 times minus the out-of-bounds
+	// placements: total placements = sum over taps of in-bounds counts.
+	// For a 2x2 image with 3x3 kernel, stride 1, pad 1: 16 placements.
+	if total != 16 {
+		t.Fatalf("padded im2col total = %v, want 16", total)
+	}
+}

@@ -1,0 +1,109 @@
+package tensor
+
+import "math"
+
+// RNG is a small deterministic pseudo-random generator (splitmix64 core)
+// shared by weight initialization, the synthetic dataset, the solar trace
+// model, and the RL exploration noise. A dedicated generator keeps every
+// experiment reproducible from a single seed without depending on global
+// math/rand state.
+type RNG struct {
+	state uint64
+	// Box-Muller spare value.
+	hasSpare bool
+	spare    float64
+}
+
+// NewRNG returns a generator seeded with seed. Seed 0 is remapped so the
+// zero value still produces a usable stream.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits (splitmix64).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Float32 returns a uniform value in [0, 1).
+func (r *RNG) Float32() float32 { return float32(r.Float64()) }
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: RNG.Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform value in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// NormFloat64 returns a standard-normal sample (Box-Muller).
+func (r *RNG) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	mul := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * mul
+	r.hasSpare = true
+	return u * mul
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Split derives an independent generator from the current stream, letting
+// subsystems (dataset, trace, agents) consume randomness without
+// perturbing each other's sequences.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() | 1)
+}
+
+// FillNormal fills t with N(0, std²) samples.
+func FillNormal(t *Tensor, r *RNG, std float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(r.NormFloat64() * std)
+	}
+}
+
+// FillUniform fills t with U[lo, hi) samples.
+func FillUniform(t *Tensor, r *RNG, lo, hi float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(r.Range(lo, hi))
+	}
+}

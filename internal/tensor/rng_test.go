@@ -1,0 +1,128 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(12345)
+	b := NewRNG(12345)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+}
+
+func TestRNGZeroSeedUsable(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed should still generate entropy")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestIntnBoundsAndCoverage(t *testing.T) {
+	r := NewRNG(10)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) covered only %d values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Fatalf("normal mean = %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v, want ≈1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(12)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(13)
+	c1 := r.Split()
+	c2 := r.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children should differ")
+	}
+}
+
+func TestFillHelpers(t *testing.T) {
+	r := NewRNG(14)
+	a := New(1000)
+	FillUniform(a, r, -2, 3)
+	for _, v := range a.Data {
+		if v < -2 || v >= 3 {
+			t.Fatalf("FillUniform out of range: %v", v)
+		}
+	}
+	b := New(1000)
+	FillNormal(b, r, 0.5)
+	var sumSq float64
+	for _, v := range b.Data {
+		sumSq += float64(v) * float64(v)
+	}
+	std := math.Sqrt(sumSq / 1000)
+	if std < 0.4 || std > 0.6 {
+		t.Fatalf("FillNormal std = %v, want ≈0.5", std)
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	r := NewRNG(15)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(5, 6)
+		if v < 5 || v >= 6 {
+			t.Fatalf("Range out of bounds: %v", v)
+		}
+	}
+}

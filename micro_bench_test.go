@@ -1,0 +1,148 @@
+package ehinfer
+
+// Micro-benchmarks for the hot kernels: inference, training step,
+// compression, Q-table updates, and the simulation engine. These measure
+// the library itself (testing.B timing is meaningful here, unlike the
+// figure benches which are one-shot experiment drivers).
+
+import (
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/dataset"
+	"repro/internal/energy"
+	"repro/internal/intermittent"
+	"repro/internal/mcu"
+	"repro/internal/multiexit"
+	"repro/internal/nn"
+	"repro/internal/qlearn"
+	"repro/internal/tensor"
+)
+
+func BenchmarkInferToExit1(b *testing.B) {
+	benchInferTo(b, 0)
+}
+
+func BenchmarkInferToExit3(b *testing.B) {
+	benchInferTo(b, 2)
+}
+
+func benchInferTo(b *testing.B, exit int) {
+	net := multiexit.LeNetEE(tensor.NewRNG(1))
+	img := tensor.New(3, 32, 32)
+	tensor.FillUniform(img, tensor.NewRNG(2), 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.InferTo(img, exit)
+	}
+}
+
+func BenchmarkIncrementalResume(b *testing.B) {
+	net := multiexit.LeNetEE(tensor.NewRNG(1))
+	img := tensor.New(3, 32, 32)
+	tensor.FillUniform(img, tensor.NewRNG(2), 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := net.InferTo(img, 0)
+		net.Resume(st, 2)
+	}
+}
+
+func BenchmarkTrainStep(b *testing.B) {
+	set := dataset.NewGenerator(dataset.SynthConfig{Seed: 3}).Generate(32)
+	net := multiexit.LeNetEE(tensor.NewRNG(4))
+	opt := nn.NewSGD(net.Params(), 0.01, 0.9, 0)
+	x, labels := set.Batch(0, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.ZeroGrad()
+		logits := net.ForwardAll(x, true)
+		grads := make([]*tensor.Tensor, len(logits))
+		for j, lg := range logits {
+			_, grads[j] = nn.CrossEntropyLoss(lg, labels)
+		}
+		net.BackwardAll(grads)
+		opt.Step()
+	}
+}
+
+func BenchmarkApplyCompressionPolicy(b *testing.B) {
+	net := multiexit.LeNetEE(tensor.NewRNG(5))
+	snap := compress.NewSnapshot(net)
+	policy := compress.Fig1bNonuniform()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := compress.Apply(net, policy); err != nil {
+			b.Fatal(err)
+		}
+		snap.Restore()
+	}
+}
+
+func BenchmarkQuantizeWeights8bit(b *testing.B) {
+	rng := tensor.NewRNG(6)
+	w := make([]float32, 72000) // FC-B21 size
+	for i := range w {
+		w[i] = float32(rng.NormFloat64())
+	}
+	buf := make([]float32, len(w))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, w)
+		compress.QuantizeWeights(buf, 8)
+	}
+}
+
+func BenchmarkQTableUpdate(b *testing.B) {
+	tab := qlearn.NewTable(60, 3, 0.2, 0.9, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Update(i%60, i%3, 0.7, (i+1)%60)
+	}
+}
+
+func BenchmarkSolarTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		energy.SyntheticSolarTrace(energy.SolarConfig{Seconds: 21600, Seed: uint64(i)})
+	}
+}
+
+func BenchmarkSynthCIFARSample(b *testing.B) {
+	g := dataset.NewGenerator(dataset.SynthConfig{Seed: 7})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Sample(i % 10)
+	}
+}
+
+func BenchmarkEngineRunToCompletion(b *testing.B) {
+	trace := energy.ConstantTrace(100000, 0.5)
+	for i := 0; i < b.N; i++ {
+		store := energy.DefaultStorage()
+		eng, err := intermittent.New(mcu.MSP432(), store, trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := eng.RunToCompletion(2_000_000); !ok {
+			b.Fatal("task failed")
+		}
+	}
+}
+
+func BenchmarkFullSimulationEpisode(b *testing.B) {
+	sc := DefaultScenario(42)
+	d, err := BuildDeployed(Fig1bNonuniform(), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := NewRuntime(d, RuntimeConfig{Mode: PolicyQLearning, Device: sc.Device, Storage: sc.Storage, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Run(sc.Trace, sc.Schedule); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
