@@ -1,0 +1,42 @@
+# Single source of the verify recipe: CI (.github/workflows/ci.yml) and
+# humans run the same targets.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt fmt-check lint clean
+
+all: build
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: run the full test suite
+test:
+	$(GO) test ./...
+
+## race: run the full test suite under the race detector
+race:
+	$(GO) test -race ./...
+
+## bench: one-iteration benchmark smoke pass (compiles and runs every benchmark once)
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+## fmt: rewrite sources with gofmt
+fmt:
+	gofmt -w .
+
+## fmt-check: fail if any file is not gofmt-clean
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+## lint: static analysis (go vet)
+lint:
+	$(GO) vet ./...
+
+## ci: everything the CI workflow gates on
+ci: fmt-check lint build race bench
+
+clean:
+	$(GO) clean ./...

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/energy"
+	"repro/internal/exper"
 	"repro/internal/fixed"
 	"repro/internal/mcu"
 	"repro/internal/metrics"
@@ -92,6 +93,58 @@ type (
 	// IncrementalAgent is the continue/stop Q-learner.
 	IncrementalAgent = qlearn.IncrementalAgent
 )
+
+// Experiment-engine re-exports: declarative scenario grids executed on a
+// deterministic goroutine worker pool (see internal/exper for the
+// worker/determinism contract).
+type (
+	// ExperimentGrid is a declarative cross product of scenario axes.
+	ExperimentGrid = exper.Grid
+	// ExperimentEngine shards a grid's points across worker goroutines.
+	ExperimentEngine = exper.Engine
+	// ExperimentResult is the outcome of one grid point.
+	ExperimentResult = exper.Result
+	// GridResult is a completed grid run with aggregation and JSON output.
+	GridResult = exper.GridResult
+	// AggRow is one across-seed aggregate of a (scenario, system) pair.
+	AggRow = exper.AggRow
+	// TraceSpec declaratively describes an energy-trace axis value.
+	TraceSpec = exper.TraceSpec
+	// DeviceSpec names an MCU axis value.
+	DeviceSpec = exper.DeviceSpec
+	// PolicySpec names a compression-policy axis value.
+	PolicySpec = exper.PolicySpec
+	// ExitSpec names a runtime exit-policy axis value.
+	ExitSpec = exper.ExitSpec
+	// StorageSpec names a capacitor axis value.
+	StorageSpec = exper.StorageSpec
+)
+
+// NewExperimentEngine returns an engine with the given worker cap
+// (<= 0 means one worker per core).
+func NewExperimentEngine(workers int) *ExperimentEngine { return exper.NewEngine(workers) }
+
+// PaperCompareGrid is the Fig. 5 / §V-D setup as a one-point grid.
+func PaperCompareGrid(seed uint64, warmup int, mode PolicyMode) *ExperimentGrid {
+	return exper.PaperCompareGrid(seed, warmup, mode)
+}
+
+// PaperSweepGrid is the harvesting-peak × capacitor design-space grid.
+func PaperSweepGrid(peaksMW, capsMJ []float64, seeds, events int) *ExperimentGrid {
+	return exper.PaperSweepGrid(peaksMW, capsMJ, seeds, events)
+}
+
+// FleetGrid crosses three MCU classes with solar and kinetic harvesting
+// and both runtime policies.
+func FleetGrid(seeds []uint64, events int) *ExperimentGrid {
+	return exper.FleetGrid(seeds, events)
+}
+
+// SeedReplicationGrid replicates the paper's default scenario over n
+// seeds.
+func SeedReplicationGrid(n, events int) *ExperimentGrid {
+	return exper.SeedReplicationGrid(n, events)
+}
 
 // Runtime policy modes.
 const (

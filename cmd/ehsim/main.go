@@ -1,11 +1,14 @@
 // Command ehsim runs the full energy-harvesting intermittent-inference
 // simulation: the compressed multi-exit network under the Q-learning
-// runtime, compared against the three baselines on one EH trace.
+// runtime, compared against the three baselines on one EH trace. The
+// scenario is expressed as a one-point grid and executed on the parallel
+// experiment engine, so ehsim, sweep, and paperbench share one scenario
+// constructor and one seed-derivation scheme.
 //
 // Usage:
 //
 //	ehsim [-seed N] [-events N] [-hours H] [-peak mW] [-trace file.csv]
-//	      [-policy static|qlearning] [-episodes N] [-v]
+//	      [-policy static|qlearning] [-episodes N] [-workers N] [-v]
 package main
 
 import (
@@ -13,10 +16,8 @@ import (
 	"fmt"
 	"os"
 
-	ehinfer "repro"
 	"repro/internal/core"
-	"repro/internal/energy"
-	"repro/internal/mcu"
+	"repro/internal/exper"
 )
 
 func main() {
@@ -28,49 +29,57 @@ func main() {
 		traceCSV = flag.String("trace", "", "CSV file with a measured trace (overrides -hours/-peak)")
 		policy   = flag.String("policy", "qlearning", "runtime exit policy: qlearning or static")
 		episodes = flag.Int("episodes", 12, "Q-learning warm-up episodes before the measured run")
-		verbose  = flag.Bool("v", false, "print per-system event details")
+		workers  = flag.Int("workers", 0, "engine worker goroutines (0 = all cores)")
+		verbose  = flag.Bool("v", false, "print per-system exit shares")
 	)
 	flag.Parse()
-
-	trace, err := buildTrace(*traceCSV, *hours, *peak, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ehsim:", err)
-		os.Exit(1)
+	if *events < 1 {
+		fatal(fmt.Errorf("-events must be at least 1, got %d", *events))
 	}
-	sc := core.DefaultScenario(*seed)
-	sc.Trace = trace
-	sc.Schedule = energy.UniformSchedule(*events, trace.Duration(), 10, *seed)
-	sc.Device = mcu.MSP432()
 
+	mode := core.PolicyQLearning
+	if *policy == "static" {
+		mode = core.PolicyStaticLUT
+	}
+	grid := exper.PaperCompareGrid(*seed, *episodes, mode)
+	grid.Events = *events
+	if *traceCSV != "" {
+		grid.Traces = []exper.TraceSpec{{Name: "csv", Kind: exper.TraceCSV, Path: *traceCSV}}
+	} else {
+		grid.Traces = []exper.TraceSpec{exper.SolarTrace(int(*hours*3600), *peak)}
+	}
+
+	// Materialize the point's trace and deployment up front for the
+	// header; the engine re-derives the identical ones from RunSeed.
+	pt := grid.Points()[0]
+	trace, err := pt.Trace.Build(pt.RunSeed)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("trace: %d s, mean %.1f µW, total %.1f mJ harvestable; %d events\n",
-		trace.Duration(), 1000*trace.MeanPower(), trace.TotalEnergy(), sc.Schedule.Len())
+		trace.Duration(), 1000*trace.MeanPower(), trace.TotalEnergy(), grid.Events)
 
-	deployed, err := ehinfer.BuildDeployed(ehinfer.Fig1bNonuniform(), *seed)
+	deployed, err := core.BuildDeployed(pt.Policy.Build(), pt.DeploySeed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ehsim:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+	dev := pt.Device.Build()
 	fmt.Printf("deployed: %0.1f KB weights, exit costs", float64(deployed.WeightBytes)/1024)
 	for _, f := range deployed.ExitFLOPs {
-		fmt.Printf(" %.2f mJ", sc.Device.ComputeEnergyMJ(f))
+		fmt.Printf(" %.2f mJ", dev.ComputeEnergyMJ(f))
 	}
 	fmt.Println()
 
-	mode := ehinfer.PolicyQLearning
-	if *policy == "static" {
-		mode = ehinfer.PolicyStaticLUT
-	}
-	rows, err := ehinfer.CompareSystems(sc, deployed, ehinfer.CompareConfig{
-		Mode:           mode,
-		WarmupEpisodes: *episodes,
-	})
+	res, err := exper.NewEngine(*workers).Run(grid)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ehsim:", err)
-		os.Exit(1)
+		fatal(err)
+	}
+	if errs := res.Errs(); len(errs) != 0 {
+		fatal(fmt.Errorf("%s", errs[0]))
 	}
 
 	fmt.Printf("\n%-14s %8s %9s %11s %10s %9s\n", "system", "IEpmJ", "acc(all)", "acc(proc)", "latency", "processed")
-	for _, r := range rows {
+	for _, r := range res.Results[0].Rows {
 		fmt.Printf("%-14s %8.3f %8.1f%% %10.1f%% %9.1fs %8.1f%%\n",
 			r.System, r.IEpmJ, 100*r.AccAll, 100*r.AccProcessed, r.MeanLatencyS, 100*r.ProcessedFrac)
 		if *verbose && len(r.ExitShares) > 1 {
@@ -83,13 +92,7 @@ func main() {
 	}
 }
 
-func buildTrace(csvPath string, hours, peak float64, seed uint64) (*energy.Trace, error) {
-	if csvPath != "" {
-		return energy.LoadTraceCSV(csvPath)
-	}
-	return energy.SyntheticSolarTrace(energy.SolarConfig{
-		Seconds:   int(hours * 3600),
-		PeakPower: peak,
-		Seed:      seed,
-	}), nil
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ehsim:", err)
+	os.Exit(1)
 }

@@ -4,9 +4,14 @@
 // the "how do the results move with the power condition" analysis the
 // paper motivates but does not include.
 //
+// The grid is built by exper.PaperSweepGrid and executed on the parallel
+// experiment engine, sharded across -workers goroutines (default: all
+// cores). Output is identical at any worker count.
+//
 // Usage:
 //
 //	sweep [-peaks 0.02,0.032,0.05] [-caps 3,6,10] [-seeds 3] [-events 500]
+//	      [-workers N] [-json out.json] [-v]
 package main
 
 import (
@@ -16,10 +21,7 @@ import (
 	"strconv"
 	"strings"
 
-	ehinfer "repro"
-	"repro/internal/energy"
-	"repro/internal/mcu"
-	"repro/internal/metrics"
+	"repro/internal/exper"
 )
 
 func main() {
@@ -28,8 +30,14 @@ func main() {
 		capsArg  = flag.String("caps", "3,6,10", "comma-separated capacitor sizes (mJ)")
 		seeds    = flag.Int("seeds", 3, "seeds per grid cell")
 		events   = flag.Int("events", 500, "events per run")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = all cores)")
+		jsonOut  = flag.String("json", "", "write full per-point results as JSON to this file")
+		verbose  = flag.Bool("v", false, "print the full aggregate table for all systems")
 	)
 	flag.Parse()
+	if *events < 1 {
+		fatal(fmt.Errorf("-events must be at least 1, got %d", *events))
+	}
 
 	peaks, err := parseFloats(*peaksArg)
 	if err != nil {
@@ -40,42 +48,61 @@ func main() {
 		fatal(err)
 	}
 
-	deployed, err := ehinfer.BuildDeployed(ehinfer.Fig1bNonuniform(), 1)
+	grid := exper.PaperSweepGrid(peaks, caps, *seeds, *events)
+	res, err := exper.NewEngine(*workers).Run(grid)
 	if err != nil {
 		fatal(err)
 	}
+	for _, e := range res.Errs() {
+		fmt.Fprintln(os.Stderr, "sweep:", e)
+	}
 
+	// Index aggregates by (trace, storage, system) to render the classic
+	// peak × cap table.
+	type cell struct{ trace, storage, system string }
+	agg := map[cell]exper.AggRow{}
+	for _, r := range res.Aggregate() {
+		agg[cell{r.Trace, r.Device + r.Policy + r.Exit + r.Storage, r.System}] = r
+	}
 	fmt.Printf("%8s %6s | %-26s %-26s\n", "peak mW", "cap mJ", "ours IEpmJ (mean±std)", "LeNet-Cifar IEpmJ")
-	for _, peak := range peaks {
-		for _, capMJ := range caps {
-			ours := metrics.NewAggregate("ours")
-			lenet := metrics.NewAggregate("lenet")
-			for s := 0; s < *seeds; s++ {
-				seed := uint64(100 + s)
-				trace := energy.SyntheticSolarTrace(energy.SolarConfig{
-					Seconds: 21600, PeakPower: peak, Seed: seed,
-				})
-				sc := &ehinfer.Scenario{
-					Trace:    trace,
-					Schedule: energy.UniformSchedule(*events, trace.Duration(), 10, seed),
-					Device:   mcu.MSP432(),
-					Storage: &energy.Storage{
-						CapacityMJ: capMJ, TurnOnMJ: 0.5, BrownOutMJ: 0.05,
-						ChargeEfficiency: 0.9, LeakMWPerS: 0.0002,
-					},
-					Seed: seed,
-				}
-				rows, err := ehinfer.CompareSystems(sc, deployed, ehinfer.CompareConfig{WarmupEpisodes: 8})
-				if err != nil {
-					fatal(err)
-				}
-				ours.Add(rows[0].IEpmJ)
-				lenet.Add(rows[3].IEpmJ)
+	for _, tr := range grid.Traces {
+		for _, st := range grid.Storages {
+			key := grid.Devices[0].Name + grid.Policies[0].Name + grid.Exits[0].Name + st.Name
+			ours := agg[cell{tr.Name, key, "Our Approach"}]
+			lenet := agg[cell{tr.Name, key, "LeNet-Cifar"}]
+			if ours.IEpmJ == nil || lenet.IEpmJ == nil {
+				continue
 			}
-			fmt.Printf("%8.3f %6.1f | %10.3f ± %-13.3f %10.3f ± %-8.3f\n",
-				peak, capMJ, ours.Mean(), ours.Std(), lenet.Mean(), lenet.Std())
+			fmt.Printf("%8s %6s | %10.3f ± %-13.3f %10.3f ± %-8.3f\n",
+				strings.TrimSuffix(strings.TrimPrefix(tr.Name, "solar-"), "mW"),
+				strings.TrimSuffix(st.Name, "mJ"),
+				ours.IEpmJ.Mean(), ours.IEpmJ.Std(), lenet.IEpmJ.Mean(), lenet.IEpmJ.Std())
 		}
 	}
+	if *verbose {
+		fmt.Println()
+		fmt.Print(res.AggTable())
+	}
+	fmt.Printf("\n%d points (%d simulations) in %.1fs on %d workers\n",
+		grid.Size(), grid.Size()*4, res.Elapsed.Seconds(), effectiveWorkers(*workers))
+
+	if *jsonOut != "" {
+		data, err := res.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}
+
+func effectiveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return exper.NewEngine(0).WorkerCount()
 }
 
 func parseFloats(s string) ([]float64, error) {
@@ -83,7 +110,7 @@ func parseFloats(s string) ([]float64, error) {
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 		if err != nil {
-			return nil, fmt.Errorf("sweep: bad number %q", part)
+			return nil, fmt.Errorf("bad number %q", part)
 		}
 		out = append(out, v)
 	}

@@ -20,7 +20,15 @@
 //     incremental-inference decision (internal/qlearn, internal/core);
 //   - the paper's baselines (SonicNet, SpArSeNet, LeNet-Cifar) and the
 //     IEpmJ/accuracy/latency metrics (internal/baselines,
-//     internal/metrics).
+//     internal/metrics);
+//   - the parallel experiment engine (internal/exper): declarative
+//     scenario grids — energy trace × MCU device × compression policy ×
+//     exit policy × seed — sharded across a goroutine worker pool with
+//     per-point seed derivation, so grid results are bit-identical at
+//     any worker count; cmd/sweep, cmd/paperbench, and cmd/ehsim all run
+//     on it, and the tensor kernels underneath (row-band parallel
+//     MatMul, pooled im2col-GEMM conv) spread single inferences across
+//     cores as well.
 //
 // This package is the public façade: it re-exports the pieces a user
 // composes and provides one-call constructors for the paper's standard

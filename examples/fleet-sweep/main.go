@@ -1,0 +1,52 @@
+// Fleet sweep: one compressed multi-exit model, a whole deployment
+// fleet. The grid crosses three MCU classes (the paper's MSP432, an
+// MSP430FR-class FRAM device, and an Apollo-class sub-threshold M4) with
+// solar and kinetic harvesting and both runtime policies, replicated
+// over seeds — 12 scenarios per seed, sharded across every core by the
+// experiment engine.
+//
+// The question it answers: does the paper's adaptive runtime keep its
+// edge when the device underneath changes — cheaper checkpoints, slower
+// cores, different energy-per-MAC — or is the win MSP432-specific?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ehinfer "repro"
+)
+
+func main() {
+	grid := ehinfer.FleetGrid([]uint64{1, 2, 3}, 300)
+	eng := ehinfer.NewExperimentEngine(0) // 0 ⇒ one worker per core
+	fmt.Printf("fleet sweep: %d scenarios on %d workers\n\n", grid.Size(), eng.WorkerCount())
+
+	res, err := eng.Run(grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range res.Errs() {
+		log.Println("point failed:", e)
+	}
+
+	fmt.Print(res.AggTable())
+	fmt.Printf("\n%d scenarios in %.1fs\n", grid.Size(), res.Elapsed.Seconds())
+
+	// Headline: adaptive-vs-static IEpmJ ratio per device on solar.
+	type key struct{ device, exit string }
+	iepmj := map[key]float64{}
+	for _, r := range res.Aggregate() {
+		if r.System == "Our Approach" && r.Trace == "solar-0.032mW" {
+			iepmj[key{r.Device, r.Exit}] = r.IEpmJ.Mean()
+		}
+	}
+	fmt.Println("\nadaptive runtime gain over static LUT (solar, IEpmJ ratio):")
+	for _, dev := range grid.Devices {
+		s := iepmj[key{dev.Name, "static"}]
+		q := iepmj[key{dev.Name, "qlearning"}]
+		if s > 0 {
+			fmt.Printf("  %-14s %.2f×\n", dev.Name, q/s)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/accmodel"
 	"repro/internal/baselines"
@@ -80,14 +81,24 @@ type SystemRow struct {
 	ExitShares    []float64
 }
 
-func rowFromReport(r *metrics.Report) SystemRow {
+// ReportRow flattens a report into a SystemRow. Latency and FLOPs are 0
+// (not NaN) when no event was processed, so rows marshal cleanly to JSON.
+func ReportRow(r *metrics.Report) SystemRow {
+	lat := r.MeanEventLatency()
+	if math.IsNaN(lat) {
+		lat = 0
+	}
+	flops := r.MeanInferenceFLOPs()
+	if math.IsNaN(flops) {
+		flops = 0
+	}
 	return SystemRow{
 		System:        r.System,
 		IEpmJ:         r.IEpmJ(),
 		AccAll:        r.AccuracyAllEvents(),
 		AccProcessed:  r.AccuracyProcessed(),
-		MeanLatencyS:  r.MeanEventLatency(),
-		MeanInfFLOPs:  r.MeanInferenceFLOPs(),
+		MeanLatencyS:  lat,
+		MeanInfFLOPs:  flops,
 		ProcessedFrac: float64(r.ProcessedCount()) / float64(max(1, r.Events())),
 		ExitShares:    r.ExitPercentages(),
 	}
@@ -102,10 +113,12 @@ type CompareConfig struct {
 	Mode PolicyMode
 }
 
-// CompareSystems runs the proposed system and the three baselines on the
-// scenario — the data behind Fig. 5 and the §V-D latency comparison.
-// Row order: ours, SonicNet, SpArSeNet, LeNet-Cifar.
-func CompareSystems(sc *Scenario, d *Deployed, cfg CompareConfig) ([]SystemRow, error) {
+// RunProposed runs the paper's proposed runtime on the scenario — with
+// annealed-exploration Q-learning warmup when the mode calls for it — and
+// returns the measured report. It is the single-system building block the
+// experiment engine (internal/exper) schedules; CompareSystems wraps it
+// with the three baselines.
+func RunProposed(sc *Scenario, d *Deployed, cfg CompareConfig) (*metrics.Report, error) {
 	if cfg.WarmupEpisodes == 0 {
 		cfg.WarmupEpisodes = 12
 	}
@@ -128,11 +141,18 @@ func CompareSystems(sc *Scenario, d *Deployed, cfg CompareConfig) ([]SystemRow, 
 		}
 		rt.SetExploration(0.02)
 	}
-	ourReport, err := rt.Run(sc.Trace, sc.Schedule)
+	return rt.Run(sc.Trace, sc.Schedule)
+}
+
+// CompareSystems runs the proposed system and the three baselines on the
+// scenario — the data behind Fig. 5 and the §V-D latency comparison.
+// Row order: ours, SonicNet, SpArSeNet, LeNet-Cifar.
+func CompareSystems(sc *Scenario, d *Deployed, cfg CompareConfig) ([]SystemRow, error) {
+	ourReport, err := RunProposed(sc, d, cfg)
 	if err != nil {
 		return nil, err
 	}
-	ourRow := rowFromReport(ourReport)
+	ourRow := ReportRow(ourReport)
 	ourRow.System = "Our Approach"
 	rows := []SystemRow{ourRow}
 
@@ -145,7 +165,7 @@ func CompareSystems(sc *Scenario, d *Deployed, cfg CompareConfig) ([]SystemRow, 
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, rowFromReport(rep))
+		rows = append(rows, ReportRow(rep))
 	}
 	return rows, nil
 }

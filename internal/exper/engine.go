@@ -1,0 +1,170 @@
+package exper
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+)
+
+// Result is the outcome of one grid point: the proposed system's row
+// first, then (when Grid.Baselines is set) SonicNet, SpArSeNet, and
+// LeNet-Cifar. A point that fails records Err and carries no rows; one
+// bad point never aborts the rest of the grid.
+type Result struct {
+	Point Point            `json:"point"`
+	Rows  []core.SystemRow `json:"rows,omitempty"`
+	Err   string           `json:"err,omitempty"`
+}
+
+// Engine shards a grid's points across a goroutine worker pool. The zero
+// value is ready to use and runs on GOMAXPROCS workers.
+type Engine struct {
+	// Workers caps the pool size (<= 0 means GOMAXPROCS).
+	Workers int
+	// OnResult, when set, observes each completed point. It may be called
+	// from any worker but never concurrently; point completion order is
+	// scheduling-dependent, so treat it as progress telemetry only.
+	OnResult func(Result)
+}
+
+// NewEngine returns an engine with the given worker cap.
+func NewEngine(workers int) *Engine { return &Engine{Workers: workers} }
+
+// WorkerCount returns the effective pool size for this engine.
+func (e *Engine) WorkerCount() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes every point of the grid and returns the collected results
+// in enumeration order. Each point derives its own RNG streams from
+// (BaseSeed, Index, Seed) and shares no mutable state with its siblings,
+// so the returned GridResult is byte-identical for any worker count.
+func (e *Engine) Run(g *Grid) (*GridResult, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	points := g.Points()
+	results := make([]Result, len(points))
+
+	start := time.Now()
+
+	// Build each policy's deployment once, up front. Deployments are
+	// read-only during surrogate-mode simulation (events carry no
+	// samples, so the network never runs), which makes sharing one copy
+	// across all workers both safe and the paper-faithful semantics: one
+	// deployed model, many conditions. A failed build is recorded and
+	// charged to every point using that policy.
+	deps := make(map[string]*core.Deployed, len(g.Policies))
+	depErrs := make(map[string]string, len(g.Policies))
+	for i, ps := range g.Policies {
+		d, err := core.BuildDeployed(ps.Build(), g.DeploySeedFor(i))
+		if err != nil {
+			depErrs[ps.Name] = err.Error()
+			continue
+		}
+		deps[ps.Name] = d
+	}
+	nw := e.WorkerCount()
+	if nw > len(points) {
+		nw = len(points)
+	}
+
+	var notify func(Result)
+	if e.OnResult != nil {
+		var mu sync.Mutex
+		notify = func(r Result) {
+			mu.Lock()
+			e.OnResult(r)
+			mu.Unlock()
+		}
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				// Results land at the point's own slot, so collection
+				// order is deterministic even though completion order
+				// is not.
+				if msg, bad := depErrs[points[i].Policy.Name]; bad {
+					results[i] = Result{Point: points[i], Err: msg}
+				} else {
+					results[i] = runPoint(g, points[i], deps[points[i].Policy.Name])
+				}
+				if notify != nil {
+					notify(results[i])
+				}
+			}
+		}()
+	}
+	for i := range points {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	return &GridResult{Grid: g, Results: results, Elapsed: time.Since(start)}, nil
+}
+
+// runPoint materializes and simulates one scenario. Everything the
+// simulation mutates — trace, schedule, device, storage, runtime — is
+// constructed locally from the point's derived seed; the deployment is
+// the policy's shared read-only copy (built fresh when deployed is nil).
+func runPoint(g *Grid, p Point, deployed *core.Deployed) Result {
+	res := Result{Point: p}
+
+	trace, err := p.Trace.Build(p.RunSeed)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	if trace.Duration() == 0 {
+		res.Err = fmt.Sprintf("exper: trace %q is empty", p.Trace.Name)
+		return res
+	}
+	store := p.Storage.Storage // copy; simulations mutate the charge state
+	sc := &core.Scenario{
+		Trace:    trace,
+		Schedule: energy.UniformSchedule(g.events(), trace.Duration(), g.classes(), p.RunSeed),
+		Device:   p.Device.Build(),
+		Storage:  &store,
+		Seed:     p.RunSeed,
+	}
+	if deployed == nil {
+		deployed, err = core.BuildDeployed(p.Policy.Build(), p.DeploySeed)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+	}
+	cfg := core.CompareConfig{Mode: p.Exit.Mode, WarmupEpisodes: p.Exit.Warmup}
+
+	if g.Baselines {
+		rows, err := core.CompareSystems(sc, deployed, cfg)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.Rows = rows
+		return res
+	}
+	rep, err := core.RunProposed(sc, deployed, cfg)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	row := core.ReportRow(rep)
+	row.System = "Our Approach"
+	res.Rows = []core.SystemRow{row}
+	return res
+}

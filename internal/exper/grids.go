@@ -1,0 +1,130 @@
+package exper
+
+import (
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/mcu"
+)
+
+// Canonical axis values shared by the commands and examples. Each is a
+// function so every grid gets independent spec values.
+
+// QLearningExit is the paper's adaptive runtime with the given warm-up
+// episode count (0 = default 12).
+func QLearningExit(warmup int) ExitSpec {
+	return ExitSpec{Name: "qlearning", Mode: core.PolicyQLearning, Warmup: warmup}
+}
+
+// StaticExit is the static-LUT baseline runtime.
+func StaticExit() ExitSpec {
+	return ExitSpec{Name: "static", Mode: core.PolicyStaticLUT}
+}
+
+// NonuniformPolicy is the paper's searched nonuniform compression shape.
+func NonuniformPolicy() PolicySpec {
+	return Policy("nonuniform", compress.Fig1bNonuniform)
+}
+
+// MSP432Device is the paper's target device axis value.
+func MSP432Device() DeviceSpec { return Device("MSP432", mcu.MSP432) }
+
+// PaperSolarTrace is the §V trace: 6 h of weak solar harvesting.
+func PaperSolarTrace(peakMW float64) TraceSpec { return SolarTrace(21600, peakMW) }
+
+// seedRange returns {base, base+1, …, base+n−1}.
+func seedRange(base uint64, n int) []uint64 {
+	if n < 1 {
+		n = 1
+	}
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = base + uint64(i)
+	}
+	return seeds
+}
+
+// PaperCompareGrid is the Fig. 5 / §V-D setup as a one-point grid: the
+// paper's scenario with the proposed system and all three baselines.
+func PaperCompareGrid(seed uint64, warmup int, mode core.PolicyMode) *Grid {
+	exit := QLearningExit(warmup)
+	if mode == core.PolicyStaticLUT {
+		exit = StaticExit()
+	}
+	return &Grid{
+		Name:      "paper-compare",
+		BaseSeed:  seed,
+		Events:    500,
+		Baselines: true,
+		Traces:    []TraceSpec{PaperSolarTrace(0.032)},
+		Devices:   []DeviceSpec{MSP432Device()},
+		Policies:  []PolicySpec{NonuniformPolicy()},
+		Exits:     []ExitSpec{exit},
+		Storages:  []StorageSpec{Capacitor(6)},
+		Seeds:     []uint64{seed},
+	}
+}
+
+// PaperSweepGrid is cmd/sweep's design-space grid: harvesting peak ×
+// capacitor size, replicated over seeds, with baselines for comparison.
+// This is the single source of the scenario construction that used to be
+// duplicated between cmd/sweep and cmd/paperbench.
+func PaperSweepGrid(peaksMW, capsMJ []float64, seeds, events int) *Grid {
+	g := &Grid{
+		Name:      "paper-sweep",
+		BaseSeed:  100,
+		Events:    events,
+		Baselines: true,
+		Devices:   []DeviceSpec{MSP432Device()},
+		Policies:  []PolicySpec{NonuniformPolicy()},
+		Exits:     []ExitSpec{QLearningExit(8)},
+		Seeds:     seedRange(100, seeds),
+	}
+	for _, p := range peaksMW {
+		g.Traces = append(g.Traces, PaperSolarTrace(p))
+	}
+	for _, c := range capsMJ {
+		g.Storages = append(g.Storages, Capacitor(c))
+	}
+	return g
+}
+
+// FleetGrid is the multi-device fleet sweep: three MCU classes under
+// solar and kinetic harvesting, adaptive vs static runtime — 12 scenarios
+// per seed, the "same model, whole deployment fleet" question.
+func FleetGrid(seeds []uint64, events int) *Grid {
+	return &Grid{
+		Name:     "fleet-sweep",
+		BaseSeed: 0xf1ee7,
+		Events:   events,
+		Traces: []TraceSpec{
+			PaperSolarTrace(0.032),
+			KineticTrace(21600, 0.9),
+		},
+		Devices: []DeviceSpec{
+			MSP432Device(),
+			Device("MSP430FR5994", mcu.MSP430FR5994),
+			Device("ApolloM4", mcu.ApolloM4),
+		},
+		Policies: []PolicySpec{NonuniformPolicy()},
+		Exits:    []ExitSpec{QLearningExit(8), StaticExit()},
+		Storages: []StorageSpec{Capacitor(6)},
+		Seeds:    seeds,
+	}
+}
+
+// SeedReplicationGrid replicates the paper's default scenario over n
+// seeds — the "how seed-sensitive are the headline numbers" experiment.
+func SeedReplicationGrid(n, events int) *Grid {
+	return &Grid{
+		Name:      "seed-replication",
+		BaseSeed:  0x5eed,
+		Events:    events,
+		Baselines: true,
+		Traces:    []TraceSpec{PaperSolarTrace(0.032)},
+		Devices:   []DeviceSpec{MSP432Device()},
+		Policies:  []PolicySpec{NonuniformPolicy()},
+		Exits:     []ExitSpec{QLearningExit(8)},
+		Storages:  []StorageSpec{Capacitor(6)},
+		Seeds:     seedRange(1, n),
+	}
+}

@@ -55,6 +55,44 @@ func MSP432() *Device {
 	}
 }
 
+// MSP430FR5994 returns an MSP430-class device: slower core and LEA than
+// the MSP432 but native-FRAM state, so checkpoints are cheaper, and a
+// larger FRAM weight budget. The coefficients are analytic extrapolations
+// from the MSP432 model (half the throughput, ~1.3× the energy per MAC,
+// quarter-cost checkpoints), not measurements — the point is a
+// plausible second fleet member, documented as such.
+func MSP430FR5994() *Device {
+	return &Device{
+		Name:               "MSP430FR5994",
+		EnergyPerMFLOP:     2.0,
+		MFLOPSPerSecond:    1.0,
+		WeightStorageBytes: 256 * 1024,
+		SRAMBytes:          8 * 1024,
+		CheckpointEnergyMJ: 0.005,
+		RestoreEnergyMJ:    0.005,
+		CheckpointSeconds:  0.004,
+		RestoreSeconds:     0.004,
+	}
+}
+
+// ApolloM4 returns an Ambiq-Apollo-class sub-threshold Cortex-M4 device:
+// markedly lower energy per MAC and higher throughput than the MSP432,
+// but SRAM-resident state makes power-failure checkpoints expensive.
+// Like MSP430FR5994 these are analytic extrapolations for fleet sweeps.
+func ApolloM4() *Device {
+	return &Device{
+		Name:               "ApolloM4",
+		EnergyPerMFLOP:     0.5,
+		MFLOPSPerSecond:    6.0,
+		WeightStorageBytes: 512 * 1024,
+		SRAMBytes:          384 * 1024,
+		CheckpointEnergyMJ: 0.08,
+		RestoreEnergyMJ:    0.08,
+		CheckpointSeconds:  0.02,
+		RestoreSeconds:     0.02,
+	}
+}
+
 // Validate reports configuration errors.
 func (d *Device) Validate() error {
 	switch {

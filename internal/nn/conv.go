@@ -110,34 +110,69 @@ func (l *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 	wMat := l.W.Value.Reshape(l.OutC, l.InC*l.KH*l.KW)
 	out := tensor.New(n, l.OutC, oh, ow)
-	if train {
-		l.lastInput = x
-		l.lastCols = l.lastCols[:0]
-	}
 	sampleVol := c * h * w
 	outVol := l.OutC * oh * ow
-	res := tensor.New(l.OutC, oh*ow)
-	for ni := 0; ni < n; ni++ {
-		img := tensor.FromSlice(x.Data[ni*sampleVol:(ni+1)*sampleVol], c, h, w)
-		col := tensor.Im2Col(img, g)
-		if train {
+	colRows, colCols := l.InC*l.KH*l.KW, oh*ow
+
+	if train {
+		// Training path: im2col matrices must outlive the call for
+		// Backward, so they are freshly allocated and retained.
+		l.lastInput = x
+		l.lastCols = l.lastCols[:0]
+		res := tensor.New(l.OutC, oh*ow)
+		for ni := 0; ni < n; ni++ {
+			img := tensor.FromSlice(x.Data[ni*sampleVol:(ni+1)*sampleVol], c, h, w)
+			col := tensor.Im2Col(img, g)
 			l.lastCols = append(l.lastCols, col)
+			tensor.MatMulInto(res, wMat, col)
+			l.addBias(out.Data[ni*outVol:(ni+1)*outVol], res.Data, oh*ow)
 		}
-		tensor.MatMulInto(res, wMat, col)
-		dst := out.Data[ni*outVol : (ni+1)*outVol]
-		copy(dst, res.Data)
-		for oc := 0; oc < l.OutC; oc++ {
-			b := l.B.Value.Data[oc]
-			row := dst[oc*oh*ow : (oc+1)*oh*ow]
-			for i := range row {
-				row[i] += b
-			}
-		}
+		return out
 	}
-	if !train && l.ActBits > 0 {
+
+	// Inference path: samples are independent, so the batch is banded
+	// across workers; each band reuses one pooled im2col matrix and one
+	// pooled GEMM result, eliminating the two per-sample allocations that
+	// dominated the naive path. Inside a band the GEMM runs serial — the
+	// batch split already saturates the cores, so nested fan-out would
+	// only add scheduler overhead. A single-sample call (the runtime's
+	// event-driven inference) has no batch to split, so it uses the
+	// row-parallel MatMulInto instead.
+	gemm := tensor.MatMulSerialInto
+	if n == 1 {
+		gemm = tensor.MatMulInto
+	}
+	tensor.ParallelFor(n, func(lo, hi int) {
+		colBuf := tensor.GetBuf(colRows * colCols)
+		resBuf := tensor.GetBuf(outVol)
+		defer tensor.PutBuf(colBuf)
+		defer tensor.PutBuf(resBuf)
+		col := tensor.FromSlice(colBuf, colRows, colCols)
+		res := tensor.FromSlice(resBuf, l.OutC, oh*ow)
+		for ni := lo; ni < hi; ni++ {
+			img := tensor.FromSlice(x.Data[ni*sampleVol:(ni+1)*sampleVol], c, h, w)
+			tensor.Im2ColInto(col, img, g)
+			gemm(res, wMat, col)
+			l.addBias(out.Data[ni*outVol:(ni+1)*outVol], res.Data, oh*ow)
+		}
+	})
+	if l.ActBits > 0 {
 		FakeQuantizeActivations(out, l.ActBits)
 	}
 	return out
+}
+
+// addBias copies the GEMM result into the output sample and adds the
+// per-channel bias.
+func (l *Conv2D) addBias(dst, res []float32, spatial int) {
+	copy(dst, res)
+	for oc := 0; oc < l.OutC; oc++ {
+		b := l.B.Value.Data[oc]
+		row := dst[oc*spatial : (oc+1)*spatial]
+		for i := range row {
+			row[i] += b
+		}
+	}
 }
 
 // Backward implements Layer.

@@ -1,0 +1,35 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestConvEvalMatchesTrainForward pins the pooled, batch-parallel
+// inference path to the allocation-per-sample training path: with
+// activation quantization off the two must agree bit for bit at every
+// worker count.
+func TestConvEvalMatchesTrainForward(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	l := NewConv2D("c", 3, 8, 3, 3, 1, 1)
+	tensor.FillNormal(l.W.Value, rng, 0.2)
+	tensor.FillNormal(l.B.Value, rng, 0.1)
+	x := tensor.New(5, 3, 9, 9)
+	tensor.FillNormal(x, rng, 1)
+
+	want := l.Forward(x, true)
+	for _, workers := range []int{1, 3, 8} {
+		prev := tensor.SetWorkers(workers)
+		got := l.Forward(x, false)
+		tensor.SetWorkers(prev)
+		if !got.SameShape(want) {
+			t.Fatalf("workers=%d shape %v, want %v", workers, got.Shape(), want.Shape())
+		}
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("workers=%d out[%d] = %g, want %g", workers, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}

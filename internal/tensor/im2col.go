@@ -39,15 +39,32 @@ func (g ConvGeom) Validate() error {
 // convolution becomes a single matmul with the [outC, C*KH*KW] filter
 // matrix. Out-of-bounds (padded) taps contribute zero.
 func Im2Col(img *Tensor, g ConvGeom) *Tensor {
+	col := New(g.InC*g.KH*g.KW, g.OutH()*g.OutW())
+	Im2ColInto(col, img, g)
+	return col
+}
+
+// Im2ColInto lowers img into col (shape [C*KH*KW, OutH*OutW]), reusing
+// col's storage — the allocation-free path the conv layers drive with
+// pooled buffers. col is fully overwritten, so a dirty recycled buffer is
+// fine.
+func Im2ColInto(col, img *Tensor, g ConvGeom) {
 	if img.Len() != g.InC*g.InH*g.InW {
 		panic(fmt.Sprintf("tensor: Im2Col image volume %d does not match geometry %+v", img.Len(), g))
 	}
 	outH, outW := g.OutH(), g.OutW()
 	rows := g.InC * g.KH * g.KW
 	cols := outH * outW
-	col := New(rows, cols)
+	if col.Dim(0) != rows || col.Dim(1) != cols {
+		panic(fmt.Sprintf("tensor: Im2ColInto dst shape %v does not match geometry %+v", col.Shape(), g))
+	}
 	src := img.Data
 	dst := col.Data
+	// Padded taps contribute zero and the copy loops below skip them, so
+	// clear the destination first.
+	for i := range dst {
+		dst[i] = 0
+	}
 	for c := 0; c < g.InC; c++ {
 		chanBase := c * g.InH * g.InW
 		for kh := 0; kh < g.KH; kh++ {
@@ -72,7 +89,6 @@ func Im2Col(img *Tensor, g ConvGeom) *Tensor {
 			}
 		}
 	}
-	return col
 }
 
 // Col2Im scatters a [C*KH*KW, OutH*OutW] gradient matrix back onto a CHW

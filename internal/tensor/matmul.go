@@ -21,6 +21,12 @@ func MatMul(a, b *Tensor) *Tensor {
 }
 
 // MatMulInto computes dst = A×B, reusing dst's storage. dst must be m×n.
+//
+// Large products are partitioned into contiguous row bands executed on up
+// to Workers() goroutines. Each band owns a disjoint slice of dst and runs
+// the identical serial kernel, so the floating-point operation order per
+// output row — and therefore the result, bit for bit — is independent of
+// the worker count.
 func MatMulInto(dst, a, b *Tensor) {
 	m, k := a.Dim(0), a.Dim(1)
 	n := b.Dim(1)
@@ -28,12 +34,36 @@ func MatMulInto(dst, a, b *Tensor) {
 		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.Shape(), m, n))
 	}
 	ad, bd, cd := a.Data, b.Data, dst.Data
-	for i := range cd {
-		cd[i] = 0
+	if int64(m)*int64(k)*int64(n) < parallelFlopThreshold || Workers() == 1 {
+		matMulRows(cd, ad, bd, 0, m, k, n)
+		return
 	}
-	for i := 0; i < m; i++ {
+	ParallelFor(m, func(lo, hi int) {
+		matMulRows(cd, ad, bd, lo, hi, k, n)
+	})
+}
+
+// MatMulSerialInto computes dst = A×B on the calling goroutine only.
+// Use it inside an already-parallel region (e.g. a batch banded across
+// workers) where MatMulInto's own fan-out would just oversubscribe the
+// cores. Bit-identical to MatMulInto.
+func MatMulSerialInto(dst, a, b *Tensor) {
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+	if dst.Dim(0) != m || dst.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMulSerialInto dst shape %v, want [%d %d]", dst.Shape(), m, n))
+	}
+	matMulRows(dst.Data, a.Data, b.Data, 0, m, k, n)
+}
+
+// matMulRows runs the ikj-order kernel over output rows [lo, hi).
+func matMulRows(cd, ad, bd []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
 		arow := ad[i*k : (i+1)*k]
 		crow := cd[i*n : (i+1)*n]
+		for j := range crow {
+			crow[j] = 0
+		}
 		for p, av := range arow {
 			if av == 0 {
 				continue
@@ -57,7 +87,19 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 	}
 	c := New(m, n)
 	ad, bd, cd := a.Data, b.Data, c.Data
-	for i := 0; i < m; i++ {
+	if int64(m)*int64(k)*int64(n) < parallelFlopThreshold || Workers() == 1 {
+		matMulTransBRows(cd, ad, bd, 0, m, k, n)
+		return c
+	}
+	ParallelFor(m, func(lo, hi int) {
+		matMulTransBRows(cd, ad, bd, lo, hi, k, n)
+	})
+	return c
+}
+
+// matMulTransBRows runs the dot-product kernel over output rows [lo, hi).
+func matMulTransBRows(cd, ad, bd []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
 		arow := ad[i*k : (i+1)*k]
 		for j := 0; j < n; j++ {
 			brow := bd[j*k : (j+1)*k]
@@ -68,7 +110,6 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 			cd[i*n+j] = s
 		}
 	}
-	return c
 }
 
 // MatMulTransA computes C = Aᵀ×B for A (k×m) and B (k×n), returning m×n.

@@ -1,0 +1,97 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers is the package-level goroutine budget for parallel kernels.
+// Zero means "use runtime.GOMAXPROCS(0)". It is stored atomically so
+// tests (and the experiment engine) can adjust it while simulations run
+// on other goroutines.
+var workers atomic.Int64
+
+// SetWorkers fixes the number of goroutines parallel kernels may use.
+// n <= 0 restores the default (GOMAXPROCS). It returns the previous
+// setting so callers can restore it.
+func SetWorkers(n int) int {
+	prev := int(workers.Swap(int64(n)))
+	return prev
+}
+
+// Workers returns the effective worker count for parallel kernels.
+func Workers() int {
+	if n := int(workers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ParallelFor splits the index range [0, n) into at most Workers()
+// contiguous bands and runs f(lo, hi) on each band concurrently. Band
+// boundaries depend only on n and the worker count, and each invocation
+// owns a disjoint range, so kernels that write disjoint outputs per index
+// produce bit-identical results at any worker count. With one worker (or
+// n <= 1) f runs inline with no goroutine overhead.
+func ParallelFor(n int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	nw := Workers()
+	if nw > n {
+		nw = n
+	}
+	if nw <= 1 {
+		f(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	// Distribute the remainder one extra element to the first bands so
+	// band sizes differ by at most one.
+	q, r := n/nw, n%nw
+	lo := 0
+	for w := 0; w < nw; w++ {
+		hi := lo + q
+		if w < r {
+			hi++
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// bufPool recycles float32 scratch slices across im2col/GEMM calls,
+// killing the per-call allocations that dominated the naive conv path.
+var bufPool = sync.Pool{}
+
+// GetBuf returns a float32 scratch slice of length n. Contents are
+// arbitrary; callers that need zeroed storage must clear it (Im2ColInto
+// and MatMulInto both overwrite their destination fully).
+func GetBuf(n int) []float32 {
+	if v := bufPool.Get(); v != nil {
+		b := v.([]float32)
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]float32, n)
+}
+
+// PutBuf returns a scratch slice to the pool.
+func PutBuf(b []float32) {
+	if cap(b) == 0 {
+		return
+	}
+	bufPool.Put(b[:0:cap(b)]) //nolint:staticcheck // slice headers are cheap relative to the buffers they carry
+}
+
+// parallelFlopThreshold is the approximate MAC count below which a
+// matmul is not worth fanning out: goroutine startup (~1 µs) must be
+// amortized against the band's arithmetic.
+const parallelFlopThreshold = 64 * 1024

@@ -1,0 +1,168 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// refMatMul is an intentionally naive triple loop used as the oracle for
+// the banded kernels.
+func refMatMul(a, b *Tensor) *Tensor {
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			av := a.Data[i*k+p]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				c.Data[i*n+j] += av * b.Data[p*n+j]
+			}
+		}
+	}
+	return c
+}
+
+func randTensor(rng *RNG, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64())
+		// Sprinkle exact zeros to exercise the skip-zero fast path.
+		if rng.Float64() < 0.1 {
+			t.Data[i] = 0
+		}
+	}
+	return t
+}
+
+// oddShapes stresses band splitting: primes, singletons, and sizes just
+// past the parallel threshold with every kind of remainder.
+var oddShapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{3, 5, 7},
+	{17, 31, 13},
+	{2, 1000, 1},
+	{1, 7, 997},
+	{129, 65, 33},
+	{64, 64, 64},
+	{101, 53, 89},
+}
+
+func TestMatMulParallelMatchesReference(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, s := range oddShapes {
+			t.Run(fmt.Sprintf("w%d_%dx%dx%d", workers, s.m, s.k, s.n), func(t *testing.T) {
+				rng := NewRNG(uint64(s.m*1000 + s.k*10 + s.n))
+				a := randTensor(rng, s.m, s.k)
+				b := randTensor(rng, s.k, s.n)
+				want := refMatMul(a, b)
+
+				prev := SetWorkers(workers)
+				defer SetWorkers(prev)
+				got := MatMul(a, b)
+				if len(got.Data) != len(want.Data) {
+					t.Fatalf("size mismatch %d vs %d", len(got.Data), len(want.Data))
+				}
+				for i := range got.Data {
+					if got.Data[i] != want.Data[i] {
+						t.Fatalf("C[%d] = %g, want %g (workers=%d shape %v)", i, got.Data[i], want.Data[i], workers, s)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestMatMulBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	rng := NewRNG(7)
+	a := randTensor(rng, 123, 77)
+	b := randTensor(rng, 77, 91)
+
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	serial := MatMul(a, b)
+	for _, workers := range []int{2, 4, 8, 16} {
+		SetWorkers(workers)
+		got := MatMul(a, b)
+		for i := range got.Data {
+			if got.Data[i] != serial.Data[i] {
+				t.Fatalf("workers=%d diverges from serial at %d: %g vs %g", workers, i, got.Data[i], serial.Data[i])
+			}
+		}
+	}
+}
+
+func TestMatMulTransBParallelMatchesSerial(t *testing.T) {
+	rng := NewRNG(11)
+	for _, s := range oddShapes {
+		a := randTensor(rng, s.m, s.k)
+		bt := randTensor(rng, s.n, s.k) // B stored transposed: n×k
+		prev := SetWorkers(1)
+		want := MatMulTransB(a, bt)
+		SetWorkers(8)
+		got := MatMulTransB(a, bt)
+		SetWorkers(prev)
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("shape %v: C[%d] = %g, want %g", s, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestParallelForCoversRangeDisjointly(t *testing.T) {
+	prev := SetWorkers(5)
+	defer SetWorkers(prev)
+	for _, n := range []int{0, 1, 2, 4, 5, 7, 64, 1001} {
+		hits := make([]int32, n)
+		ParallelFor(n, func(lo, hi int) {
+			if lo < 0 || hi > n || lo > hi {
+				t.Errorf("bad band [%d, %d) for n=%d", lo, hi, n)
+			}
+			for i := lo; i < hi; i++ {
+				hits[i]++
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestIm2ColIntoReusesDirtyBuffer(t *testing.T) {
+	g := ConvGeom{InC: 2, InH: 5, InW: 5, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}
+	rng := NewRNG(3)
+	img := randTensor(rng, 2, 5, 5)
+	want := Im2Col(img, g)
+
+	buf := GetBuf(want.Len())
+	for i := range buf {
+		buf[i] = 42 // poison: Im2ColInto must fully overwrite
+	}
+	dst := FromSlice(buf, want.Dim(0), want.Dim(1))
+	Im2ColInto(dst, img, g)
+	for i := range want.Data {
+		if dst.Data[i] != want.Data[i] {
+			t.Fatalf("col[%d] = %g, want %g", i, dst.Data[i], want.Data[i])
+		}
+	}
+	PutBuf(buf)
+	if b2 := GetBuf(8); cap(b2) < 8 {
+		t.Fatalf("pool returned undersized buffer")
+	}
+}
+
+func BenchmarkMatMulParallel(b *testing.B) {
+	rng := NewRNG(1)
+	a := randTensor(rng, 256, 256)
+	bb := randTensor(rng, 256, 256)
+	dst := New(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, a, bb)
+	}
+}
