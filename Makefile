@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt fmt-check lint clean
+# The root-package micro benchmark set (micro_bench_test.go); bench-json
+# archives exactly these so the perf trajectory is comparable PR to PR.
+MICROBENCH = ^Benchmark(InferToExit1|InferToExit3|IncrementalResume|TrainStep|ApplyCompressionPolicy|QuantizeWeights8bit|QTableUpdate|SolarTraceGeneration|SynthCIFARSample|EngineRunToCompletion|FullSimulationEpisode)$$
+BENCH_JSON ?= BENCH_pr2.json
+
+.PHONY: all build test race bench bench-json fmt fmt-check lint staticcheck clean
 
 all: build
 
@@ -23,6 +28,15 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
+## bench-json: run the micro benchmarks and archive them as $(BENCH_JSON)
+## (two steps, no pipe: a failing benchmark run must fail the target,
+## not hand benchjson an empty stream)
+bench-json:
+	$(GO) test -run='^$$' -bench='$(MICROBENCH)' -benchtime=100ms . > $(BENCH_JSON).bench.out
+	$(GO) run ./cmd/benchjson < $(BENCH_JSON).bench.out > $(BENCH_JSON)
+	@rm -f $(BENCH_JSON).bench.out
+	@echo "wrote $(BENCH_JSON)"
+
 ## fmt: rewrite sources with gofmt
 fmt:
 	gofmt -w .
@@ -34,6 +48,11 @@ fmt-check:
 ## lint: static analysis (go vet)
 lint:
 	$(GO) vet ./...
+
+## staticcheck: deeper static analysis (CI installs honnef.co staticcheck;
+## locally: go install honnef.co/go/tools/cmd/staticcheck@latest)
+staticcheck:
+	staticcheck ./...
 
 ## ci: everything the CI workflow gates on
 ci: fmt-check lint build race bench

@@ -1,6 +1,8 @@
 package ehinfer
 
 import (
+	"context"
+
 	"repro/internal/accmodel"
 	"repro/internal/baselines"
 	"repro/internal/compress"
@@ -118,10 +120,17 @@ type (
 	ExitSpec = exper.ExitSpec
 	// StorageSpec names a capacitor axis value.
 	StorageSpec = exper.StorageSpec
+	// GridSpec is the fully-declarative (JSON-serializable) grid used by
+	// the ehserved HTTP API; device and policy axes are registry names.
+	GridSpec = exper.GridSpec
 )
 
 // NewExperimentEngine returns an engine with the given worker cap
 // (<= 0 means one worker per core).
+//
+// Deprecated: use NewSession(WithWorkers(workers)) — the Session adds
+// context cancellation, streaming results, and deployment caching on the
+// same engine, with bit-identical output.
 func NewExperimentEngine(workers int) *ExperimentEngine { return exper.NewEngine(workers) }
 
 // PaperCompareGrid is the Fig. 5 / §V-D setup as a one-point grid.
@@ -237,18 +246,25 @@ func Fig1bUniform(net *Network) *Policy { return compress.Fig1bUniform(net) }
 func Fig1bNonuniform() *Policy { return compress.Fig1bNonuniform() }
 
 // SearchCompression runs the paper's dual-agent DDPG compression search.
+//
+// Deprecated: use Session.SearchCompression, which takes a context so a
+// multi-minute search can be canceled between episodes.
 func SearchCompression(net *Network, sur *Surrogate, cfg SearchConfig) (*SearchResult, error) {
-	return search.RL(net, sur, cfg)
+	return search.RL(context.Background(), net, sur, cfg)
 }
 
 // SearchCompressionRandom is the random-search ablation baseline.
+//
+// Deprecated: use Session.SearchCompressionRandom.
 func SearchCompressionRandom(net *Network, sur *Surrogate, cfg SearchConfig) (*SearchResult, error) {
-	return search.Random(net, sur, cfg)
+	return search.Random(context.Background(), net, sur, cfg)
 }
 
 // SearchCompressionAnnealing is the simulated-annealing ablation.
+//
+// Deprecated: use Session.SearchCompressionAnnealing.
 func SearchCompressionAnnealing(net *Network, sur *Surrogate, cfg SearchConfig) (*SearchResult, error) {
-	return search.Annealing(net, sur, cfg)
+	return search.Annealing(context.Background(), net, sur, cfg)
 }
 
 // SyntheticSolarTrace generates a diurnal solar harvesting trace.
@@ -291,18 +307,27 @@ func NewRuntime(d *Deployed, cfg RuntimeConfig) (*Runtime, error) {
 }
 
 // CompareSystems runs ours plus the three baselines on a scenario.
+//
+// Deprecated: use Session.CompareSystems, which takes a context so the
+// comparison can be canceled between systems and training episodes.
 func CompareSystems(sc *Scenario, d *Deployed, cfg CompareConfig) ([]SystemRow, error) {
-	return core.CompareSystems(sc, d, cfg)
+	return core.CompareSystems(context.Background(), sc, d, cfg)
 }
 
 // LearningCurve runs the Fig. 7a runtime-adaptation experiment.
+//
+// Deprecated: use Session.LearningCurve, which takes a context checked
+// between episodes.
 func LearningCurve(sc *Scenario, d *Deployed, episodes int) (qcurve, staticCurve []float64, err error) {
-	return core.LearningCurve(sc, d, episodes)
+	return core.LearningCurve(context.Background(), sc, d, episodes)
 }
 
 // ExitUsage runs the Fig. 7b exit-histogram experiment.
+//
+// Deprecated: use Session.ExitUsage, which takes a context checked
+// between warm-up episodes.
 func ExitUsage(sc *Scenario, d *Deployed, warmup int) (qhist, shist []int, qproc, sproc int, err error) {
-	return core.ExitUsage(sc, d, warmup)
+	return core.ExitUsage(context.Background(), sc, d, warmup)
 }
 
 // AllBaselines returns SonicNet, SpArSeNet, and LeNet-Cifar.

@@ -1,0 +1,87 @@
+// Command ehserved is the grid-execution daemon: an HTTP/JSON service
+// that accepts declarative experiment grids, runs them on a shared
+// Session worker pool, and serves progress and results — the first
+// serving surface for the system.
+//
+// Quickstart:
+//
+//	ehserved -addr :8080 &
+//	curl -s -X POST localhost:8080/v1/grids -d '{"name":"demo","events":60,"seeds":[1,2]}'
+//	curl -s localhost:8080/v1/grids/g1                      # status + progress
+//	curl -sN localhost:8080/v1/grids/g1/results?format=ndjson  # follow per-point results
+//	curl -s localhost:8080/v1/grids/g1/results              # final deterministic JSON
+//
+// Or run one grid synchronously, streaming results on the request itself
+// (Ctrl-C on the curl cancels the workers):
+//
+//	curl -sN -X POST 'localhost:8080/v1/grids?stream=1' -d '{"seeds":[1,2,3]}'
+//
+// Usage:
+//
+//	ehserved [-addr :8080] [-workers N] [-seed N]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	ehinfer "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "session worker goroutines (0 = all cores)")
+		seed    = flag.Uint64("seed", 42, "session base seed")
+	)
+	flag.Parse()
+
+	session := ehinfer.NewSession(
+		ehinfer.WithWorkers(*workers),
+		ehinfer.WithSeed(*seed),
+	)
+	sv := serve.New(session)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           sv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("ehserved: listening on %s (%d workers, seed %d)\n", *addr, session.Workers(), session.Seed())
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("\nehserved: shutting down")
+	case err := <-errCh:
+		fatal(err)
+	}
+
+	// Graceful shutdown: stop accepting requests, then cancel running
+	// grids and wait for their workers to drain.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "ehserved: http shutdown:", err)
+	}
+	if err := sv.Shutdown(shutCtx); err != nil {
+		fatal(fmt.Errorf("job drain: %w", err))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ehserved:", err)
+	os.Exit(1)
+}

@@ -1,9 +1,10 @@
 // Command ehsim runs the full energy-harvesting intermittent-inference
 // simulation: the compressed multi-exit network under the Q-learning
 // runtime, compared against the three baselines on one EH trace. The
-// scenario is expressed as a one-point grid and executed on the parallel
-// experiment engine, so ehsim, sweep, and paperbench share one scenario
-// constructor and one seed-derivation scheme.
+// scenario is expressed as a one-point grid and executed through a
+// Session, so ehsim, sweep, and paperbench share one scenario
+// constructor, one seed-derivation scheme, and one cancellation story
+// (Ctrl-C aborts between training episodes).
 //
 // Usage:
 //
@@ -12,10 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	ehinfer "repro"
 	"repro/internal/core"
 	"repro/internal/exper"
 )
@@ -70,7 +75,10 @@ func main() {
 	}
 	fmt.Println()
 
-	res, err := exper.NewEngine(*workers).Run(grid)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	session := ehinfer.NewSession(ehinfer.WithWorkers(*workers), ehinfer.WithSeed(*seed))
+	res, err := session.RunGrid(ctx, grid)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,9 +1,11 @@
 // Command paperbench regenerates every table and figure of the paper's
 // evaluation (§V) in one run, printing paper-vs-measured values. It is
 // the CLI twin of the bench_test.go harness; EXPERIMENTS.md is written
-// from this output. The Fig. 5 / §V-D system comparison runs on the
-// parallel experiment engine's canonical paper grid (exper.
-// PaperCompareGrid) rather than a private loop.
+// from this output. Everything runs through one Session — the Fig. 5 /
+// §V-D system comparison on the canonical paper grid (ehinfer.
+// PaperCompareGrid), the search and Fig. 7 experiments through the
+// session's context-aware methods — so Ctrl-C cancels cleanly between
+// episodes at any stage.
 //
 // Usage:
 //
@@ -11,9 +13,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	ehinfer "repro"
@@ -26,10 +31,14 @@ func main() {
 		seed           = flag.Uint64("seed", 42, "random seed")
 		searchEpisodes = flag.Int("search-episodes", 120, "episodes for the Fig. 4 DDPG search")
 		skipSearch     = flag.Bool("skip-search", false, "skip the Fig. 4 search (slowest step)")
-		workers        = flag.Int("workers", 0, "engine worker goroutines (0 = all cores)")
+		workers        = flag.Int("workers", 0, "session worker goroutines (0 = all cores)")
 	)
 	flag.Parse()
 	start := time.Now()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	session := ehinfer.NewSession(ehinfer.WithWorkers(*workers), ehinfer.WithSeed(*seed))
 
 	section("§V-A experimental setup")
 	net := ehinfer.LeNetEE(nil)
@@ -55,7 +64,7 @@ func main() {
 		snet := ehinfer.LeNetEE(ehinfer.NewRNG(3))
 		sur, err := ehinfer.NewSurrogate(snet, nil)
 		check(err)
-		res, err := ehinfer.SearchCompression(snet, sur, ehinfer.SearchConfig{
+		res, err := session.SearchCompression(ctx, snet, sur, ehinfer.SearchConfig{
 			Episodes: *searchEpisodes,
 			Trace:    sc.Trace,
 			Schedule: sc.Schedule,
@@ -70,7 +79,7 @@ func main() {
 
 	section("Fig. 5 / §V-C — IEpmJ and accuracy")
 	grid := exper.PaperCompareGrid(*seed, 0, core.PolicyQLearning)
-	gres, err := exper.NewEngine(*workers).Run(grid)
+	gres, err := session.RunGrid(ctx, grid)
 	check(err)
 	if errs := gres.Errs(); len(errs) != 0 {
 		check(fmt.Errorf("%s", errs[0]))
@@ -114,7 +123,7 @@ func main() {
 	}
 
 	section("Fig. 7a — runtime learning curve")
-	q, s, err := ehinfer.LearningCurve(sc, deployed, 16)
+	q, s, err := session.LearningCurve(ctx, sc, deployed, 16)
 	check(err)
 	fmt.Print("Q-learning per-episode acc(all): ")
 	for _, v := range q {
@@ -130,7 +139,7 @@ func main() {
 		100*sAvg, 100*late, 100*(late/sAvg-1))
 
 	section("Fig. 7b — exit usage")
-	qh, sh, qp, sp, err := ehinfer.ExitUsage(sc, deployed, 12)
+	qh, sh, qp, sp, err := session.ExitUsage(ctx, sc, deployed, 12)
 	check(err)
 	n := float64(sc.Schedule.Len())
 	fmt.Printf("Q-learning paper {71.0, 2.8, 11.4}%% → measured {%.1f, %.1f, %.1f}%% (processed %d)\n",

@@ -4,24 +4,29 @@
 // the "how do the results move with the power condition" analysis the
 // paper motivates but does not include.
 //
-// The grid is built by exper.PaperSweepGrid and executed on the parallel
-// experiment engine, sharded across -workers goroutines (default: all
-// cores). Output is identical at any worker count.
+// The grid is built by ehinfer.PaperSweepGrid and executed through a
+// Session, sharded across -workers goroutines (default: all cores).
+// Output is identical at any worker count; Ctrl-C cancels between points
+// and the completed portion is still reported.
 //
 // Usage:
 //
 //	sweep [-peaks 0.02,0.032,0.05] [-caps 3,6,10] [-seeds 3] [-events 500]
-//	      [-workers N] [-json out.json] [-v]
+//	      [-workers N] [-json out.json] [-progress] [-v]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
-	"repro/internal/exper"
+	ehinfer "repro"
 )
 
 func main() {
@@ -32,6 +37,7 @@ func main() {
 		events   = flag.Int("events", 500, "events per run")
 		workers  = flag.Int("workers", 0, "worker goroutines (0 = all cores)")
 		jsonOut  = flag.String("json", "", "write full per-point results as JSON to this file")
+		progress = flag.Bool("progress", false, "print each point as it completes")
 		verbose  = flag.Bool("v", false, "print the full aggregate table for all systems")
 	)
 	flag.Parse()
@@ -48,9 +54,24 @@ func main() {
 		fatal(err)
 	}
 
-	grid := exper.PaperSweepGrid(peaks, caps, *seeds, *events)
-	res, err := exper.NewEngine(*workers).Run(grid)
-	if err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	grid := ehinfer.PaperSweepGrid(peaks, caps, *seeds, *events)
+	opts := []ehinfer.SessionOption{ehinfer.WithWorkers(*workers)}
+	if *progress {
+		done := 0
+		opts = append(opts, ehinfer.WithProgress(func(r ehinfer.ExperimentResult) {
+			done++
+			fmt.Fprintf(os.Stderr, "sweep: point %d done (%d/%d)\n", r.Point.Index, done, grid.Size())
+		}))
+	}
+	session := ehinfer.NewSession(opts...)
+
+	res, err := session.RunGrid(ctx, grid)
+	if errors.Is(err, context.Canceled) && res != nil {
+		fmt.Fprintf(os.Stderr, "sweep: canceled — %d points skipped, reporting completed points only\n", res.Skipped())
+	} else if err != nil {
 		fatal(err)
 	}
 	for _, e := range res.Errs() {
@@ -60,7 +81,7 @@ func main() {
 	// Index aggregates by (trace, storage, system) to render the classic
 	// peak × cap table.
 	type cell struct{ trace, storage, system string }
-	agg := map[cell]exper.AggRow{}
+	agg := map[cell]ehinfer.AggRow{}
 	for _, r := range res.Aggregate() {
 		agg[cell{r.Trace, r.Device + r.Policy + r.Exit + r.Storage, r.System}] = r
 	}
@@ -84,7 +105,7 @@ func main() {
 		fmt.Print(res.AggTable())
 	}
 	fmt.Printf("\n%d points (%d simulations) in %.1fs on %d workers\n",
-		grid.Size(), grid.Size()*4, res.Elapsed.Seconds(), effectiveWorkers(*workers))
+		grid.Size(), grid.Size()*4, res.Elapsed.Seconds(), res.Workers)
 
 	if *jsonOut != "" {
 		data, err := res.JSON()
@@ -96,13 +117,6 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
 	}
-}
-
-func effectiveWorkers(n int) int {
-	if n > 0 {
-		return n
-	}
-	return exper.NewEngine(0).WorkerCount()
 }
 
 func parseFloats(s string) ([]float64, error) {

@@ -25,27 +25,52 @@
 //     scenario grids — energy trace × MCU device × compression policy ×
 //     exit policy × seed — sharded across a goroutine worker pool with
 //     per-point seed derivation, so grid results are bit-identical at
-//     any worker count; cmd/sweep, cmd/paperbench, and cmd/ehsim all run
-//     on it, and the tensor kernels underneath (row-band parallel
+//     any worker count; the tensor kernels underneath (row-band parallel
 //     MatMul, pooled im2col-GEMM conv) spread single inferences across
-//     cores as well.
+//     cores as well;
+//   - the HTTP serving layer (internal/serve, cmd/ehserved): submit
+//     declarative GridSpecs, poll progress, stream per-point results as
+//     NDJSON, fetch deterministic final reports, with graceful shutdown.
 //
-// This package is the public façade: it re-exports the pieces a user
-// composes and provides one-call constructors for the paper's standard
-// experimental setup. The bench suite in bench_test.go regenerates every
-// figure of the paper's evaluation; see EXPERIMENTS.md for paper-vs-
-// measured values and DESIGN.md for the system inventory and the
-// documented substitutions (synthetic dataset, synthetic solar trace,
-// calibrated accuracy surrogate).
+// This package is the public façade, organized around the Session type:
+// a Session owns the worker pool cap, the base seed RNG streams derive
+// from, a keyed deployment cache (repeated grids reuse identical
+// Deployed models), and the progress callback. Every long-running method
+// takes a context.Context; cancellation is cooperative — checked between
+// grid points and training episodes — returns ctx.Err(), and preserves
+// completed work bit-for-bit. cmd/sweep, cmd/paperbench, cmd/ehsim, and
+// cmd/ehserved all run on Sessions; the pre-Session free functions
+// remain as thin deprecated wrappers so old callers migrate
+// incrementally (see README for the migration table).
+//
+// The bench suite in bench_test.go regenerates every figure of the
+// paper's evaluation; see EXPERIMENTS.md for paper-vs-measured values
+// and DESIGN.md for the system inventory and the documented
+// substitutions (synthetic dataset, synthetic solar trace, calibrated
+// accuracy surrogate).
 //
 // # Quickstart
 //
-//	net := ehinfer.LeNetEE(ehinfer.NewRNG(1))
-//	policy := ehinfer.Fig1bNonuniform()
-//	deployed, _ := ehinfer.BuildDeployed(policy, 1)
-//	sc := ehinfer.DefaultScenario(1)
-//	rows, _ := ehinfer.CompareSystems(sc, deployed, ehinfer.CompareConfig{})
+//	session := ehinfer.NewSession(ehinfer.WithSeed(1))
+//	deployed, _ := session.BuildDeployed(ehinfer.Fig1bNonuniform())
+//	rows, _ := session.CompareSystems(ctx, session.Scenario(), deployed,
+//		ehinfer.CompareConfig{})
 //	for _, r := range rows {
 //		fmt.Printf("%s IEpmJ=%.2f\n", r.System, r.IEpmJ)
 //	}
+//
+// # Grids, streaming, serving
+//
+//	grid := ehinfer.PaperSweepGrid([]float64{0.02, 0.032}, []float64{3, 6}, 3, 500)
+//	run := session.StartGrid(ctx, grid)
+//	for r := range run.Results() { // per-point results as workers finish
+//		fmt.Printf("point %d done\n", r.Point.Index)
+//	}
+//	res, _ := run.Wait() // deterministic final GridResult
+//
+// The same grids travel over HTTP as declarative GridSpecs:
+//
+//	ehserved &
+//	curl -s localhost:8080/v1/grids -d '{"seeds":[1,2,3]}'
+//	curl -sN 'localhost:8080/v1/grids/g1/results?format=ndjson'
 package ehinfer

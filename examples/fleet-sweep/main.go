@@ -8,27 +8,47 @@
 // The question it answers: does the paper's adaptive runtime keep its
 // edge when the device underneath changes — cheaper checkpoints, slower
 // cores, different energy-per-MAC — or is the win MSP432-specific?
+//
+// It is also the Session streaming showcase: the grid is launched with
+// StartGrid and per-point results are reported incrementally as workers
+// finish them; Ctrl-C cancels between points and the completed portion
+// is still aggregated.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	ehinfer "repro"
 )
 
 func main() {
-	grid := ehinfer.FleetGrid([]uint64{1, 2, 3}, 300)
-	eng := ehinfer.NewExperimentEngine(0) // 0 ⇒ one worker per core
-	fmt.Printf("fleet sweep: %d scenarios on %d workers\n\n", grid.Size(), eng.WorkerCount())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	res, err := eng.Run(grid)
-	if err != nil {
+	grid := ehinfer.FleetGrid([]uint64{1, 2, 3}, 300)
+	session := ehinfer.NewSession(ehinfer.WithWorkers(0)) // 0 ⇒ one worker per core
+	fmt.Printf("fleet sweep: %d scenarios on %d workers\n\n", grid.Size(), session.Workers())
+
+	run := session.StartGrid(ctx, grid)
+	done := 0
+	for r := range run.Results() {
+		done++
+		fmt.Printf("  [%2d/%d] %-50s done\n", done, grid.Size(), r.Point.GroupKey())
+	}
+	res, err := run.Wait()
+	if err == context.Canceled && res != nil {
+		log.Println("canceled — aggregating completed points only")
+	} else if err != nil {
 		log.Fatal(err)
 	}
 	for _, e := range res.Errs() {
 		log.Println("point failed:", e)
 	}
+	fmt.Println()
 
 	fmt.Print(res.AggTable())
 	fmt.Printf("\n%d scenarios in %.1fs\n", grid.Size(), res.Elapsed.Seconds())

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -190,7 +191,7 @@ func TestQLearningImprovesOverEpisodes(t *testing.T) {
 	}
 	sc := smallScenario(9)
 	d := testDeployed(t, 9)
-	q, s, err := LearningCurve(sc, d, 10)
+	q, s, err := LearningCurve(context.Background(), sc, d, 10)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -117,8 +118,11 @@ type CompareConfig struct {
 // annealed-exploration Q-learning warmup when the mode calls for it — and
 // returns the measured report. It is the single-system building block the
 // experiment engine (internal/exper) schedules; CompareSystems wraps it
-// with the three baselines.
-func RunProposed(sc *Scenario, d *Deployed, cfg CompareConfig) (*metrics.Report, error) {
+// with the three baselines. Cancellation is cooperative: the context is
+// checked between training episodes, so an abort never tears a simulated
+// episode in half (episodes that do run are bit-identical to an
+// uncancelled run).
+func RunProposed(ctx context.Context, sc *Scenario, d *Deployed, cfg CompareConfig) (*metrics.Report, error) {
 	if cfg.WarmupEpisodes == 0 {
 		cfg.WarmupEpisodes = 12
 	}
@@ -133,6 +137,9 @@ func RunProposed(sc *Scenario, d *Deployed, cfg CompareConfig) (*metrics.Report,
 	}
 	if cfg.Mode == PolicyQLearning {
 		for ep := 0; ep < cfg.WarmupEpisodes; ep++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			// Annealed exploration: broad early, nearly greedy late.
 			rt.SetExploration(0.3*float64(cfg.WarmupEpisodes-ep)/float64(cfg.WarmupEpisodes) + 0.01)
 			if _, err := rt.Run(sc.Trace, sc.Schedule); err != nil {
@@ -141,14 +148,20 @@ func RunProposed(sc *Scenario, d *Deployed, cfg CompareConfig) (*metrics.Report,
 		}
 		rt.SetExploration(0.02)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return rt.Run(sc.Trace, sc.Schedule)
 }
 
 // CompareSystems runs the proposed system and the three baselines on the
 // scenario — the data behind Fig. 5 and the §V-D latency comparison.
-// Row order: ours, SonicNet, SpArSeNet, LeNet-Cifar.
-func CompareSystems(sc *Scenario, d *Deployed, cfg CompareConfig) ([]SystemRow, error) {
-	ourReport, err := RunProposed(sc, d, cfg)
+// Row order: ours, SonicNet, SpArSeNet, LeNet-Cifar. The context is
+// checked between systems (and between the proposed system's training
+// episodes); on cancellation the row set so far is discarded and ctx.Err()
+// returned.
+func CompareSystems(ctx context.Context, sc *Scenario, d *Deployed, cfg CompareConfig) ([]SystemRow, error) {
+	ourReport, err := RunProposed(ctx, sc, d, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -157,6 +170,9 @@ func CompareSystems(sc *Scenario, d *Deployed, cfg CompareConfig) ([]SystemRow, 
 	rows := []SystemRow{ourRow}
 
 	for _, b := range baselines.All() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rep, err := RunBaseline(b, sc.Trace, sc.Schedule, BaselineConfig{
 			Device:  sc.Device,
 			Storage: sc.Storage,
@@ -171,8 +187,10 @@ func CompareSystems(sc *Scenario, d *Deployed, cfg CompareConfig) ([]SystemRow, 
 }
 
 // LearningCurve runs the Fig. 7a experiment: per-episode average accuracy
-// (over all events) for the Q-learning runtime and the static LUT.
-func LearningCurve(sc *Scenario, d *Deployed, episodes int) (qcurve, staticCurve []float64, err error) {
+// (over all events) for the Q-learning runtime and the static LUT. The
+// context is checked between episodes; on cancellation the curves built so
+// far are returned alongside ctx.Err().
+func LearningCurve(ctx context.Context, sc *Scenario, d *Deployed, episodes int) (qcurve, staticCurve []float64, err error) {
 	qrt, err := NewRuntime(d, RuntimeConfig{
 		Mode: PolicyQLearning, Device: sc.Device, Storage: sc.Storage, Seed: sc.Seed,
 	})
@@ -186,6 +204,9 @@ func LearningCurve(sc *Scenario, d *Deployed, episodes int) (qcurve, staticCurve
 		return nil, nil, err
 	}
 	for ep := 0; ep < episodes; ep++ {
+		if err := ctx.Err(); err != nil {
+			return qcurve, staticCurve, err
+		}
 		// Annealed exploration reproduces Fig. 7a's rising curve: early
 		// episodes pay an exploration cost, later ones exploit.
 		qrt.SetExploration(0.3*float64(episodes-ep)/float64(episodes) + 0.01)
@@ -205,7 +226,8 @@ func LearningCurve(sc *Scenario, d *Deployed, episodes int) (qcurve, staticCurve
 
 // ExitUsage runs the Fig. 7b experiment: exit-usage histograms (counts of
 // processed events per exit) for trained Q-learning vs the static LUT.
-func ExitUsage(sc *Scenario, d *Deployed, warmup int) (qhist, shist []int, qproc, sproc int, err error) {
+// The context is checked between warm-up episodes.
+func ExitUsage(ctx context.Context, sc *Scenario, d *Deployed, warmup int) (qhist, shist []int, qproc, sproc int, err error) {
 	qrt, err := NewRuntime(d, RuntimeConfig{
 		Mode: PolicyQLearning, Device: sc.Device, Storage: sc.Storage, Seed: sc.Seed,
 	})
@@ -213,6 +235,9 @@ func ExitUsage(sc *Scenario, d *Deployed, warmup int) (qhist, shist []int, qproc
 		return nil, nil, 0, 0, err
 	}
 	for ep := 0; ep < warmup; ep++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, 0, 0, err
+		}
 		qrt.SetExploration(0.3*float64(warmup-ep)/float64(warmup) + 0.01)
 		if _, err := qrt.Run(sc.Trace, sc.Schedule); err != nil {
 			return nil, nil, 0, 0, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -16,7 +17,7 @@ func TestFig5SystemOrdering(t *testing.T) {
 	}
 	sc := DefaultScenario(42)
 	d := testDeployed(t, 42)
-	rows, err := CompareSystems(sc, d, CompareConfig{})
+	rows, err := CompareSystems(context.Background(), sc, d, CompareConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestLatencyOrdering(t *testing.T) {
 	}
 	sc := DefaultScenario(43)
 	d := testDeployed(t, 43)
-	rows, err := CompareSystems(sc, d, CompareConfig{})
+	rows, err := CompareSystems(context.Background(), sc, d, CompareConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestExitUsageShapes(t *testing.T) {
 	}
 	sc := DefaultScenario(44)
 	d := testDeployed(t, 44)
-	qhist, shist, qproc, sproc, err := ExitUsage(sc, d, 6)
+	qhist, shist, qproc, sproc, err := ExitUsage(context.Background(), sc, d, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestLearningCurveAdaptationBeatsStaticEventually(t *testing.T) {
 	// the static LUT.
 	sc := DefaultScenario(46)
 	d := testDeployed(t, 46)
-	q, s, err := LearningCurve(sc, d, 12)
+	q, s, err := LearningCurve(context.Background(), sc, d, 12)
 	if err != nil {
 		t.Fatal(err)
 	}

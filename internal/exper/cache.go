@@ -1,0 +1,91 @@
+package exper
+
+import (
+	"sync"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+)
+
+// maxDeployCacheEntries bounds the cache so a long-running service fed
+// client-chosen (policy, base seed) pairs cannot grow it without limit;
+// a Deployed holds a full compressed network, so entries are not free.
+const maxDeployCacheEntries = 128
+
+// deployKey identifies one shared deployment: which policy (by its axis
+// name) built from which deployment seed.
+type deployKey struct {
+	policy string
+	seed   uint64
+}
+
+// deployEntry memoizes one build. The once gate means a deployment is
+// built at most once even when concurrent grid runs request it together,
+// and the expensive build runs outside the cache-wide lock so unrelated
+// keys never serialize behind each other.
+type deployEntry struct {
+	once sync.Once
+	d    *core.Deployed
+	err  string
+}
+
+// DeployCache memoizes BuildDeployed outcomes across grid runs, so a
+// session that executes many grids over the same policy axis builds each
+// (policy, deploy seed) deployment exactly once. Failed builds are cached
+// too — a policy that cannot deploy will not be retried every run.
+//
+// Deployments are shared read-only (the engine's worker/determinism
+// contract already depends on that), so handing the same *Deployed to
+// many concurrent grid runs is safe. The cache assumes a policy name is a
+// stable identity: two PolicySpecs with the same Name and deploy seed
+// must build the same policy. The canonical specs in grids.go satisfy
+// this; custom specs should pick distinct names for distinct policies.
+//
+// Capacity is bounded (maxDeployCacheEntries); past the bound an
+// arbitrary entry is evicted. Eviction only costs a rebuild — results
+// are a pure function of (policy, seed), so it never changes outputs.
+type DeployCache struct {
+	mu sync.Mutex
+	m  map[deployKey]*deployEntry
+}
+
+// NewDeployCache returns an empty cache, ready for concurrent use.
+func NewDeployCache() *DeployCache {
+	return &DeployCache{m: make(map[deployKey]*deployEntry)}
+}
+
+// Len reports how many (policy, seed) deployments the cache holds.
+func (c *DeployCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// getOrBuild returns the cached deployment for (name, seed), building
+// and recording it on first use. Concurrent callers of the same key wait
+// for one build; different keys build in parallel.
+func (c *DeployCache) getOrBuild(name string, seed uint64, build func() *compress.Policy) (*core.Deployed, string) {
+	key := deployKey{policy: name, seed: seed}
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		if len(c.m) >= maxDeployCacheEntries {
+			for k := range c.m {
+				delete(c.m, k)
+				break
+			}
+		}
+		e = &deployEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		d, err := core.BuildDeployed(build(), seed)
+		if err != nil {
+			e.err = err.Error()
+			return
+		}
+		e.d = d
+	})
+	return e.d, e.err
+}

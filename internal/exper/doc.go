@@ -29,6 +29,13 @@
 //	res, err := exper.NewEngine(0).Run(grid) // 0 ⇒ GOMAXPROCS workers
 //	fmt.Print(res.AggTable())
 //
+// RunContext adds cooperative cancellation (checked between points and,
+// via internal/core, between training episodes) with partial results
+// preserved; Engine.Cache (a DeployCache) memoizes per-policy
+// deployments across runs; GridSpec is the fully-declarative JSON twin
+// of Grid used by the HTTP serving layer. The public entry point for all
+// of this is the root package's Session.
+//
 // Underneath, the hot tensor kernels (tensor.MatMulInto and the conv
 // im2col-GEMM path) are themselves row-band parallel with pooled scratch
 // buffers, so a single large inference also spreads across cores.

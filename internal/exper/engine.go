@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -18,21 +19,44 @@ type Result struct {
 	Point Point            `json:"point"`
 	Rows  []core.SystemRow `json:"rows,omitempty"`
 	Err   string           `json:"err,omitempty"`
+	// Skipped marks a point that never ran because the grid was canceled
+	// before a worker reached it. Skipped points carry Err = ErrSkipped
+	// and are excluded from aggregation like any other failed point.
+	Skipped bool `json:"skipped,omitempty"`
 }
+
+// ErrSkipped is the Err string recorded on points a canceled run never
+// reached.
+const ErrSkipped = "exper: point skipped (grid canceled)"
 
 // Engine shards a grid's points across a goroutine worker pool. The zero
 // value is ready to use and runs on GOMAXPROCS workers.
 type Engine struct {
-	// Workers caps the pool size (<= 0 means GOMAXPROCS).
+	// Workers caps the pool size (<= 0 means GOMAXPROCS). WorkerCount is
+	// the single place the cap is resolved; NewEngine clamps negative
+	// values, so a Workers set directly to a negative number behaves like
+	// zero too.
 	Workers int
+	// Cache, when set, memoizes policy deployments across grid runs
+	// keyed by (policy name, deploy seed), so repeated grids stop
+	// rebuilding identical Deployed models. Deployments are read-only
+	// during simulation, which is what makes sharing them safe.
+	Cache *DeployCache
 	// OnResult, when set, observes each completed point. It may be called
 	// from any worker but never concurrently; point completion order is
 	// scheduling-dependent, so treat it as progress telemetry only.
 	OnResult func(Result)
 }
 
-// NewEngine returns an engine with the given worker cap.
-func NewEngine(workers int) *Engine { return &Engine{Workers: workers} }
+// NewEngine returns an engine with the given worker cap. Negative caps
+// are clamped to 0 (= one worker per core); this is the one place the
+// user-facing worker knob is validated.
+func NewEngine(workers int) *Engine {
+	if workers < 0 {
+		workers = 0
+	}
+	return &Engine{Workers: workers}
+}
 
 // WorkerCount returns the effective pool size for this engine.
 func (e *Engine) WorkerCount() int {
@@ -42,31 +66,57 @@ func (e *Engine) WorkerCount() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// Run executes every point of the grid and returns the collected results
-// in enumeration order. Each point derives its own RNG streams from
-// (BaseSeed, Index, Seed) and shares no mutable state with its siblings,
-// so the returned GridResult is byte-identical for any worker count.
+// Run executes every point of the grid with no cancellation deadline; it
+// is RunContext with a background context.
 func (e *Engine) Run(g *Grid) (*GridResult, error) {
+	return e.RunContext(context.Background(), g)
+}
+
+// RunContext executes every point of the grid and returns the collected
+// results in enumeration order. Each point derives its own RNG streams
+// from (BaseSeed, Index, Seed) and shares no mutable state with its
+// siblings, so the returned GridResult is byte-identical for any worker
+// count.
+//
+// Cancellation is cooperative and preserves partial results: the context
+// is checked between grid points (and, inside a point, between training
+// episodes). A context that is already dead before the run starts
+// returns (nil, ctx.Err()). Once started, cancellation returns ctx.Err()
+// together with a non-nil GridResult in which every completed point
+// keeps its rows and every unreached point is marked Skipped. Points
+// that did complete are bit-identical to the ones an uncancelled run
+// produces.
+func (e *Engine) RunContext(ctx context.Context, g *Grid) (*GridResult, error) {
 	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	points := g.Points()
 	results := make([]Result, len(points))
+	ran := make([]bool, len(points))
 
 	start := time.Now()
 
-	// Build each policy's deployment once, up front. Deployments are
-	// read-only during surrogate-mode simulation (events carry no
-	// samples, so the network never runs), which makes sharing one copy
-	// across all workers both safe and the paper-faithful semantics: one
-	// deployed model, many conditions. A failed build is recorded and
-	// charged to every point using that policy.
+	// Build each policy's deployment once, up front (or fetch it from the
+	// engine's cross-run cache). Deployments are read-only during
+	// surrogate-mode simulation (events carry no samples, so the network
+	// never runs), which makes sharing one copy across all workers both
+	// safe and the paper-faithful semantics: one deployed model, many
+	// conditions. A failed build is recorded and charged to every point
+	// using that policy.
 	deps := make(map[string]*core.Deployed, len(g.Policies))
 	depErrs := make(map[string]string, len(g.Policies))
 	for i, ps := range g.Policies {
-		d, err := core.BuildDeployed(ps.Build(), g.DeploySeedFor(i))
-		if err != nil {
-			depErrs[ps.Name] = err.Error()
+		if ctx.Err() != nil {
+			// Canceled mid-build: the run has started, so keep the
+			// documented shape — every point skipped, error alongside.
+			break
+		}
+		d, errMsg := e.buildDeployed(ps, g.DeploySeedFor(i))
+		if errMsg != "" {
+			depErrs[ps.Name] = errMsg
 			continue
 		}
 		deps[ps.Name] = d
@@ -96,10 +146,17 @@ func (e *Engine) Run(g *Grid) (*GridResult, error) {
 				// Results land at the point's own slot, so collection
 				// order is deterministic even though completion order
 				// is not.
+				ran[i] = true
+				if ctx.Err() != nil {
+					// A job handed over in the same instant the context
+					// died: skip it rather than start a doomed point.
+					results[i] = Result{Point: points[i], Err: ErrSkipped, Skipped: true}
+					continue
+				}
 				if msg, bad := depErrs[points[i].Policy.Name]; bad {
 					results[i] = Result{Point: points[i], Err: msg}
 				} else {
-					results[i] = runPoint(g, points[i], deps[points[i].Policy.Name])
+					results[i] = runPoint(ctx, g, points[i], deps[points[i].Policy.Name])
 				}
 				if notify != nil {
 					notify(results[i])
@@ -107,20 +164,57 @@ func (e *Engine) Run(g *Grid) (*GridResult, error) {
 			}
 		}()
 	}
+	// The jobs channel is unbuffered, so a cancelled context stops new
+	// points from starting as soon as every in-flight point returns.
+feed:
 	for i := range points {
-		jobs <- i
+		if ctx.Err() != nil {
+			break feed
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
 
-	return &GridResult{Grid: g, Results: results, Elapsed: time.Since(start)}, nil
+	gr := &GridResult{
+		Grid:    g,
+		Results: results,
+		Workers: nw,
+		Elapsed: time.Since(start),
+	}
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if !ran[i] {
+				results[i] = Result{Point: points[i], Err: ErrSkipped, Skipped: true}
+			}
+		}
+		return gr, err
+	}
+	return gr, nil
+}
+
+// buildDeployed resolves one policy's shared deployment, through the
+// cache when the engine has one.
+func (e *Engine) buildDeployed(ps PolicySpec, seed uint64) (*core.Deployed, string) {
+	if e.Cache != nil {
+		return e.Cache.getOrBuild(ps.Name, seed, ps.Build)
+	}
+	d, err := core.BuildDeployed(ps.Build(), seed)
+	if err != nil {
+		return nil, err.Error()
+	}
+	return d, ""
 }
 
 // runPoint materializes and simulates one scenario. Everything the
 // simulation mutates — trace, schedule, device, storage, runtime — is
 // constructed locally from the point's derived seed; the deployment is
 // the policy's shared read-only copy (built fresh when deployed is nil).
-func runPoint(g *Grid, p Point, deployed *core.Deployed) Result {
+func runPoint(ctx context.Context, g *Grid, p Point, deployed *core.Deployed) Result {
 	res := Result{Point: p}
 
 	trace, err := p.Trace.Build(p.RunSeed)
@@ -150,7 +244,7 @@ func runPoint(g *Grid, p Point, deployed *core.Deployed) Result {
 	cfg := core.CompareConfig{Mode: p.Exit.Mode, WarmupEpisodes: p.Exit.Warmup}
 
 	if g.Baselines {
-		rows, err := core.CompareSystems(sc, deployed, cfg)
+		rows, err := core.CompareSystems(ctx, sc, deployed, cfg)
 		if err != nil {
 			res.Err = err.Error()
 			return res
@@ -158,7 +252,7 @@ func runPoint(g *Grid, p Point, deployed *core.Deployed) Result {
 		res.Rows = rows
 		return res
 	}
-	rep, err := core.RunProposed(sc, deployed, cfg)
+	rep, err := core.RunProposed(ctx, sc, deployed, cfg)
 	if err != nil {
 		res.Err = err.Error()
 		return res

@@ -2,6 +2,8 @@ package exper
 
 import (
 	"bytes"
+	"context"
+	"sort"
 	"testing"
 
 	"repro/internal/core"
@@ -150,8 +152,8 @@ func TestAggregateGroupsAcrossSeeds(t *testing.T) {
 				r.Trace, r.System, r.IEpmJ.N(), len(grid.Seeds))
 		}
 	}
-	if rows[0].System != "Our Approach" {
-		t.Fatalf("first aggregate row is %q, want the proposed system", rows[0].System)
+	if !sort.SliceIsSorted(rows, func(a, b int) bool { return rows[a].SortKey() < rows[b].SortKey() }) {
+		t.Fatal("aggregate rows are not sorted by (scenario, system) key")
 	}
 }
 
@@ -182,7 +184,7 @@ func TestPaperCompareGridMatchesCompareSystems(t *testing.T) {
 	}
 
 	p := grid.Points()[0]
-	direct := runPoint(grid, p, nil)
+	direct := runPoint(context.Background(), grid, p, nil)
 	if direct.Err != "" {
 		t.Fatal(direct.Err)
 	}

@@ -264,6 +264,14 @@ func (g *Grid) Points() []Point {
 	return pts
 }
 
+// DeriveSeed exposes the engine's stream-derivation mix for callers that
+// need sibling streams outside a grid (the Session façade derives its
+// per-use RNGs through this, so session-scoped randomness and grid
+// randomness share one scheme).
+func DeriveSeed(base, stream, salt uint64) uint64 {
+	return deriveSeed(base, stream, salt)
+}
+
 // deriveSeed mixes the grid base seed, the point index, and the replicate
 // seed through two splitmix64 avalanche rounds. Distinct inputs map to
 // well-separated streams, and the result depends only on the point's

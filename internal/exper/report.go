@@ -3,6 +3,7 @@ package exper
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -14,17 +15,24 @@ import (
 type GridResult struct {
 	Grid    *Grid    `json:"grid"`
 	Results []Result `json:"results"`
+	// Workers is the resolved worker-pool size that executed the run —
+	// recorded for reproducibility logs (the "how was this produced"
+	// line). Like Elapsed it is excluded from JSON, because the engine's
+	// contract is that serialized output is identical at any worker
+	// count.
+	Workers int `json:"-"`
 	// Elapsed is wall-clock telemetry; it is excluded from JSON so the
 	// serialized output of a grid is reproducible byte for byte.
 	Elapsed time.Duration `json:"-"`
 }
 
 // Errs returns the failed points' error strings (empty when all points
-// succeeded).
+// succeeded). Points a canceled run never reached are skipped, not
+// failed, and are excluded — count them with Skipped.
 func (gr *GridResult) Errs() []string {
 	var errs []string
 	for _, r := range gr.Results {
-		if r.Err != "" {
+		if r.Err != "" && !r.Skipped {
 			errs = append(errs, fmt.Sprintf("point %d (%s seed %d): %s",
 				r.Point.Index, r.Point.GroupKey(), r.Point.Seed, r.Err))
 		}
@@ -32,10 +40,28 @@ func (gr *GridResult) Errs() []string {
 	return errs
 }
 
-// JSON serializes the grid and every per-point row, deterministically:
-// same grid ⇒ same bytes, at any worker count.
+// Skipped counts the points a canceled run never reached.
+func (gr *GridResult) Skipped() int {
+	n := 0
+	for _, r := range gr.Results {
+		if r.Skipped {
+			n++
+		}
+	}
+	return n
+}
+
+// JSON serializes the grid, every per-point row, and the across-seed
+// aggregates, deterministically: same grid ⇒ same bytes, at any worker
+// count. Per-point results are in enumeration order and aggregate rows
+// are key-sorted, so no map-iteration or scheduling order leaks into the
+// output and serialized reports diff cleanly across runs.
 func (gr *GridResult) JSON() ([]byte, error) {
-	return json.MarshalIndent(gr, "", "  ")
+	return json.MarshalIndent(struct {
+		Grid       *Grid    `json:"grid"`
+		Results    []Result `json:"results"`
+		Aggregates []AggRow `json:"aggregates"`
+	}{gr.Grid, gr.Results, gr.Aggregate()}, "", "  ")
 }
 
 // AggRow is one across-seed aggregate: a (scenario, system) pair with
@@ -54,10 +80,17 @@ type AggRow struct {
 	LatencyS     *metrics.Aggregate `json:"latencyS"`
 }
 
+// SortKey is the row's stable ordering identity: the scenario key (all
+// axes except seed) followed by the system name.
+func (r AggRow) SortKey() string {
+	return r.Trace + "|" + r.Device + "|" + r.Policy + "|" + r.Exit + "|" + r.Storage + "|" + r.System
+}
+
 // Aggregate groups results by scenario (all axes except seed) and system,
-// and summarizes IEpmJ, accuracy, and latency across seeds. Rows appear
-// in first-encountered (enumeration) order, so output is deterministic.
-// Failed points are skipped.
+// and summarizes IEpmJ, accuracy, and latency across seeds. Values are
+// accumulated in enumeration order and rows are sorted by (scenario,
+// system) key, so the output is deterministic and key-order-stable no
+// matter how the grid's axes are permuted. Failed points are skipped.
 func (gr *GridResult) Aggregate() []AggRow {
 	type key struct{ group, system string }
 	index := map[key]int{}
@@ -93,6 +126,7 @@ func (gr *GridResult) Aggregate() []AggRow {
 			}
 		}
 	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].SortKey() < rows[b].SortKey() })
 	return rows
 }
 

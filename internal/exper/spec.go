@@ -1,0 +1,145 @@
+package exper
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/compress"
+	"repro/internal/mcu"
+	"repro/internal/multiexit"
+)
+
+// GridSpec is the fully-declarative, JSON-serializable twin of Grid: the
+// device and policy axes are named instead of carrying Go constructors,
+// so a grid can cross a process boundary (the ehserved HTTP API submits
+// these). Empty axes default to the paper's §V values, which keeps the
+// minimal spec — `{"seeds":[1]}` — runnable.
+type GridSpec struct {
+	Name         string `json:"name,omitempty"`
+	BaseSeed     uint64 `json:"baseSeed,omitempty"`
+	Events       int    `json:"events,omitempty"`
+	EventClasses int    `json:"eventClasses,omitempty"`
+	Baselines    bool   `json:"baselines,omitempty"`
+
+	Traces []TraceSpec `json:"traces,omitempty"`
+	// Devices names MCU axis values; see DeviceNames for the registry.
+	Devices []string `json:"devices,omitempty"`
+	// Policies names compression-policy axis values; see PolicyNames.
+	Policies []string      `json:"policies,omitempty"`
+	Exits    []ExitSpec    `json:"exits,omitempty"`
+	Storages []StorageSpec `json:"storages,omitempty"`
+	Seeds    []uint64      `json:"seeds,omitempty"`
+}
+
+// Grid resolves the named axes against the device and policy registries
+// and returns a validated, runnable grid.
+func (s *GridSpec) Grid() (*Grid, error) {
+	g := &Grid{
+		Name:         s.Name,
+		BaseSeed:     s.BaseSeed,
+		Events:       s.Events,
+		EventClasses: s.EventClasses,
+		Baselines:    s.Baselines,
+		Traces:       s.Traces,
+		Exits:        s.Exits,
+		Storages:     s.Storages,
+		Seeds:        s.Seeds,
+	}
+	if g.Name == "" {
+		g.Name = "grid"
+	}
+	if len(g.Traces) == 0 {
+		g.Traces = []TraceSpec{PaperSolarTrace(0.032)}
+	}
+	if len(g.Exits) == 0 {
+		g.Exits = []ExitSpec{QLearningExit(0)}
+	}
+	if len(g.Storages) == 0 {
+		g.Storages = []StorageSpec{Capacitor(6)}
+	}
+	if len(g.Seeds) == 0 {
+		g.Seeds = []uint64{1}
+	}
+	devices := s.Devices
+	if len(devices) == 0 {
+		devices = []string{"MSP432"}
+	}
+	for _, name := range devices {
+		d, err := LookupDevice(name)
+		if err != nil {
+			return nil, err
+		}
+		g.Devices = append(g.Devices, d)
+	}
+	policies := s.Policies
+	if len(policies) == 0 {
+		policies = []string{"nonuniform"}
+	}
+	for _, name := range policies {
+		p, err := LookupPolicy(name)
+		if err != nil {
+			return nil, err
+		}
+		g.Policies = append(g.Policies, p)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// deviceRegistry maps the MCU names a declarative spec may use.
+var deviceRegistry = map[string]func() *mcu.Device{
+	"MSP432":       mcu.MSP432,
+	"MSP430FR5994": mcu.MSP430FR5994,
+	"ApolloM4":     mcu.ApolloM4,
+}
+
+// policyRegistry maps the compression-policy names a declarative spec may
+// use. Policies that are defined relative to an architecture are anchored
+// to the paper's LeNet-EE, which is what every grid deploys.
+var policyRegistry = map[string]func() *compress.Policy{
+	"nonuniform": compress.Fig1bNonuniform,
+	"fig1b-uniform": func() *compress.Policy {
+		return compress.Fig1bUniform(multiexit.LeNetEE(nil))
+	},
+	"full-precision": func() *compress.Policy {
+		return compress.FullPrecision(multiexit.LeNetEE(nil))
+	},
+	"uniform-half-8bit": func() *compress.Policy {
+		return compress.Uniform(multiexit.LeNetEE(nil), 0.5, 8, 8)
+	},
+}
+
+// LookupDevice resolves a registry device name to an axis value.
+func LookupDevice(name string) (DeviceSpec, error) {
+	build, ok := deviceRegistry[name]
+	if !ok {
+		return DeviceSpec{}, fmt.Errorf("exper: unknown device %q (known: %v)", name, DeviceNames())
+	}
+	return Device(name, build), nil
+}
+
+// LookupPolicy resolves a registry policy name to an axis value.
+func LookupPolicy(name string) (PolicySpec, error) {
+	build, ok := policyRegistry[name]
+	if !ok {
+		return PolicySpec{}, fmt.Errorf("exper: unknown policy %q (known: %v)", name, PolicyNames())
+	}
+	return Policy(name, build), nil
+}
+
+// DeviceNames lists the registry device names, sorted.
+func DeviceNames() []string { return sortedKeys(deviceRegistry) }
+
+// PolicyNames lists the registry policy names, sorted.
+func PolicyNames() []string { return sortedKeys(policyRegistry) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/accmodel"
@@ -61,8 +62,10 @@ func (r *Result) record(lps []compress.LayerPolicy, out *evalOut) {
 }
 
 // Random runs pure random search over the policy space with the same
-// evaluation budget as RL — the simplest ablation baseline.
-func Random(net *multiexit.Network, sur *accmodel.Surrogate, cfg Config) (*Result, error) {
+// evaluation budget as RL — the simplest ablation baseline. The context
+// is checked between episodes; on cancellation the best-so-far Result is
+// returned alongside ctx.Err().
+func Random(ctx context.Context, net *multiexit.Network, sur *accmodel.Surrogate, cfg Config) (*Result, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
@@ -71,6 +74,9 @@ func Random(net *multiexit.Network, sur *accmodel.Surrogate, cfg Config) (*Resul
 	res := &Result{}
 	best := math.Inf(-1)
 	for ep := 0; ep < cfg.Episodes; ep++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		lps := e.randomPolicy(rng)
 		score, feasible, out, err := e.scorePolicy(lps)
 		if err != nil {
@@ -89,8 +95,9 @@ func Random(net *multiexit.Network, sur *accmodel.Surrogate, cfg Config) (*Resul
 // Annealing runs simulated annealing: random single-layer mutations with
 // a geometric temperature schedule. Infeasible states are admitted early
 // (scored by negative violation) so the chain can cross constraint
-// boundaries.
-func Annealing(net *multiexit.Network, sur *accmodel.Surrogate, cfg Config) (*Result, error) {
+// boundaries. The context is checked between episodes; on cancellation
+// the best-so-far Result is returned alongside ctx.Err().
+func Annealing(ctx context.Context, net *multiexit.Network, sur *accmodel.Surrogate, cfg Config) (*Result, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
@@ -110,6 +117,9 @@ func Annealing(net *multiexit.Network, sur *accmodel.Surrogate, cfg Config) (*Re
 	}
 	temp := 0.3
 	for ep := 0; ep < cfg.Episodes; ep++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		cand := append([]compress.LayerPolicy(nil), cur...)
 		l := rng.Intn(len(cand))
 		switch rng.Intn(3) {

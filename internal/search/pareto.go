@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -77,9 +78,9 @@ func (f *ParetoFront) String() string {
 
 // RLWithPareto runs the RL search while also recording the Pareto front
 // of every evaluated candidate (feasible or not).
-func RLWithPareto(net *multiexit.Network, sur *accmodel.Surrogate, cfg Config) (*Result, *ParetoFront, error) {
+func RLWithPareto(ctx context.Context, net *multiexit.Network, sur *accmodel.Surrogate, cfg Config) (*Result, *ParetoFront, error) {
 	front := &ParetoFront{}
-	res, err := rlInner(net, sur, cfg, func(lps []compress.LayerPolicy, racc float64, m compress.Measure) {
+	res, err := rlInner(ctx, net, sur, cfg, func(lps []compress.LayerPolicy, racc float64, m compress.Measure) {
 		front.Add(ParetoPoint{
 			Policy:      &compress.Policy{Layers: append([]compress.LayerPolicy(nil), lps...)},
 			Racc:        racc,

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -66,7 +67,7 @@ func TestRLWithParetoBuildsFront(t *testing.T) {
 		t.Skip("search test skipped in -short")
 	}
 	net, sur := newSearchNet(t)
-	res, front, err := RLWithPareto(net, sur, testEnvConfig(15))
+	res, front, err := RLWithPareto(context.Background(), net, sur, testEnvConfig(15))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -259,14 +260,16 @@ func EstimateExitShares(exitCostsMJ []float64, trace *energy.Trace, schedule *en
 	return shares
 }
 
-// RL runs the dual-agent DDPG search of §III-B.
-func RL(net *multiexit.Network, sur *accmodel.Surrogate, cfg Config) (*Result, error) {
-	return rlInner(net, sur, cfg, nil)
+// RL runs the dual-agent DDPG search of §III-B. The context is checked
+// between episodes; on cancellation the best-so-far Result is returned
+// alongside ctx.Err().
+func RL(ctx context.Context, net *multiexit.Network, sur *accmodel.Surrogate, cfg Config) (*Result, error) {
+	return rlInner(ctx, net, sur, cfg, nil)
 }
 
 // rlInner is RL with an optional per-candidate observer (used by
 // RLWithPareto).
-func rlInner(net *multiexit.Network, sur *accmodel.Surrogate, cfg Config, observe func([]compress.LayerPolicy, float64, compress.Measure)) (*Result, error) {
+func rlInner(ctx context.Context, net *multiexit.Network, sur *accmodel.Surrogate, cfg Config, observe func([]compress.LayerPolicy, float64, compress.Measure)) (*Result, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
@@ -289,6 +292,9 @@ func rlInner(net *multiexit.Network, sur *accmodel.Surrogate, cfg Config, observ
 	best := math.Inf(-1)
 
 	for ep := 0; ep < cfg.Episodes; ep++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		lps := make([]compress.LayerPolicy, L)
 		obss := make([][]float32, L)
 		pruneActs := make([][]float32, L)

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -38,7 +39,7 @@ func newSearchNet(t *testing.T) (*multiexit.Network, *accmodel.Surrogate) {
 
 func TestConfigRequiresTraceAndSchedule(t *testing.T) {
 	net, sur := newSearchNet(t)
-	if _, err := RL(net, sur, Config{Episodes: 1}); err == nil {
+	if _, err := RL(context.Background(), net, sur, Config{Episodes: 1}); err == nil {
 		t.Fatal("missing trace/schedule accepted")
 	}
 }
@@ -84,7 +85,7 @@ func TestRLSearchFindsFeasiblePolicy(t *testing.T) {
 		t.Skip("search test skipped in -short")
 	}
 	net, sur := newSearchNet(t)
-	res, err := RL(net, sur, testEnvConfig(40))
+	res, err := RL(context.Background(), net, sur, testEnvConfig(40))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestRLSearchLeavesNetworkRestored(t *testing.T) {
 	net, sur := newSearchNet(t)
 	origFLOPs := net.ModelFLOPs()
 	w0 := net.Params()[0].Value.Clone()
-	if _, err := RL(net, sur, testEnvConfig(10)); err != nil {
+	if _, err := RL(context.Background(), net, sur, testEnvConfig(10)); err != nil {
 		t.Fatal(err)
 	}
 	if net.ModelFLOPs() != origFLOPs {
@@ -134,7 +135,7 @@ func TestRLSearchLeavesNetworkRestored(t *testing.T) {
 
 func TestRandomSearchRuns(t *testing.T) {
 	net, sur := newSearchNet(t)
-	res, err := Random(net, sur, testEnvConfig(30))
+	res, err := Random(context.Background(), net, sur, testEnvConfig(30))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestRandomSearchRuns(t *testing.T) {
 
 func TestAnnealingSearchImprovesOrMatchesStart(t *testing.T) {
 	net, sur := newSearchNet(t)
-	res, err := Annealing(net, sur, testEnvConfig(60))
+	res, err := Annealing(context.Background(), net, sur, testEnvConfig(60))
 	if err != nil {
 		t.Fatal(err)
 	}

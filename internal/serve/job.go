@@ -1,0 +1,161 @@
+// Package serve is the first serving surface of the system: an HTTP/JSON
+// API that accepts declarative grid specs (exper.GridSpec), executes them
+// on a shared ehinfer.Session, and exposes status, per-point NDJSON
+// streaming, and aggregated results. It is the layer cmd/ehserved wraps
+// in a daemon.
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	ehinfer "repro"
+)
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// job is one submitted grid run. Workers append completed points under
+// mu and broadcast on cond; streaming handlers follow the results slice
+// like a tail.
+type job struct {
+	id     string
+	grid   *ehinfer.ExperimentGrid
+	total  int
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	state   JobState
+	results []ehinfer.ExperimentResult // completion order
+	final   *ehinfer.GridResult
+	errMsg  string
+	started time.Time
+	elapsed time.Duration
+}
+
+func newJob(id string, grid *ehinfer.ExperimentGrid, cancel context.CancelFunc) *job {
+	j := &job{
+		id:      id,
+		grid:    grid,
+		total:   grid.Size(),
+		cancel:  cancel,
+		state:   StateRunning,
+		started: time.Now(),
+	}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// run drives the grid to completion on the session, feeding the
+// streaming side as points finish. It blocks until the run ends.
+func (j *job) run(ctx context.Context, session *ehinfer.Session) {
+	gr := session.StartGrid(ctx, j.grid)
+	for res := range gr.Results() {
+		j.mu.Lock()
+		j.results = append(j.results, res)
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	}
+	final, err := gr.Wait()
+
+	j.mu.Lock()
+	defer func() {
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	}()
+	j.final = final
+	j.elapsed = time.Since(j.started)
+	switch {
+	case err == nil:
+		j.state = StateDone
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Classify by the run's own error, not ctx.Err(): a run that
+		// failed for a real reason in the same instant the context died
+		// must surface the failure, not masquerade as canceled.
+		j.state = StateCanceled
+		j.errMsg = err.Error()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+}
+
+// snapshot returns the job's status under lock.
+func (j *job) snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		Name:      j.grid.Name,
+		State:     j.state,
+		Completed: len(j.results),
+		Total:     j.total,
+		Err:       j.errMsg,
+	}
+	if j.state == StateRunning {
+		st.ElapsedMS = time.Since(j.started).Milliseconds()
+	} else {
+		st.ElapsedMS = j.elapsed.Milliseconds()
+		if j.final != nil {
+			st.Workers = j.final.Workers
+			st.PointErrs = len(j.final.Errs())
+		}
+	}
+	return st
+}
+
+// next blocks until the job has more than n streamed results, the run
+// leaves StateRunning, or ctx is canceled. It returns the new results
+// beyond n and the job's current state.
+func (j *job) next(ctx context.Context, n int) ([]ehinfer.ExperimentResult, JobState) {
+	// cond.Wait cannot watch a context, so a canceled ctx wakes all
+	// waiters and each re-checks its own exit condition.
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for len(j.results) <= n && j.state == StateRunning && ctx.Err() == nil {
+		j.cond.Wait()
+	}
+	batch := append([]ehinfer.ExperimentResult(nil), j.results[n:]...)
+	return batch, j.state
+}
+
+// finalResult returns the completed run's GridResult, or nil while the
+// job is still running.
+func (j *job) finalResult() (*ehinfer.GridResult, JobState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.final, j.state
+}
+
+// JobStatus is the wire form of a job's state (GET /v1/grids/{id}).
+type JobStatus struct {
+	ID        string   `json:"id"`
+	Name      string   `json:"name"`
+	State     JobState `json:"state"`
+	Completed int      `json:"completed"`
+	Total     int      `json:"total"`
+	// Workers is the resolved pool size, known once the run finished.
+	Workers int `json:"workers,omitempty"`
+	// PointErrs counts failed points in a finished run.
+	PointErrs int    `json:"pointErrs,omitempty"`
+	ElapsedMS int64  `json:"elapsedMs"`
+	Err       string `json:"err,omitempty"`
+}

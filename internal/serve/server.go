@@ -1,0 +1,388 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	ehinfer "repro"
+	"repro/internal/exper"
+)
+
+// maxSpecBytes bounds a submitted grid spec; real specs are a few KB.
+const maxSpecBytes = 1 << 20
+
+// Server is the HTTP/JSON grid-execution service. All grids run on one
+// shared Session, so they share its worker cap and deployment cache.
+//
+// Routes:
+//
+//	POST   /v1/grids            submit a GridSpec; 202 + job id
+//	POST   /v1/grids?stream=1   submit and stream NDJSON results on the
+//	                            request itself (client disconnect cancels
+//	                            the run)
+//	GET    /v1/grids            list jobs
+//	GET    /v1/grids/{id}       status + progress
+//	GET    /v1/grids/{id}/results            final aggregated JSON
+//	GET    /v1/grids/{id}/results?format=ndjson  follow per-point results
+//	DELETE /v1/grids/{id}       cancel a running job
+//	GET    /healthz             liveness
+type Server struct {
+	session *ehinfer.Session
+	mux     *http.ServeMux
+
+	// baseCtx parents every async job; Shutdown cancels it.
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order, for listing
+	nextID int
+	closed bool
+}
+
+// New builds a server executing grids on the given session (nil means a
+// default session).
+func New(session *ehinfer.Session) *Server {
+	if session == nil {
+		session = ehinfer.NewSession()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	sv := &Server{
+		session: session,
+		mux:     http.NewServeMux(),
+		baseCtx: ctx,
+		stop:    cancel,
+		jobs:    make(map[string]*job),
+	}
+	sv.mux.HandleFunc("POST /v1/grids", sv.handleSubmit)
+	sv.mux.HandleFunc("GET /v1/grids", sv.handleList)
+	sv.mux.HandleFunc("GET /v1/grids/{id}", sv.handleStatus)
+	sv.mux.HandleFunc("GET /v1/grids/{id}/results", sv.handleResults)
+	sv.mux.HandleFunc("DELETE /v1/grids/{id}", sv.handleCancel)
+	sv.mux.HandleFunc("GET /v1/registry", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, Registry())
+	})
+	sv.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return sv
+}
+
+// ServeHTTP implements http.Handler.
+func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { sv.mux.ServeHTTP(w, r) }
+
+// Shutdown cancels every running job, rejects new submissions, and waits
+// for workers to drain (or ctx to expire). Call it after the HTTP
+// listener has stopped accepting requests.
+func (sv *Server) Shutdown(ctx context.Context) error {
+	sv.mu.Lock()
+	sv.closed = true
+	sv.mu.Unlock()
+	sv.stop()
+	done := make(chan struct{})
+	go func() {
+		sv.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// maxRetainedJobs bounds how many finished jobs the server keeps for
+// status/results queries; past it the oldest finished jobs are dropped
+// so a long-lived daemon does not accumulate result sets forever.
+const maxRetainedJobs = 128
+
+// register admits a new job under the server lock; it fails once the
+// server is shutting down. On success the server's WaitGroup has been
+// incremented for the job — the caller MUST run the job in a goroutine
+// that calls sv.wg.Done. (The Add must happen under the same lock that
+// Shutdown uses to flip closed, or a racing Shutdown could observe a
+// zero WaitGroup and "drain" before the job even starts.)
+func (sv *Server) register(grid *ehinfer.ExperimentGrid, cancel context.CancelFunc) (*job, error) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if sv.closed {
+		return nil, fmt.Errorf("serve: server is shutting down")
+	}
+	sv.nextID++
+	j := newJob(fmt.Sprintf("g%d", sv.nextID), grid, cancel)
+	sv.jobs[j.id] = j
+	sv.order = append(sv.order, j.id)
+	sv.pruneLocked()
+	sv.wg.Add(1)
+	return j, nil
+}
+
+// pruneLocked drops the oldest finished jobs beyond maxRetainedJobs.
+// Running jobs are never dropped. Caller holds sv.mu.
+func (sv *Server) pruneLocked() {
+	if len(sv.order) <= maxRetainedJobs {
+		return
+	}
+	kept := sv.order[:0]
+	excess := len(sv.order) - maxRetainedJobs
+	for _, id := range sv.order {
+		j := sv.jobs[id]
+		if excess > 0 && j != nil {
+			if _, state := j.finalResult(); state != StateRunning {
+				delete(sv.jobs, id)
+				excess--
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	sv.order = kept
+}
+
+func (sv *Server) lookup(id string) *job {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.jobs[id]
+}
+
+// handleSubmit parses a GridSpec and either launches it asynchronously
+// (202 + poll URLs) or, with ?stream=1, runs it bound to the request
+// context and streams NDJSON per-point results — cancel the request and
+// the workers stop at the next point/episode boundary.
+func (sv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec exper.GridSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad grid spec: %w", err))
+		return
+	}
+	grid, err := spec.Grid()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+
+	if r.URL.Query().Get("stream") != "" {
+		sv.runStreaming(w, r, grid)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(sv.baseCtx)
+	j, err := sv.register(grid, cancel) // on success, wg is incremented for the job
+	if err != nil {
+		cancel()
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	go func() {
+		defer sv.wg.Done()
+		defer cancel()
+		j.run(ctx, sv.session)
+	}()
+
+	w.Header().Set("Location", "/v1/grids/"+j.id)
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":      j.id,
+		"name":    grid.Name,
+		"points":  grid.Size(),
+		"status":  "/v1/grids/" + j.id,
+		"results": "/v1/grids/" + j.id + "/results",
+	})
+}
+
+// runStreaming executes the grid synchronously on the request: one NDJSON
+// line per completed point, then a final summary line. The run inherits
+// the request context, so client disconnects abort the grid promptly.
+func (sv *Server) runStreaming(w http.ResponseWriter, r *http.Request, grid *ehinfer.ExperimentGrid) {
+	ctx, cancel := mergeCancel(r.Context(), sv.baseCtx)
+	defer cancel()
+	j, err := sv.register(grid, cancel) // on success, wg is incremented for the job
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flush(w)
+
+	runDone := make(chan struct{})
+	go func() {
+		defer sv.wg.Done()
+		defer close(runDone)
+		j.run(ctx, sv.session)
+	}()
+
+	enc := json.NewEncoder(w)
+	sent := 0
+	for {
+		batch, state := j.next(ctx, sent)
+		for _, res := range batch {
+			if err := enc.Encode(res); err != nil {
+				cancel() // client is gone: abort the workers
+				<-runDone
+				return
+			}
+			sent++
+		}
+		flush(w)
+		if state != StateRunning {
+			break
+		}
+		if ctx.Err() != nil {
+			<-runDone
+			return
+		}
+	}
+	<-runDone
+	_, state := j.finalResult()
+	st := j.snapshot()
+	_ = enc.Encode(map[string]any{
+		"done": true, "state": state, "completed": st.Completed,
+		"total": st.Total, "pointErrs": st.PointErrs, "workers": st.Workers,
+	})
+}
+
+func (sv *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	sv.mu.Lock()
+	ids := append([]string(nil), sv.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, sv.jobs[id])
+	}
+	sv.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.snapshot())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"grids": out})
+}
+
+func (sv *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := sv.lookup(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown grid %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleResults serves a finished job's deterministic GridResult JSON
+// (grid, per-point rows in enumeration order, key-sorted aggregates).
+// With ?format=ndjson it instead follows the run live, one per-point
+// result per line, ending with a summary line — usable both mid-run and
+// after completion.
+func (sv *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j := sv.lookup(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown grid %q", r.PathValue("id")))
+		return
+	}
+	if r.URL.Query().Get("format") == "ndjson" {
+		sv.followNDJSON(w, r, j)
+		return
+	}
+	final, state := j.finalResult()
+	if state == StateRunning {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error":  "grid still running; poll status or use ?format=ndjson to stream",
+			"status": j.snapshot(),
+		})
+		return
+	}
+	if final == nil {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("grid %s finished without results: %s", j.id, j.snapshot().Err))
+		return
+	}
+	data, err := final.JSON()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// followNDJSON tails a job's per-point results: everything completed so
+// far, then live updates until the job leaves StateRunning or the client
+// disconnects. Disconnecting a follower never cancels the job itself.
+func (sv *Server) followNDJSON(w http.ResponseWriter, r *http.Request, j *job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flush(w)
+	enc := json.NewEncoder(w)
+	sent := 0
+	for {
+		batch, state := j.next(r.Context(), sent)
+		for _, res := range batch {
+			if err := enc.Encode(res); err != nil {
+				return
+			}
+			sent++
+		}
+		flush(w)
+		if state != StateRunning {
+			st := j.snapshot()
+			_ = enc.Encode(map[string]any{
+				"done": true, "state": state, "completed": st.Completed,
+				"total": st.Total, "pointErrs": st.PointErrs, "workers": st.Workers,
+			})
+			return
+		}
+		if r.Context().Err() != nil {
+			return
+		}
+	}
+}
+
+func (sv *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := sv.lookup(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown grid %q", r.PathValue("id")))
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// Registry reports the axis names a GridSpec may reference — surfaced so
+// clients can discover valid devices/policies without reading source.
+func Registry() map[string][]string {
+	devices := exper.DeviceNames()
+	policies := exper.PolicyNames()
+	sort.Strings(devices)
+	sort.Strings(policies)
+	return map[string][]string{"devices": devices, "policies": policies}
+}
+
+// mergeCancel returns a context canceled when either parent is.
+func mergeCancel(a, b context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(a)
+	stop := context.AfterFunc(b, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+func flush(w http.ResponseWriter) {
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
