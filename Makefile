@@ -5,10 +5,14 @@ GO ?= go
 
 # The root-package micro benchmark set (micro_bench_test.go); bench-json
 # archives exactly these so the perf trajectory is comparable PR to PR.
-MICROBENCH = ^Benchmark(InferToExit1|InferToExit3|IncrementalResume|TrainStep|ApplyCompressionPolicy|QuantizeWeights8bit|QTableUpdate|SolarTraceGeneration|SynthCIFARSample|EngineRunToCompletion|FullSimulationEpisode)$$
-BENCH_JSON ?= BENCH_pr2.json
+MICROBENCH = ^Benchmark(InferToExit1|InferToExit3|InferToExit3Int8|LegacyInferToExit3|IncrementalResume|LegacyIncrementalResume|PlanCompile|TrainStep|ApplyCompressionPolicy|QuantizeWeights8bit|QTableUpdate|SolarTraceGeneration|SynthCIFARSample|EngineRunToCompletion|FullSimulationEpisode)$$
+BENCH_JSON ?= BENCH_pr3.json
 
-.PHONY: all build test race bench bench-json fmt fmt-check lint staticcheck clean
+# The hot-path subset bench-smoke gates in CI: a kernel regression that
+# breaks inference or the episode loop fails the build.
+SMOKEBENCH = ^Benchmark(InferToExit1|InferToExit3|InferToExit3Int8|IncrementalResume|FullSimulationEpisode)$$
+
+.PHONY: all build test race bench bench-smoke bench-json fmt fmt-check lint staticcheck clean
 
 all: build
 
@@ -28,11 +32,15 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-## bench-json: run the micro benchmarks and archive them as $(BENCH_JSON)
-## (two steps, no pipe: a failing benchmark run must fail the target,
-## not hand benchjson an empty stream)
+## bench-smoke: run the inference/episode hot-path benchmarks exactly once
+bench-smoke:
+	$(GO) test -run='^$$' -bench='$(SMOKEBENCH)' -benchtime=1x -benchmem .
+
+## bench-json: run the micro benchmarks (with allocation metrics) and
+## archive them as $(BENCH_JSON) (two steps, no pipe: a failing benchmark
+## run must fail the target, not hand benchjson an empty stream)
 bench-json:
-	$(GO) test -run='^$$' -bench='$(MICROBENCH)' -benchtime=100ms . > $(BENCH_JSON).bench.out
+	$(GO) test -run='^$$' -bench='$(MICROBENCH)' -benchtime=100ms -benchmem . > $(BENCH_JSON).bench.out
 	$(GO) run ./cmd/benchjson < $(BENCH_JSON).bench.out > $(BENCH_JSON)
 	@rm -f $(BENCH_JSON).bench.out
 	@echo "wrote $(BENCH_JSON)"

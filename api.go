@@ -76,6 +76,9 @@ type (
 	SystemRow = core.SystemRow
 	// PolicyMode selects Q-learning vs static-LUT exit selection.
 	PolicyMode = core.PolicyMode
+	// InferBackend selects the empirical-mode inference backend:
+	// compiled plan (default), legacy layer walk, or int8 fixed-point.
+	InferBackend = core.InferBackend
 
 	// Report aggregates simulation outcomes (IEpmJ, accuracy, latency).
 	Report = metrics.Report
@@ -160,6 +163,27 @@ const (
 	PolicyQLearning = core.PolicyQLearning
 	PolicyStaticLUT = core.PolicyStaticLUT
 )
+
+// Inference backends. The zero value BackendDefault means "no explicit
+// choice" and resolves to BackendPlan: a compiled zero-allocation
+// inference plan whose float32 output is bit-identical to the legacy
+// layer walk. BackendInt8 runs the fixed-point pipeline (int8 weights,
+// uint8 activations, int32 accumulators) — faster on integer hardware
+// and numerically closer to the deployed MCU, at the cost of exactness;
+// BackendLegacy is the original layer walk.
+const (
+	BackendDefault = core.BackendDefault
+	BackendPlan    = core.BackendPlan
+	BackendLegacy  = core.BackendLegacy
+	BackendInt8    = core.BackendInt8
+)
+
+// ParseBackend resolves a backend name ("plan"/"float32", "legacy",
+// "int8"); "" yields BackendDefault.
+func ParseBackend(name string) (InferBackend, error) { return core.ParseBackend(name) }
+
+// BackendNames lists the canonical inference-backend names.
+func BackendNames() []string { return core.BackendNames() }
 
 // Paper constants.
 const (

@@ -28,6 +28,16 @@
 //     any worker count; the tensor kernels underneath (row-band parallel
 //     MatMul, pooled im2col-GEMM conv) spread single inferences across
 //     cores as well;
+//   - compiled inference plans (internal/plan): a deployment-time
+//     compiler that turns the multi-exit network into a zero-allocation
+//     program — precomputed shapes and conv geometry, a reusable
+//     double-buffered activation arena, fused conv+bias+ReLU steps over
+//     register-blocked kernels — with float32 output bit-identical to
+//     the layer walk, plus an int8 fixed-point backend (int8 weights,
+//     uint8 activations, int32 accumulators) selectable via
+//     Session.WithBackend, RuntimeConfig.Backend, or a GridSpec's
+//     "backend" field; float plans are cached per deployment alongside
+//     the experiment engine's deployment cache;
 //   - the HTTP serving layer (internal/serve, cmd/ehserved): submit
 //     declarative GridSpecs, poll progress, stream per-point results as
 //     NDJSON, fetch deterministic final reports, with graceful shutdown.

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/plan"
+	"repro/internal/tensor"
+)
+
+// InferBackend selects how empirical-mode inference executes. Surrogate
+// runs never execute the network, so the backend only matters when a
+// RuntimeConfig carries a TestSet.
+type InferBackend int
+
+const (
+	// BackendDefault (the zero value) means "no explicit choice": it
+	// resolves to BackendPlan unless an outer default — a Session's
+	// WithBackend or an engine's Backend field — overrides it. Keeping
+	// the unset state distinct from BackendPlan lets an explicit plan
+	// request win over such defaults.
+	BackendDefault InferBackend = iota
+	// BackendPlan runs the compiled zero-allocation inference plan
+	// (internal/plan). Output is bit-identical to the legacy layer
+	// walk; it is strictly a performance choice.
+	BackendPlan
+	// BackendLegacy walks nn.Sequential layer by layer — the original
+	// path, kept as the semantic reference.
+	BackendLegacy
+	// BackendInt8 runs the compiled int8 pipeline: int8 weights, uint8
+	// activations, int32 accumulators. Faster and closer to what a real
+	// MCU executes, but an approximation of the float result.
+	BackendInt8
+)
+
+func (b InferBackend) String() string {
+	switch b {
+	case BackendDefault:
+		return "default"
+	case BackendPlan:
+		return "plan"
+	case BackendLegacy:
+		return "legacy"
+	case BackendInt8:
+		return "int8"
+	default:
+		return fmt.Sprintf("InferBackend(%d)", int(b))
+	}
+}
+
+// Resolve maps BackendDefault to the concrete default (BackendPlan);
+// explicit choices pass through.
+func (b InferBackend) Resolve() InferBackend {
+	if b == BackendDefault {
+		return BackendPlan
+	}
+	return b
+}
+
+// ParseBackend resolves a backend name: "" → BackendDefault, "plan" (or
+// its alias "float32") → BackendPlan, plus "legacy" and "int8".
+func ParseBackend(name string) (InferBackend, error) {
+	switch name {
+	case "":
+		return BackendDefault, nil
+	case "plan", "float32":
+		return BackendPlan, nil
+	case "legacy":
+		return BackendLegacy, nil
+	case "int8":
+		return BackendInt8, nil
+	default:
+		return 0, fmt.Errorf("core: unknown inference backend %q (known: %v)", name, BackendNames())
+	}
+}
+
+// BackendNames lists the canonical backend names a declarative spec may
+// use.
+func BackendNames() []string { return []string{"int8", "legacy", "plan"} }
+
+// planCache lazily compiles the deployment's float32 inference plan.
+// It lives on the Deployed, which the experiment engine's DeployCache
+// shares across grid runs — so plans are compiled once per (deployment
+// key, geometry), alongside the deployment itself. The int8 plan is
+// deliberately not cached here: its lowering is calibrated on the
+// runtime's own test samples, so each Runtime compiles its own (the
+// compile is milliseconds against a multi-second simulation).
+type planCache struct {
+	once sync.Once
+	p    *plan.Plan
+	err  error
+}
+
+// FloatPlan returns the deployment's compiled float32 plan, compiling it
+// on first use. An error means the architecture cannot be compiled (the
+// runtime then falls back to the layer walk).
+func (d *Deployed) FloatPlan() (*plan.Plan, error) {
+	d.planc.once.Do(func() {
+		geom, err := plan.InferGeometry(d.Net)
+		if err != nil {
+			d.planc.err = err
+			return
+		}
+		d.planc.p, d.planc.err = plan.Compile(d.Net, geom)
+	})
+	return d.planc.p, d.planc.err
+}
+
+// int8Plan compiles the deployment's int8 plan with the given
+// calibration images.
+func (d *Deployed) int8Plan(calibration []*tensor.Tensor) (*plan.Plan, error) {
+	geom, err := plan.InferGeometry(d.Net)
+	if err != nil {
+		return nil, err
+	}
+	return plan.CompileInt8(d.Net, geom, plan.Int8Config{Calibration: calibration})
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/multiexit"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestParseBackend(t *testing.T) {
+	cases := map[string]InferBackend{
+		"": BackendDefault, "plan": BackendPlan, "float32": BackendPlan,
+		"legacy": BackendLegacy, "int8": BackendInt8,
+	}
+	for name, want := range cases {
+		got, err := ParseBackend(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseBackend(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseBackend("cuda"); err == nil {
+		t.Fatal("expected error for unknown backend")
+	}
+	if BackendPlan.String() != "plan" || BackendLegacy.String() != "legacy" || BackendInt8.String() != "int8" {
+		t.Fatal("backend names drifted from the registry")
+	}
+	if BackendDefault.Resolve() != BackendPlan || BackendInt8.Resolve() != BackendInt8 {
+		t.Fatal("Resolve must map only the unset sentinel to the plan backend")
+	}
+}
+
+// TestInt8BackendUnavailableErrors verifies an explicit int8 request on
+// a deployment that cannot lower returns an error instead of silently
+// running float arithmetic.
+func TestInt8BackendUnavailableErrors(t *testing.T) {
+	// A trunk with no conv layer defeats plan.InferGeometry, so neither
+	// backend can compile this deployment.
+	fc := nn.NewDense("fc", 12, 4)
+	fc.Final = true
+	net := &multiexit.Network{
+		Segments: []*nn.Sequential{nn.NewSequential("seg0", nn.NewFlatten("flat"))},
+		Branches: []*nn.Sequential{nn.NewSequential("branch0", fc)},
+		Classes:  4,
+	}
+	accs := []float64{0.5}
+	d, err := NewDeployed(net, accs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, test := dataset.TrainTest(dataset.SynthConfig{Seed: 1}, 2, 4)
+	_, err = NewRuntime(d, RuntimeConfig{
+		TestSet: test, Backend: BackendInt8, SkipFitCheck: true,
+	})
+	if err == nil {
+		t.Fatal("int8 backend on an uncompilable deployment must error, not fall back to float")
+	}
+	// The plan backend may fall back to the (bit-identical) layer walk.
+	rt, err := NewRuntime(d, RuntimeConfig{
+		TestSet: test, Backend: BackendPlan, SkipFitCheck: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Backend() != BackendLegacy {
+		t.Fatalf("expected reported fallback to legacy, got %v", rt.Backend())
+	}
+}
+
+// empiricalSetup builds a deployed network plus a scenario whose events
+// carry real samples.
+func empiricalSetup(t *testing.T, seed uint64) (*Deployed, *Scenario, *dataset.Set) {
+	t.Helper()
+	_, test := dataset.TrainTest(dataset.SynthConfig{Seed: seed}, 10, 60)
+	net := multiexit.LeNetEE(tensor.NewRNG(seed))
+	accs := multiexit.EvalExits(net, test)
+	d, err := NewDeployed(net, accs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := smallScenario(seed)
+	byClass := make([][]int, 10)
+	for i, s := range test.Samples {
+		byClass[s.Label] = append(byClass[s.Label], i)
+	}
+	if err := sc.Schedule.AttachSamples(byClass, seed); err != nil {
+		t.Fatal(err)
+	}
+	return d, sc, test
+}
+
+// runEmpirical executes one empirical episode on the given backend.
+func runEmpirical(t *testing.T, d *Deployed, sc *Scenario, test *dataset.Set, b InferBackend) (*Runtime, *metrics.Report) {
+	t.Helper()
+	rt, err := NewRuntime(d, RuntimeConfig{
+		Mode: PolicyQLearning, Storage: sc.Storage, Seed: sc.Seed, TestSet: test,
+		Backend: b, SkipFitCheck: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rt.Run(sc.Trace, sc.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, rep
+}
+
+// TestBackendPlanMatchesLegacy is the integration half of the plan
+// parity gate: a full empirical episode (Q-learning decisions, waits,
+// incremental refinement) must produce a byte-identical report on the
+// compiled plan and the legacy layer walk, at worker counts 1 and 4.
+func TestBackendPlanMatchesLegacy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("empirical test skipped in -short")
+	}
+	d, sc, test := empiricalSetup(t, 97)
+	for _, workers := range []int{1, 4} {
+		prev := tensor.SetWorkers(workers)
+		rtPlan, repPlan := runEmpirical(t, d, sc, test, BackendPlan)
+		_, repLegacy := runEmpirical(t, d, sc, test, BackendLegacy)
+		tensor.SetWorkers(prev)
+
+		if rtPlan.Backend() != BackendPlan {
+			t.Fatalf("plan runtime fell back to %v", rtPlan.Backend())
+		}
+		if !reflect.DeepEqual(repPlan, repLegacy) {
+			t.Fatalf("workers=%d: plan-backend report differs from legacy backend", workers)
+		}
+		if repPlan.ProcessedCount() == 0 {
+			t.Fatal("episode processed nothing — parity check is vacuous")
+		}
+	}
+}
+
+// TestBackendInt8Runs checks the int8 backend completes an empirical
+// episode and produces a structurally sane report.
+func TestBackendInt8Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("empirical test skipped in -short")
+	}
+	d, sc, test := empiricalSetup(t, 53)
+	rt, rep := runEmpirical(t, d, sc, test, BackendInt8)
+	if rt.Backend() != BackendInt8 {
+		t.Fatalf("int8 runtime fell back to %v", rt.Backend())
+	}
+	if rep.ProcessedCount() == 0 {
+		t.Fatal("int8 episode processed nothing")
+	}
+}
+
+// TestFloatPlanCachedOnDeployed verifies plan compilation is memoized on
+// the deployment (one compile per deployment key, as the experiment
+// engine's DeployCache shares Deployed values across runs).
+func TestFloatPlanCachedOnDeployed(t *testing.T) {
+	d := testDeployed(t, 3)
+	p1, err := d.FloatPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := d.FloatPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("FloatPlan recompiled instead of returning the cached plan")
+	}
+}
+
+// TestInt8CalibrationOverride verifies a caller-supplied calibration set
+// is used instead of the test-set fallback.
+func TestInt8CalibrationOverride(t *testing.T) {
+	d, sc, test := empiricalSetup(t, 11)
+	rng := tensor.NewRNG(99)
+	calib := make([]*tensor.Tensor, 4)
+	for i := range calib {
+		calib[i] = tensor.New(3, 32, 32)
+		tensor.FillUniform(calib[i], rng, 0, 1)
+	}
+	rt, err := NewRuntime(d, RuntimeConfig{
+		Mode: PolicyStaticLUT, Storage: sc.Storage, Seed: sc.Seed, TestSet: test,
+		Backend: BackendInt8, Calibration: calib, SkipFitCheck: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Backend() != BackendInt8 {
+		t.Fatalf("int8 runtime fell back to %v", rt.Backend())
+	}
+	if _, err := rt.Run(sc.Trace, sc.Schedule); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -112,6 +112,9 @@ type CompareConfig struct {
 	WarmupEpisodes int
 	// Mode for the proposed system (default PolicyQLearning).
 	Mode PolicyMode
+	// Backend selects the empirical-mode inference backend (default
+	// BackendPlan); surrogate runs ignore it.
+	Backend InferBackend
 }
 
 // RunProposed runs the paper's proposed runtime on the scenario — with
@@ -131,6 +134,7 @@ func RunProposed(ctx context.Context, sc *Scenario, d *Deployed, cfg CompareConf
 		Device:  sc.Device,
 		Storage: sc.Storage,
 		Seed:    sc.Seed,
+		Backend: cfg.Backend,
 	})
 	if err != nil {
 		return nil, err

@@ -29,6 +29,7 @@ import (
 	"repro/internal/mcu"
 	"repro/internal/metrics"
 	"repro/internal/multiexit"
+	"repro/internal/plan"
 	"repro/internal/qlearn"
 	"repro/internal/tensor"
 )
@@ -68,6 +69,9 @@ type Deployed struct {
 	Marginal [][]int64
 	// WeightBytes is the deployed model size.
 	WeightBytes int64
+
+	// planc caches the compiled float32 inference plan (see FloatPlan).
+	planc planCache
 }
 
 // NewDeployed captures the deployment view of a (compressed) network.
@@ -128,6 +132,16 @@ type RuntimeConfig struct {
 	// TestSet, when non-nil, switches to empirical mode: events must
 	// carry SampleIndex into this set.
 	TestSet *dataset.Set
+	// Backend selects how empirical-mode inference executes (default
+	// BackendPlan: the compiled zero-allocation plan, bit-identical to
+	// the layer walk). Surrogate runs ignore it.
+	Backend InferBackend
+	// Calibration supplies held-out images (CHW, [0,1] pixels) for the
+	// int8 backend's activation-scale calibration. When empty, the
+	// first samples of TestSet are used — convenient, but that leaks
+	// evaluation data into the quantization scales, so pass training or
+	// held-out samples when reporting int8 accuracy.
+	Calibration []*tensor.Tensor
 	// PowerWindow is the trailing window (s) for the charging-efficiency
 	// observation (default 60).
 	PowerWindow int
@@ -182,16 +196,46 @@ type Runtime struct {
 	static    *qlearn.StaticLUT
 	rng       *tensor.RNG
 
+	// costs[i] is the energy cost of exit i on the configured device —
+	// computed once here, reused by every Run.
+	costs []float64
+
+	// exec/planState drive empirical-mode inference on the compiled plan
+	// (nil on the legacy backend, or when the deployment cannot be
+	// compiled and the runtime fell back to the layer walk). One State is
+	// reused across all events; the plan arena makes the inference path
+	// allocation-free.
+	exec      *plan.Exec
+	planState *plan.State
+
+	// lastTrace/lastPeak memoize tracePeak across Runs: learning loops
+	// re-run the same trace dozens of times, and the peak is a pure
+	// function of the trace.
+	lastTrace *energy.Trace
+	lastPeak  float64
+
 	// pending is the exit-agent transition awaiting its successor state,
 	// which is only observed at the next event (the event-level MDP's
-	// true transition).
-	pending *pendingUpdate
+	// true transition). Held by value — re-boxing it per event was the
+	// episode loop's dominant allocation.
+	pending    pendingUpdate
+	hasPending bool
 }
 
 type pendingUpdate struct {
 	state  int
 	action int
 	reward float64
+}
+
+// queueExitUpdate stages the exit agent's transition until the successor
+// state is observed at the next event.
+func (r *Runtime) queueExitUpdate(state, action int, reward float64) {
+	if r.cfg.Mode != PolicyQLearning {
+		return
+	}
+	r.pending = pendingUpdate{state: state, action: action, reward: reward}
+	r.hasPending = true
 }
 
 // NewRuntime builds a runtime for the deployment.
@@ -211,6 +255,32 @@ func NewRuntime(d *Deployed, cfg RuntimeConfig) (*Runtime, error) {
 		deployed: d,
 		static:   qlearn.NewStaticLUT(costs, cfg.ConfidenceThreshold),
 		rng:      tensor.NewRNG(cfg.Seed + 0xc0fe),
+		costs:    costs,
+	}
+	cfg.Backend = cfg.Backend.Resolve()
+	r.cfg.Backend = cfg.Backend
+	if cfg.TestSet != nil && cfg.Backend != BackendLegacy {
+		// Empirical mode on a compiled backend: build the executor once.
+		if cfg.Backend == BackendInt8 {
+			// int8 was explicitly requested; a deployment that cannot
+			// lower must not silently produce float results.
+			calib := cfg.Calibration
+			if len(calib) == 0 {
+				calib = calibrationSamples(cfg.TestSet, 8)
+			}
+			p, perr := d.int8Plan(calib)
+			if perr != nil {
+				return nil, fmt.Errorf("core: int8 backend unavailable for this deployment: %w", perr)
+			}
+			r.exec = p.NewExec()
+			r.planState = p.NewState()
+		} else if p, perr := d.FloatPlan(); perr == nil {
+			// The float plan is bit-identical to the layer walk, so a
+			// deployment that cannot compile (exotic architecture)
+			// falls back to the walk — same results, just slower.
+			r.exec = p.NewExec()
+			r.planState = p.NewState()
+		}
 	}
 	const maxPowerInit = 0.05 // mW; rebinned per-run from the trace peak
 	r.exitAgent = qlearn.NewExitAgent(len(costs), cfg.EnergyBins, cfg.PowerBins, cfg.Storage.CapacityMJ, maxPowerInit)
@@ -227,6 +297,28 @@ func NewRuntime(d *Deployed, cfg RuntimeConfig) (*Runtime, error) {
 	return r, nil
 }
 
+// calibrationSamples collects up to n deterministic calibration images
+// (the set's first samples) for the int8 lowering.
+func calibrationSamples(set *dataset.Set, n int) []*tensor.Tensor {
+	if set.Len() < n {
+		n = set.Len()
+	}
+	imgs := make([]*tensor.Tensor, 0, n)
+	for i := 0; i < n; i++ {
+		imgs = append(imgs, set.Samples[i].Image)
+	}
+	return imgs
+}
+
+// Backend reports the effective inference backend: the configured one,
+// downgraded to legacy when no plan could be compiled.
+func (r *Runtime) Backend() InferBackend {
+	if r.cfg.TestSet != nil && r.exec == nil {
+		return BackendLegacy
+	}
+	return r.cfg.Backend
+}
+
 // ExitAgent exposes the exit Q-learner (tests and diagnostics).
 func (r *Runtime) ExitAgent() *qlearn.ExitAgent { return r.exitAgent }
 
@@ -240,6 +332,7 @@ func (r *Runtime) SetExploration(eps float64) {
 }
 
 // eventCtx carries the per-event surrogate or empirical inference state.
+// The runtime reuses one value across all events of a Run.
 type eventCtx struct {
 	// u is the surrogate difficulty draw.
 	u float64
@@ -247,12 +340,26 @@ type eventCtx struct {
 	sample *dataset.Sample
 	state  *multiexit.State
 	label  int
+	// planStarted marks the runtime's reusable plan state as holding
+	// this event's inference.
+	planStarted bool
 }
 
 // correctAt reports whether the event's result at the given exit is
 // correct, and the confidence of that result.
 func (r *Runtime) correctAt(ctx *eventCtx, exit int) (bool, float64) {
 	if r.cfg.TestSet != nil && ctx.sample != nil {
+		if r.exec != nil {
+			// Compiled backend: zero-allocation InferTo/Resume on the
+			// runtime's pooled plan state.
+			if !ctx.planStarted {
+				r.exec.InferTo(r.planState, ctx.sample.Image, exit)
+				ctx.planStarted = true
+			} else if exit > r.planState.Exit {
+				r.exec.Resume(r.planState, exit)
+			}
+			return r.planState.Predicted() == ctx.label, r.planState.Confidence()
+		}
 		if ctx.state == nil {
 			ctx.state = r.deployed.Net.InferTo(ctx.sample.Image, exit)
 		} else if exit > ctx.state.Exit {
@@ -290,21 +397,28 @@ func (r *Runtime) Run(trace *energy.Trace, schedule *energy.Schedule) (*metrics.
 		return nil, err
 	}
 	// Rebin the power observation to the trace's scale.
-	if p := tracePeak(trace); p > 0 {
+	if trace != r.lastTrace {
+		r.lastTrace, r.lastPeak = trace, tracePeak(trace)
+	}
+	if p := r.lastPeak; p > 0 {
 		r.exitAgent.MaxPowerMW = p
 	}
 
+	// Exit costs depend only on the configured device, so they were
+	// computed once in NewRuntime (engine.EnergyFor would yield the
+	// identical values).
 	m := r.deployed.Net.NumExits()
-	costs := make([]float64, m)
-	for i, f := range r.deployed.ExitFLOPs {
-		costs[i] = engine.EnergyFor(f)
-	}
+	costs := r.costs
 	report := &metrics.Report{
 		System:   "multi-exit/" + r.cfg.Mode.String(),
 		NumExits: m,
 	}
 
 	events := schedule.Events
+	report.Outcomes = make([]metrics.EventOutcome, 0, len(events))
+	// One context serves every event; the per-event reset below replaces
+	// the old allocate-per-event pattern (~1 heap alloc per event).
+	var ctx eventCtx
 	for idx, ev := range events {
 		deadline := float64(trace.Duration())
 		if idx+1 < len(events) {
@@ -321,7 +435,7 @@ func (r *Runtime) Run(trace *energy.Trace, schedule *energy.Schedule) (*metrics.
 		}
 		engine.AdvanceTo(float64(ev.T))
 
-		ctx := &eventCtx{u: r.rng.Float64(), label: ev.Class}
+		ctx = eventCtx{u: r.rng.Float64(), label: ev.Class}
 		if r.cfg.TestSet != nil {
 			if ev.SampleIndex < 0 || ev.SampleIndex >= r.cfg.TestSet.Len() {
 				return nil, fmt.Errorf("core: event %d has no sample attached for empirical mode", idx)
@@ -330,13 +444,13 @@ func (r *Runtime) Run(trace *energy.Trace, schedule *energy.Schedule) (*metrics.
 			ctx.label = ctx.sample.Label
 		}
 
-		r.handleEvent(engine, ctx, costs, deadline, &outcome)
+		r.handleEvent(engine, &ctx, costs, deadline, &outcome)
 		report.Outcomes = append(report.Outcomes, outcome)
 	}
 	// Flush the final event's pending Q-update (episode boundary).
-	if r.pending != nil {
+	if r.hasPending {
 		r.exitAgent.Table.UpdateTerminal(r.pending.state, r.pending.action, r.pending.reward)
-		r.pending = nil
+		r.hasPending = false
 	}
 	// Drain the rest of the trace so harvested-energy accounting covers
 	// the full duration (IEpmJ divides by total trace energy).
@@ -356,9 +470,9 @@ func (r *Runtime) handleEvent(engine *intermittent.Engine, ctx *eventCtx, costs 
 
 	// Complete the previous event's Q-update now that its successor
 	// state (this event's state) is known.
-	if r.pending != nil {
+	if r.hasPending {
 		r.exitAgent.Table.Update(r.pending.state, r.pending.action, r.pending.reward, state)
-		r.pending = nil
+		r.hasPending = false
 	}
 
 	// Decision 1: select the exit. The action is capped at the deepest
@@ -385,23 +499,16 @@ func (r *Runtime) handleEvent(engine *intermittent.Engine, ctx *eventCtx, costs 
 		exit--
 	}
 
-	exitUpdate := func(reward float64) {
-		if r.cfg.Mode != PolicyQLearning {
-			return
-		}
-		r.pending = &pendingUpdate{state: state, action: chosen, reward: reward}
-	}
-
 	// Wait for the cheapest exit if even that is unaffordable.
 	if store.Available() < costs[exit] {
 		if !engine.WaitForEnergy(costs[exit], deadline) {
-			exitUpdate(0) // missed: no energy arrived in time
+			r.queueExitUpdate(state, chosen, 0) // missed: no energy arrived in time
 			return
 		}
 	}
 	res, ok := engine.RunAtomic(r.deployed.ExitFLOPs[exit])
 	if !ok {
-		exitUpdate(0)
+		r.queueExitUpdate(state, chosen, 0)
 		return
 	}
 	correct, conf := r.correctAt(ctx, exit)
@@ -412,7 +519,7 @@ func (r *Runtime) handleEvent(engine *intermittent.Engine, ctx *eventCtx, costs 
 	outcome.FinishSec = res.FinishedAt
 
 	// Exit-agent update: reward is the selected exit's accuracy (§IV).
-	exitUpdate(r.deployed.ExitAccs[exit])
+	r.queueExitUpdate(state, chosen, r.deployed.ExitAccs[exit])
 
 	// Decision 2: incremental inference toward deeper exits.
 	for exit < m-1 && !r.cfg.DisableIncremental {

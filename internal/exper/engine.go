@@ -46,6 +46,9 @@ type Engine struct {
 	// from any worker but never concurrently; point completion order is
 	// scheduling-dependent, so treat it as progress telemetry only.
 	OnResult func(Result)
+	// Backend is the default empirical-mode inference backend for grids
+	// that do not name one themselves (zero value: the compiled plan).
+	Backend core.InferBackend
 }
 
 // NewEngine returns an engine with the given worker cap. Negative caps
@@ -156,7 +159,7 @@ func (e *Engine) RunContext(ctx context.Context, g *Grid) (*GridResult, error) {
 				if msg, bad := depErrs[points[i].Policy.Name]; bad {
 					results[i] = Result{Point: points[i], Err: msg}
 				} else {
-					results[i] = runPoint(ctx, g, points[i], deps[points[i].Policy.Name])
+					results[i] = runPoint(ctx, g, points[i], deps[points[i].Policy.Name], e.Backend)
 				}
 				if notify != nil {
 					notify(results[i])
@@ -214,7 +217,8 @@ func (e *Engine) buildDeployed(ps PolicySpec, seed uint64) (*core.Deployed, stri
 // simulation mutates — trace, schedule, device, storage, runtime — is
 // constructed locally from the point's derived seed; the deployment is
 // the policy's shared read-only copy (built fresh when deployed is nil).
-func runPoint(ctx context.Context, g *Grid, p Point, deployed *core.Deployed) Result {
+// The grid's named backend wins over the engine default.
+func runPoint(ctx context.Context, g *Grid, p Point, deployed *core.Deployed, defaultBackend core.InferBackend) Result {
 	res := Result{Point: p}
 
 	trace, err := p.Trace.Build(p.RunSeed)
@@ -241,7 +245,15 @@ func runPoint(ctx context.Context, g *Grid, p Point, deployed *core.Deployed) Re
 			return res
 		}
 	}
-	cfg := core.CompareConfig{Mode: p.Exit.Mode, WarmupEpisodes: p.Exit.Warmup}
+	backend := defaultBackend
+	if g.Backend != "" {
+		// Validate() vetted the name; a malformed grid that skipped
+		// validation falls back to the default backend.
+		if b, err := core.ParseBackend(g.Backend); err == nil {
+			backend = b
+		}
+	}
+	cfg := core.CompareConfig{Mode: p.Exit.Mode, WarmupEpisodes: p.Exit.Warmup, Backend: backend}
 
 	if g.Baselines {
 		rows, err := core.CompareSystems(ctx, sc, deployed, cfg)

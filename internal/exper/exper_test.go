@@ -184,7 +184,7 @@ func TestPaperCompareGridMatchesCompareSystems(t *testing.T) {
 	}
 
 	p := grid.Points()[0]
-	direct := runPoint(context.Background(), grid, p, nil)
+	direct := runPoint(context.Background(), grid, p, nil, core.BackendPlan)
 	if direct.Err != "" {
 		t.Fatal(direct.Err)
 	}

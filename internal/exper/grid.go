@@ -138,6 +138,11 @@ type Grid struct {
 	// Baselines additionally runs SonicNet, SpArSeNet, and LeNet-Cifar on
 	// every point (3 extra simulations per point).
 	Baselines bool `json:"baselines,omitempty"`
+	// Backend names the empirical-mode inference backend ("plan" — the
+	// default compiled zero-allocation plan —, "legacy", or "int8"; see
+	// core.BackendNames). Surrogate-mode points never execute the
+	// network, so it only affects grids whose runs attach samples.
+	Backend string `json:"backend,omitempty"`
 
 	Traces   []TraceSpec   `json:"traces"`
 	Devices  []DeviceSpec  `json:"devices"`
@@ -164,6 +169,9 @@ func (g *Grid) Validate() error {
 		return fmt.Errorf("exper: grid %q has no seeds", g.Name)
 	case g.Events < 0:
 		return fmt.Errorf("exper: grid %q has negative event count", g.Name)
+	}
+	if _, err := core.ParseBackend(g.Backend); err != nil {
+		return fmt.Errorf("exper: grid %q: %w", g.Name, err)
 	}
 	names := map[string]bool{}
 	for _, p := range g.Policies {

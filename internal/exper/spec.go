@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/compress"
+	"repro/internal/core"
 	"repro/internal/mcu"
 	"repro/internal/multiexit"
 )
@@ -20,6 +21,9 @@ type GridSpec struct {
 	Events       int    `json:"events,omitempty"`
 	EventClasses int    `json:"eventClasses,omitempty"`
 	Baselines    bool   `json:"baselines,omitempty"`
+	// Backend names the empirical-mode inference backend; see
+	// BackendNames for the registry ("" selects the compiled plan).
+	Backend string `json:"backend,omitempty"`
 
 	Traces []TraceSpec `json:"traces,omitempty"`
 	// Devices names MCU axis values; see DeviceNames for the registry.
@@ -40,6 +44,7 @@ func (s *GridSpec) Grid() (*Grid, error) {
 		Events:       s.Events,
 		EventClasses: s.EventClasses,
 		Baselines:    s.Baselines,
+		Backend:      s.Backend,
 		Traces:       s.Traces,
 		Exits:        s.Exits,
 		Storages:     s.Storages,
@@ -134,6 +139,10 @@ func DeviceNames() []string { return sortedKeys(deviceRegistry) }
 
 // PolicyNames lists the registry policy names, sorted.
 func PolicyNames() []string { return sortedKeys(policyRegistry) }
+
+// BackendNames lists the inference-backend names a declarative spec may
+// use, sorted.
+func BackendNames() []string { return core.BackendNames() }
 
 func sortedKeys[V any](m map[string]V) []string {
 	names := make([]string, 0, len(m))

@@ -80,3 +80,19 @@ func TestRegistriesResolveEveryName(t *testing.T) {
 		}
 	}
 }
+
+func TestGridSpecBackend(t *testing.T) {
+	g, err := (&GridSpec{Backend: "int8"}).Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Backend != "int8" {
+		t.Fatalf("backend not carried: %q", g.Backend)
+	}
+	if _, err := (&GridSpec{Backend: "no-such-backend"}).Grid(); err == nil {
+		t.Fatal("unknown backend must be rejected at grid validation")
+	}
+	if names := BackendNames(); len(names) != 3 {
+		t.Fatalf("backend registry drifted: %v", names)
+	}
+}

@@ -84,14 +84,56 @@ func (e *Engine) Stats() Stats { return e.stats }
 // Ended reports whether simulated time has run past the trace.
 func (e *Engine) Ended() bool { return e.now >= float64(e.Trace.Duration()) }
 
-// harvestStep harvests over [e.now, e.now+dt), advancing time.
+// harvestStep harvests over [e.now, e.now+dt), advancing time. The
+// per-second integration is split into a leading fractional step, a
+// fused whole-second run (Storage.HarvestSeconds — the hot path), and a
+// generic tail for the trailing fraction and any post-trace seconds.
+// Every float operation happens in the same order as the original
+// boundary-by-boundary loop, so results are bit-identical; only the loop
+// overhead (index conversions, bounds checks, field loads) is gone.
 func (e *Engine) harvestStep(dt float64) {
 	if dt <= 0 {
 		return
 	}
-	// Integrate trace power over the interval second-by-second.
 	t := e.now
 	end := e.now + dt
+	power := e.Trace.Power
+	store := e.Store
+	h, st := e.stats.HarvestedMJ, e.stats.StoredMJ
+
+	// Leading partial second, if t is not on a second boundary. This is
+	// the dominant shape during energy waits: a fractional clock steps
+	// one second at a time, so every step is two partial spans.
+	if sec := int(t); float64(sec) < t {
+		next := float64(sec + 1)
+		if next > end {
+			next = end
+		}
+		span := next - t
+		var p float64
+		if sec < len(power) {
+			p = power[sec]
+		}
+		mj := p * span
+		h += mj
+		st += store.Harvest(mj, span)
+		t = next
+	}
+	// Whole in-range seconds: p×1.0 ≡ p and leak×1.0 ≡ leak, so the
+	// fused loop reproduces Harvest(p, 1) exactly.
+	if t < end {
+		lo := int(t)
+		hi := int(end)
+		if hi > len(power) {
+			hi = len(power)
+		}
+		if hi > lo {
+			h, st = store.HarvestSeconds(power[lo:hi], h, st)
+			t = float64(hi)
+		}
+	}
+	// Trailing fraction and post-trace seconds (the trace yields 0
+	// there, but leakage still drains the buffer).
 	for t < end {
 		sec := int(t)
 		next := float64(sec + 1)
@@ -99,11 +141,16 @@ func (e *Engine) harvestStep(dt float64) {
 			next = end
 		}
 		span := next - t
-		mj := e.Trace.At(sec) * span
-		e.stats.HarvestedMJ += mj
-		e.stats.StoredMJ += e.Store.Harvest(mj, span)
+		var p float64
+		if sec < len(power) {
+			p = power[sec]
+		}
+		mj := p * span
+		h += mj
+		st += store.Harvest(mj, span)
 		t = next
 	}
+	e.stats.HarvestedMJ, e.stats.StoredMJ = h, st
 	e.now = end
 }
 
@@ -130,9 +177,19 @@ func (e *Engine) RecentPower(window int) float64 {
 	if end <= start {
 		return e.Trace.At(end)
 	}
+	// Sum the window over the raw slice (bounds-check-eliminated, same
+	// left-to-right order as summing Trace.At calls; out-of-range seconds
+	// contribute zero and are skipped).
+	power := e.Trace.Power
+	hi := end
+	if hi > len(power) {
+		hi = len(power)
+	}
 	var sum float64
-	for t := start; t < end; t++ {
-		sum += e.Trace.At(t)
+	if start < hi {
+		for _, p := range power[start:hi] {
+			sum += p
+		}
 	}
 	return sum / float64(end-start)
 }
@@ -145,9 +202,54 @@ func (e *Engine) WaitForEnergy(mj float64, deadline float64) bool {
 	if deadline > 0 && deadline < limit {
 		limit = deadline
 	}
+	power := e.Trace.Power
 	for e.now < limit {
 		if e.Store.On() && e.Store.Available() >= mj {
 			return true
+		}
+		// Zero-power stretch (kinetic traces between bursts, post-trace
+		// tails): the buffer can only drain, so with a positive target
+		// the wait condition provably stays false until power returns
+		// (a turn-on can fire only at the TurnOnMJ == BrownOutMJ edge,
+		// where available energy is still ≤ 0) — those whole steps run
+		// without per-second re-checks, and an already-empty buffer
+		// skips them outright. Results are bit-identical to stepping.
+		// The inline power probe keeps this free on never-zero (solar)
+		// traces.
+		if sec := int(e.now); mj > 0 && (sec >= len(power) || power[sec] == 0) {
+			if n := e.zeroWaitSteps(limit); n > 0 {
+				now, st := e.Store.DrainZero(n, int(e.now), e.now, limit, e.stats.StoredMJ)
+				if now > e.now {
+					e.now, e.stats.StoredMJ = now, st
+					continue
+				}
+				// Limit-clipped before one full step: generic path below.
+			}
+		}
+		// Harvesting wait: run as many full 1-second steps as fit before
+		// the limit through the storage's fused kernel (identical span
+		// decomposition, clock chain, and check schedule — no per-span
+		// call overhead).
+		if mj > 0 {
+			t := e.now
+			max := int(limit - t)
+			sec := int(t)
+			if avail := len(power) - sec - 1; max > avail {
+				max = avail // step k reads power[sec+k] and power[sec+k+1]
+			}
+			if max > 0 {
+				steps, now, h, st, met := e.Store.HarvestPairsUntil(
+					power[sec:], max, sec, t, limit, mj, e.stats.HarvestedMJ, e.stats.StoredMJ)
+				if steps > 0 {
+					e.stats.HarvestedMJ, e.stats.StoredMJ = h, st
+					e.now = now
+					if met {
+						return true
+					}
+					continue
+				}
+				// Limit-clipped before one full step: generic path below.
+			}
 		}
 		step := e.slice * 10 // 1 s waiting granularity
 		if e.now+step > limit {
@@ -159,6 +261,44 @@ func (e *Engine) WaitForEnergy(mj float64, deadline float64) bool {
 		e.harvestStep(step)
 	}
 	return e.Store.On() && e.Store.Available() >= mj
+}
+
+// zeroWaitSteps returns how many full 1-second wait steps from e.now
+// touch only zero-power trace seconds and fit entirely before limit.
+func (e *Engine) zeroWaitSteps(limit float64) int {
+	t := e.now
+	max := int(limit - t) // full 1.0 steps that fit before limit
+	if max <= 0 {
+		return 0
+	}
+	power := e.Trace.Power
+	sec := int(t)
+	frac := float64(sec) < t
+	// Step k covers second sec+k and, when t is fractional, also
+	// sec+k+1 — all touched seconds must be zero-power (seconds past
+	// the trace end are zero by definition).
+	need := max
+	if frac {
+		need++
+	}
+	zeros := 0
+	for s := sec; s < sec+need; s++ {
+		if s < len(power) && power[s] != 0 {
+			break
+		}
+		zeros++
+	}
+	n := zeros
+	if frac {
+		n--
+	}
+	if n > max {
+		n = max
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
 }
 
 // TaskResult describes one executed task.

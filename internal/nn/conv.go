@@ -356,16 +356,32 @@ func (l *Dense) WeightBits() int64 { return l.WeightCount() * int64(l.WeightBits
 // quantization: values are truncated into [0, 2^bits − 1] quantization
 // levels spanning the observed range.
 func FakeQuantizeActivations(t *tensor.Tensor, bits int) {
+	FakeQuantizeSlice(t.Data, bits)
+}
+
+// FakeQuantizeSlice is FakeQuantizeActivations over a raw value slice; the
+// compiled inference plans (internal/plan) call it against arena storage.
+// Both entry points share this one loop so plan output stays bit-identical
+// to the layer walk.
+func FakeQuantizeSlice(data []float32, bits int) {
 	if bits <= 0 || bits >= 32 {
 		return
 	}
-	maxV := t.MaxAbs()
+	var maxV float32
+	for _, v := range data {
+		if v < 0 {
+			v = -v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
 	if maxV == 0 {
 		return
 	}
 	levels := float32(uint32(1)<<uint(bits)) - 1
 	scale := maxV / levels
-	for i, v := range t.Data {
+	for i, v := range data {
 		if v < 0 {
 			// Negative values only occur pre-ReLU on classifier heads,
 			// which skip quantization; clamp defensively.
@@ -375,6 +391,6 @@ func FakeQuantizeActivations(t *tensor.Tensor, bits int) {
 		if q > levels {
 			q = levels
 		}
-		t.Data[i] = q * scale
+		data[i] = q * scale
 	}
 }

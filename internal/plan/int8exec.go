@@ -1,0 +1,137 @@
+package plan
+
+import "repro/internal/tensor"
+
+// Int8 execution: uint8 activation codes flow between steps, conv/dense
+// steps accumulate int8×uint8 products in int32 and re-quantize through
+// the statically bound multiplier (ReLU fused: negative accumulators
+// clamp to the zero code). Classifier heads dequantize accumulators to
+// float32 logits so State.Predicted/Confidence work identically across
+// backends.
+
+// inferToInt8 is InferTo for int8 plans.
+func (e *Exec) inferToInt8(dst *State, img *tensor.Tensor, exit int) {
+	p := e.p
+	// Quantize the [0,1] input image to 8-bit codes (scale 1/255), like
+	// fixed.QuantizeActivations(img, 1, 8).
+	cur := e.bufA8[:p.geom.Vol()]
+	for i, v := range img.Data {
+		f := v * 255
+		switch {
+		case !(f > 0): // negatives and NaN clamp to the zero code
+			cur[i] = 0
+		case f >= 255:
+			cur[i] = 255
+		default:
+			cur[i] = uint8(f + 0.5)
+		}
+	}
+	for i := 0; i <= exit; i++ {
+		cur = e.runInt8(p.segments[i], cur)
+	}
+	e.checkpointInt8(dst, cur, exit)
+	e.runBranchInt8(dst, cur, exit)
+}
+
+// resumeInt8 is Resume for int8 plans.
+func (e *Exec) resumeInt8(dst *State, exit int) {
+	p := e.p
+	cur := dst.trunk8[:dst.trunkShape.vol()]
+	for i := dst.Exit + 1; i <= exit; i++ {
+		cur = e.runInt8(p.segments[i], cur)
+	}
+	e.checkpointInt8(dst, cur, exit)
+	e.runBranchInt8(dst, cur, exit)
+}
+
+func (e *Exec) checkpointInt8(dst *State, cur []uint8, exit int) {
+	sh := e.p.trunkShapes[exit]
+	copy(dst.trunk8[:sh.vol()], cur[:sh.vol()])
+	dst.trunkShape = sh
+}
+
+// runBranchInt8 executes branch `exit` and lands the dequantized logits
+// in the state.
+func (e *Exec) runBranchInt8(dst *State, cur []uint8, exit int) {
+	e.runInt8(e.p.branches[exit], cur)
+	dst.Exit = exit
+	// The final dense step wrote dst-bound logits into e.logitsOut.
+	copy(dst.logits, e.logitsOut[:e.p.classes])
+}
+
+// otherU8 mirrors other() for the integer slabs.
+func (e *Exec) otherU8(cur []uint8) []uint8 {
+	if len(cur) > 0 && len(e.bufA8) > 0 && &cur[0] == &e.bufA8[0] {
+		return e.bufB8
+	}
+	return e.bufA8
+}
+
+// runInt8 executes one step chain on integer codes. Classifier heads
+// (deqScale > 0) emit float32 logits into e.logitsOut instead of codes.
+func (e *Exec) runInt8(ops []step, cur []uint8) []uint8 {
+	for si := range ops {
+		st := &ops[si]
+		switch st.kind {
+		case opConv:
+			out := e.otherU8(cur)
+			tensor.Im2ColU8(e.col8, cur[:st.inShape.vol()], st.geom)
+			tensor.MatMulInt8Into(e.acc, st.wq, e.col8, st.outC, st.colRows, st.colCols)
+			spatial := st.colCols
+			mult := st.requantMult
+			for oc := 0; oc < st.outC; oc++ {
+				b := st.biasAcc[oc]
+				accRow := e.acc[oc*spatial : (oc+1)*spatial]
+				outRow := out[oc*spatial : (oc+1)*spatial]
+				for i, a := range accRow {
+					outRow[i] = requantU8(a+b, mult)
+				}
+			}
+			cur = out
+
+		case opDense:
+			x := cur[:st.in]
+			if st.deqScale > 0 {
+				// Classifier head: raw accumulators → float logits.
+				for o := 0; o < st.out; o++ {
+					e.logitsOut[o] = float32(dotInt8(st.wq[o*st.in:(o+1)*st.in], x)+st.biasAcc[o]) * st.deqScale
+				}
+				return cur
+			}
+			out := e.otherU8(cur)
+			mult := st.requantMult
+			for o := 0; o < st.out; o++ {
+				out[o] = requantU8(dotInt8(st.wq[o*st.in:(o+1)*st.in], x)+st.biasAcc[o], mult)
+			}
+			cur = out
+
+		case opPool:
+			out := e.otherU8(cur)
+			tensor.MaxPool2U8(out, cur, st.inShape.c, st.inShape.h, st.inShape.w, st.kernel, st.stride)
+			cur = out
+		}
+	}
+	return cur
+}
+
+// requantU8 fuses ReLU (accumulator clamp at zero) with requantization to
+// an 8-bit activation code.
+func requantU8(a int32, mult float32) uint8 {
+	if a <= 0 {
+		return 0
+	}
+	q := int32(float32(a)*mult + 0.5)
+	if q > 255 {
+		return 255
+	}
+	return uint8(q)
+}
+
+// dotInt8 is the dense-layer integer kernel: Σ w·x in int32.
+func dotInt8(w []int8, x []uint8) int32 {
+	var s int32
+	for i, wv := range w {
+		s += int32(wv) * int32(x[i])
+	}
+	return s
+}

@@ -355,13 +355,18 @@ func (sv *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // Registry reports the axis names a GridSpec may reference — surfaced so
-// clients can discover valid devices/policies without reading source.
+// clients can discover valid devices/policies/backends without reading
+// source.
 func Registry() map[string][]string {
 	devices := exper.DeviceNames()
 	policies := exper.PolicyNames()
 	sort.Strings(devices)
 	sort.Strings(policies)
-	return map[string][]string{"devices": devices, "policies": policies}
+	return map[string][]string{
+		"devices":  devices,
+		"policies": policies,
+		"backends": exper.BackendNames(),
+	}
 }
 
 // mergeCancel returns a context canceled when either parent is.

@@ -58,8 +58,24 @@ func Im2ColInto(col, img *Tensor, g ConvGeom) {
 	if col.Dim(0) != rows || col.Dim(1) != cols {
 		panic(fmt.Sprintf("tensor: Im2ColInto dst shape %v does not match geometry %+v", col.Shape(), g))
 	}
-	src := img.Data
-	dst := col.Data
+	Im2ColSlice(col.Data, img.Data, g)
+}
+
+// Im2ColSlice is Im2ColInto over raw slices: dst must hold
+// InC*KH*KW × OutH*OutW values and is fully overwritten. Compiled
+// inference plans call it directly against arena storage so the lowering
+// allocates nothing.
+func Im2ColSlice(dst, src []float32, g ConvGeom) {
+	outH, outW := g.OutH(), g.OutW()
+	rows := g.InC * g.KH * g.KW
+	cols := outH * outW
+	if len(src) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Im2ColSlice image volume %d does not match geometry %+v", len(src), g))
+	}
+	if len(dst) < rows*cols {
+		panic(fmt.Sprintf("tensor: Im2ColSlice dst length %d below %d for geometry %+v", len(dst), rows*cols, g))
+	}
+	dst = dst[:rows*cols]
 	// Padded taps contribute zero and the copy loops below skip them, so
 	// clear the destination first.
 	for i := range dst {
@@ -84,6 +100,67 @@ func Im2ColInto(col, img *Tensor, g ConvGeom) {
 							continue
 						}
 						dstRow[outBase+ow] = srcRow[iw]
+					}
+				}
+			}
+		}
+	}
+}
+
+// Im2ColTSlice lowers a CHW image into the TRANSPOSED im2col layout
+// [OutH*OutW, C*KH*KW]: one contiguous row of filter taps per output
+// position. Compiled plans convolve against this layout with the
+// dot-product GEMM (GemmTransBSerial), which keeps every accumulator in
+// a register instead of sweeping the output row per tap — the same sums
+// in the same per-element order, substantially faster. Padded taps are
+// written as zero.
+func Im2ColTSlice(dst, src []float32, g ConvGeom) {
+	outH, outW := g.OutH(), g.OutW()
+	rows := g.InC * g.KH * g.KW
+	cols := outH * outW
+	if len(src) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Im2ColTSlice image volume %d does not match geometry %+v", len(src), g))
+	}
+	if len(dst) < rows*cols {
+		panic(fmt.Sprintf("tensor: Im2ColTSlice dst length %d below %d for geometry %+v", len(dst), rows*cols, g))
+	}
+	d := 0
+	for oh := 0; oh < outH; oh++ {
+		for ow := 0; ow < outW; ow++ {
+			iw0 := ow*g.StrideW - g.PadW
+			interiorW := iw0 >= 0 && iw0+g.KW <= g.InW
+			for c := 0; c < g.InC; c++ {
+				chanBase := c * g.InH * g.InW
+				for kh := 0; kh < g.KH; kh++ {
+					ih := oh*g.StrideH - g.PadH + kh
+					if ih < 0 || ih >= g.InH {
+						for kw := 0; kw < g.KW; kw++ {
+							dst[d] = 0
+							d++
+						}
+						continue
+					}
+					srcRow := src[chanBase+ih*g.InW:]
+					if interiorW {
+						// Fully in-bounds tap row: branch-free copy with
+						// both slices bounds-check-eliminated.
+						seg := srcRow[iw0 : iw0+g.KW]
+						dseg := dst[d : d+g.KW]
+						for x, v := range seg {
+							dseg[x] = v
+						}
+						d += g.KW
+						continue
+					}
+					iw := iw0
+					for kw := 0; kw < g.KW; kw++ {
+						if iw < 0 || iw >= g.InW {
+							dst[d] = 0
+						} else {
+							dst[d] = srcRow[iw]
+						}
+						d++
+						iw++
 					}
 				}
 			}

@@ -1,0 +1,116 @@
+package tensor
+
+import "fmt"
+
+// Integer kernels for the int8 inference backend: uint8 activations ×
+// int8 weights accumulated in int32, the arithmetic an MSP432-class MCU
+// (or any SIMD dot-product unit) executes natively. The float32 plans in
+// internal/plan lower onto these when the int8 backend is selected; the
+// layouts mirror the float kernels (row-major GEMM over an im2col
+// lowering) so a plan compiles to either backend with the same geometry.
+
+// MatMulInt8Into computes dst = A×B with int32 accumulators over raw
+// row-major slices: A is an m×k int8 weight matrix, B is a k×n uint8
+// activation matrix, dst is m×n and fully overwritten. The loop is
+// ikj-order like the float kernel so the B row stays in cache; zero
+// weights are skipped the same way (with 8-bit weights, pruned channels
+// are exact zeros).
+func MatMulInt8Into(dst []int32, a []int8, b []uint8, m, k, n int) {
+	if len(a) < m*k || len(b) < k*n || len(dst) < m*n {
+		panic(fmt.Sprintf("tensor: MatMulInt8Into slice sizes %d/%d/%d too small for %dx%dx%d", len(a), len(b), len(dst), m, k, n))
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := dst[i*n : (i+1)*n]
+		for j := range crow {
+			crow[j] = 0
+		}
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			w := int32(av)
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += w * int32(bv)
+			}
+		}
+	}
+}
+
+// Im2ColU8 lowers a uint8 CHW image into a [C*KH*KW, OutH*OutW] matrix,
+// the integer twin of Im2ColSlice. Padded taps contribute the zero code,
+// which is exact for the backend's unsigned activation quantization
+// (zero point 0).
+func Im2ColU8(dst, src []uint8, g ConvGeom) {
+	outH, outW := g.OutH(), g.OutW()
+	rows := g.InC * g.KH * g.KW
+	cols := outH * outW
+	if len(src) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Im2ColU8 image volume %d does not match geometry %+v", len(src), g))
+	}
+	if len(dst) < rows*cols {
+		panic(fmt.Sprintf("tensor: Im2ColU8 dst length %d below %d for geometry %+v", len(dst), rows*cols, g))
+	}
+	dst = dst[:rows*cols]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for c := 0; c < g.InC; c++ {
+		chanBase := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				row := (c*g.KH+kh)*g.KW + kw
+				dstRow := dst[row*cols : (row+1)*cols]
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*g.StrideH - g.PadH + kh
+					if ih < 0 || ih >= g.InH {
+						continue
+					}
+					srcRow := src[chanBase+ih*g.InW:]
+					outBase := oh * outW
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*g.StrideW - g.PadW + kw
+						if iw < 0 || iw >= g.InW {
+							continue
+						}
+						dstRow[outBase+ow] = srcRow[iw]
+					}
+				}
+			}
+		}
+	}
+}
+
+// MaxPool2U8 applies kernel×kernel/stride max pooling on a uint8 CHW
+// tensor (max pooling commutes with monotone quantization, so it runs on
+// the integer codes directly). dst must hold c*outH*outW values.
+func MaxPool2U8(dst, src []uint8, c, h, w, kernel, stride int) (outH, outW int) {
+	outH = (h-kernel)/stride + 1
+	outW = (w-kernel)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("tensor: MaxPool2U8 empty output for %dx%d input, kernel %d stride %d", h, w, kernel, stride))
+	}
+	if len(src) < c*h*w || len(dst) < c*outH*outW {
+		panic(fmt.Sprintf("tensor: MaxPool2U8 slice sizes %d/%d too small for %dx%dx%d", len(src), len(dst), c, h, w))
+	}
+	for ci := 0; ci < c; ci++ {
+		planeBase := ci * h * w
+		outBase := ci * outH * outW
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				best := src[planeBase+(oy*stride)*w+ox*stride]
+				for ky := 0; ky < kernel; ky++ {
+					rowBase := planeBase + (oy*stride+ky)*w
+					for kx := 0; kx < kernel; kx++ {
+						if v := src[rowBase+ox*stride+kx]; v > best {
+							best = v
+						}
+					}
+				}
+				dst[outBase+oy*outW+ox] = best
+			}
+		}
+	}
+	return outH, outW
+}

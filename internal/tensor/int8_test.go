@@ -1,0 +1,106 @@
+package tensor
+
+import "testing"
+
+// TestMatMulInt8Into checks the integer GEMM against a scalar reference,
+// including the zero-weight skip path.
+func TestMatMulInt8Into(t *testing.T) {
+	m, k, n := 3, 4, 5
+	a := []int8{1, -2, 0, 3, -128, 127, 5, 0, 0, 0, -1, 2}
+	b := make([]uint8, k*n)
+	for i := range b {
+		b[i] = uint8((i * 37) % 256)
+	}
+	dst := make([]int32, m*n)
+	for i := range dst {
+		dst[i] = -999 // must be overwritten
+	}
+	MatMulInt8Into(dst, a, b, m, k, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var want int32
+			for p := 0; p < k; p++ {
+				want += int32(a[i*k+p]) * int32(b[p*n+j])
+			}
+			if dst[i*n+j] != want {
+				t.Fatalf("dst[%d,%d] = %d, want %d", i, j, dst[i*n+j], want)
+			}
+		}
+	}
+}
+
+// TestIm2ColU8MatchesFloat lowers the same image through the float and
+// uint8 im2col paths and compares code-for-code.
+func TestIm2ColU8MatchesFloat(t *testing.T) {
+	g := ConvGeom{InC: 2, InH: 5, InW: 5, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	imgU := make([]uint8, g.InC*g.InH*g.InW)
+	imgF := make([]float32, len(imgU))
+	for i := range imgU {
+		imgU[i] = uint8((i*13)%255 + 1)
+		imgF[i] = float32(imgU[i])
+	}
+	rows, cols := g.InC*g.KH*g.KW, g.OutH()*g.OutW()
+	colU := make([]uint8, rows*cols)
+	for i := range colU {
+		colU[i] = 77 // stale contents must be cleared
+	}
+	colF := make([]float32, rows*cols)
+	Im2ColU8(colU, imgU, g)
+	Im2ColSlice(colF, imgF, g)
+	for i := range colU {
+		if float32(colU[i]) != colF[i] {
+			t.Fatalf("col[%d]: u8 %d vs float %g", i, colU[i], colF[i])
+		}
+	}
+}
+
+// TestMaxPool2U8 checks pooling geometry and max selection.
+func TestMaxPool2U8(t *testing.T) {
+	c, h, w := 2, 4, 4
+	src := make([]uint8, c*h*w)
+	for i := range src {
+		src[i] = uint8(i)
+	}
+	dst := make([]uint8, c*2*2)
+	oh, ow := MaxPool2U8(dst, src, c, h, w, 2, 2)
+	if oh != 2 || ow != 2 {
+		t.Fatalf("out dims %dx%d, want 2x2", oh, ow)
+	}
+	// Each 2×2 window's max is its bottom-right element for this ramp.
+	want := []uint8{5, 7, 13, 15, 21, 23, 29, 31}
+	for i, v := range dst {
+		if v != want[i] {
+			t.Fatalf("dst[%d] = %d, want %d", i, v, want[i])
+		}
+	}
+}
+
+// TestGemmSerialMatchesMatMul cross-checks the raw-slice serial kernels
+// against the tensor-level kernels that the conv/dense layers use, which
+// is the bit-identity the compiled plans rely on.
+func TestGemmSerialMatchesMatMul(t *testing.T) {
+	rng := NewRNG(11)
+	m, k, n := 7, 13, 9
+	a, b := New(m, k), New(k, n)
+	FillUniform(a, rng, -1, 1)
+	FillUniform(b, rng, -1, 1)
+	want := MatMul(a, b)
+	got := make([]float32, m*n)
+	GemmSerial(got, a.Data, b.Data, m, k, n)
+	for i := range got {
+		if got[i] != want.Data[i] {
+			t.Fatalf("GemmSerial[%d] = %g, want %g", i, got[i], want.Data[i])
+		}
+	}
+
+	bt := New(n, k)
+	FillUniform(bt, rng, -1, 1)
+	wantT := MatMulTransB(a, bt)
+	gotT := make([]float32, m*n)
+	GemmTransBSerial(gotT, a.Data, bt.Data, m, k, n)
+	for i := range gotT {
+		if gotT[i] != wantT.Data[i] {
+			t.Fatalf("GemmTransBSerial[%d] = %g, want %g", i, gotT[i], wantT.Data[i])
+		}
+	}
+}

@@ -56,9 +56,58 @@ func MatMulSerialInto(dst, a, b *Tensor) {
 	matMulRows(dst.Data, a.Data, b.Data, 0, m, k, n)
 }
 
+// GemmSerial computes dst = A×B over raw row-major slices on the calling
+// goroutine: A is m×k, B is k×n, dst is m×n and fully overwritten. It is
+// the allocation-free kernel compiled inference plans (internal/plan)
+// drive directly against arena storage, and it is bit-identical to
+// MatMulInto at any worker count because both run the same per-row
+// serial loop.
+func GemmSerial(dst, a, b []float32, m, k, n int) {
+	if len(a) < m*k || len(b) < k*n || len(dst) < m*n {
+		panic(fmt.Sprintf("tensor: GemmSerial slice sizes %d/%d/%d too small for %dx%dx%d", len(a), len(b), len(dst), m, k, n))
+	}
+	matMulRows(dst, a, b, 0, m, k, n)
+}
+
 // matMulRows runs the ikj-order kernel over output rows [lo, hi).
+//
+// Rows are processed four at a time so each B-row load feeds four
+// accumulator rows — the kernel is load-bound, and the blocking roughly
+// triples throughput on these LeNet-scale shapes. Bitwise the result is
+// unchanged: every output element still accumulates its products in
+// ascending p order, and adding a zero product (a lane whose a-value is
+// 0 while a sibling lane's is not) is an exact identity for the finite
+// activations these layers produce. The all-lanes-zero skip still fires
+// on pruned input channels, which zero whole A columns.
 func matMulRows(cd, ad, bd []float32, lo, hi, k, n int) {
-	for i := lo; i < hi; i++ {
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		a0 := ad[i*k : (i+1)*k]
+		a1 := ad[(i+1)*k : (i+2)*k]
+		a2 := ad[(i+2)*k : (i+3)*k]
+		a3 := ad[(i+3)*k : (i+4)*k]
+		c0 := cd[i*n : (i+1)*n]
+		c1 := cd[(i+1)*n : (i+2)*n]
+		c2 := cd[(i+2)*n : (i+3)*n]
+		c3 := cd[(i+3)*n : (i+4)*n]
+		for j := range c0 {
+			c0[j], c1[j], c2[j], c3[j] = 0, 0, 0, 0
+		}
+		for p := 0; p < k; p++ {
+			av0, av1, av2, av3 := a0[p], a1[p], a2[p], a3[p]
+			if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			for j, bv := range brow {
+				c0[j] += av0 * bv
+				c1[j] += av1 * bv
+				c2[j] += av2 * bv
+				c3[j] += av3 * bv
+			}
+		}
+	}
+	for ; i < hi; i++ {
 		arow := ad[i*k : (i+1)*k]
 		crow := cd[i*n : (i+1)*n]
 		for j := range crow {
@@ -97,17 +146,57 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 	return c
 }
 
+// GemmTransBSerial computes dst = A×Bᵀ over raw row-major slices on the
+// calling goroutine: A is m×k, B is n×k, dst is m×n and fully
+// overwritten. Bit-identical to MatMulTransB (each output element is one
+// self-contained dot product, so banding never changes it); compiled
+// plans use it for dense layers.
+func GemmTransBSerial(dst, a, b []float32, m, k, n int) {
+	if len(a) < m*k || len(b) < n*k || len(dst) < m*n {
+		panic(fmt.Sprintf("tensor: GemmTransBSerial slice sizes %d/%d/%d too small for %dx%dx%d", len(a), len(b), len(dst), m, k, n))
+	}
+	matMulTransBRows(dst, a, b, 0, m, k, n)
+}
+
 // matMulTransBRows runs the dot-product kernel over output rows [lo, hi).
+//
+// The hot path dots six B rows (output columns) per A-row pass: six
+// independent accumulator chains hide the FP-add latency a single dot
+// product serializes on, and each loaded a-value feeds six accumulators.
+// Per-element accumulation order is unchanged (ascending p), so results
+// are bit-identical to the plain loop; 1x6 with no inner branch measured
+// fastest across this repo's conv/dense shapes.
 func matMulTransBRows(cd, ad, bd []float32, lo, hi, k, n int) {
 	for i := lo; i < hi; i++ {
 		arow := ad[i*k : (i+1)*k]
-		for j := 0; j < n; j++ {
+		crow := cd[i*n : (i+1)*n]
+		j := 0
+		for ; j+6 <= n; j += 6 {
+			b0 := bd[j*k : (j+1)*k]
+			b1 := bd[(j+1)*k : (j+2)*k]
+			b2 := bd[(j+2)*k : (j+3)*k]
+			b3 := bd[(j+3)*k : (j+4)*k]
+			b4 := bd[(j+4)*k : (j+5)*k]
+			b5 := bd[(j+5)*k : (j+6)*k]
+			var s0, s1, s2, s3, s4, s5 float32
+			for p, av := range arow {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+				s4 += av * b4[p]
+				s5 += av * b5[p]
+			}
+			crow[j], crow[j+1], crow[j+2] = s0, s1, s2
+			crow[j+3], crow[j+4], crow[j+5] = s3, s4, s5
+		}
+		for ; j < n; j++ {
 			brow := bd[j*k : (j+1)*k]
 			var s float32
 			for p, av := range arow {
 				s += av * brow[p]
 			}
-			cd[i*n+j] = s
+			crow[j] = s
 		}
 	}
 }

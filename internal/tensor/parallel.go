@@ -73,12 +73,20 @@ var bufPool = sync.Pool{}
 // GetBuf returns a float32 scratch slice of length n. Contents are
 // arbitrary; callers that need zeroed storage must clear it (Im2ColInto
 // and MatMulInto both overwrite their destination fully).
+//
+// When the pooled slice is too small for the request it is returned to
+// the pool instead of being dropped: a workload that interleaves small
+// and large scratch requests would otherwise leak every small buffer the
+// moment a large request drew it, slowly degrading the pool to
+// allocate-per-call. The fresh allocation satisfies the oversized
+// request; the undersized buffer stays available for the next small one.
 func GetBuf(n int) []float32 {
 	if v := bufPool.Get(); v != nil {
 		b := v.([]float32)
 		if cap(b) >= n {
 			return b[:n]
 		}
+		PutBuf(b)
 	}
 	return make([]float32, n)
 }

@@ -26,6 +26,7 @@ var errNilGrid = errors.New("ehinfer: nil grid")
 type Session struct {
 	workers  int
 	seed     uint64
+	backend  InferBackend
 	cache    *exper.DeployCache
 	progress func(ExperimentResult)
 }
@@ -60,6 +61,16 @@ func WithDeployedCache(enabled bool) SessionOption {
 			s.cache = nil
 		}
 	}
+}
+
+// WithBackend sets the session's default empirical-mode inference
+// backend (unset resolves to BackendPlan, the compiled zero-allocation
+// plan that is bit-identical to the legacy layer walk; BackendInt8
+// selects the fixed-point pipeline). Grids or CompareConfigs that name
+// their own Backend override it, and surrogate-mode runs — which never
+// execute the network — ignore it entirely.
+func WithBackend(b InferBackend) SessionOption {
+	return func(s *Session) { s.backend = b }
 }
 
 // WithProgress registers a callback observing every completed grid point,
@@ -113,11 +124,15 @@ func (s *Session) BuildDeployed(policy *Policy) (*Deployed, error) {
 	return core.BuildDeployed(policy, s.seed)
 }
 
+// Backend returns the session's default inference backend.
+func (s *Session) Backend() InferBackend { return s.backend }
+
 // engine builds a fresh engine carrying the session's shared state. The
 // engine itself is stateless across runs; the cache is the shared part.
 func (s *Session) engine() *ExperimentEngine {
 	e := exper.NewEngine(s.workers)
 	e.Cache = s.cache
+	e.Backend = s.backend
 	return e
 }
 
@@ -203,8 +218,13 @@ func (r *GridRun) Wait() (*GridResult, error) {
 }
 
 // CompareSystems runs ours plus the three baselines on a scenario,
-// honouring ctx between systems and training episodes.
+// honouring ctx between systems and training episodes. The session's
+// backend applies when the config leaves its Backend unset
+// (BackendDefault); an explicit choice — including BackendPlan — wins.
 func (s *Session) CompareSystems(ctx context.Context, sc *Scenario, d *Deployed, cfg CompareConfig) ([]SystemRow, error) {
+	if cfg.Backend == core.BackendDefault {
+		cfg.Backend = s.backend
+	}
 	return core.CompareSystems(ctx, sc, d, cfg)
 }
 

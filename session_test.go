@@ -182,3 +182,19 @@ func TestSessionBitIdenticalToEnginePath(t *testing.T) {
 		}
 	}
 }
+
+func TestSessionWithBackend(t *testing.T) {
+	if s := NewSession(); s.Backend() != BackendDefault {
+		t.Fatalf("a fresh session must carry the unset backend sentinel, got %v", s.Backend())
+	}
+	if BackendDefault.Resolve() != BackendPlan {
+		t.Fatal("the unset backend must resolve to the compiled plan")
+	}
+	s := NewSession(WithBackend(BackendInt8))
+	if s.Backend() != BackendInt8 {
+		t.Fatalf("WithBackend not applied: %v", s.Backend())
+	}
+	if _, err := ParseBackend("int8"); err != nil {
+		t.Fatal(err)
+	}
+}
