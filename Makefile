@@ -12,7 +12,7 @@ BENCH_JSON ?= BENCH_pr3.json
 # breaks inference or the episode loop fails the build.
 SMOKEBENCH = ^Benchmark(InferToExit1|InferToExit3|InferToExit3Int8|IncrementalResume|FullSimulationEpisode)$$
 
-.PHONY: all build test race bench bench-smoke bench-json fmt fmt-check lint staticcheck clean
+.PHONY: all build test race bench bench-smoke bench-json artifact-check fmt fmt-check lint staticcheck clean
 
 all: build
 
@@ -45,6 +45,15 @@ bench-json:
 	@rm -f $(BENCH_JSON).bench.out
 	@echo "wrote $(BENCH_JSON)"
 
+## artifact-check: decode the checked-in golden deployment artifact
+## (wire-format gate: drift without a deliberate version bump fails) and
+## build+vet every example program, which would otherwise only be
+## covered while ./... expansion happens to include them
+artifact-check:
+	$(GO) test -run 'TestGoldenArtifact' .
+	$(GO) build ./examples/...
+	$(GO) vet ./examples/...
+
 ## fmt: rewrite sources with gofmt
 fmt:
 	gofmt -w .
@@ -63,7 +72,7 @@ staticcheck:
 	staticcheck ./...
 
 ## ci: everything the CI workflow gates on
-ci: fmt-check lint build race bench
+ci: fmt-check lint build race bench artifact-check
 
 clean:
 	$(GO) clean ./...

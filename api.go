@@ -2,6 +2,7 @@ package ehinfer
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/accmodel"
 	"repro/internal/baselines"
@@ -197,9 +198,16 @@ const (
 func NewRNG(seed uint64) *RNG { return tensor.NewRNG(seed) }
 
 // FromImageData wraps a CHW float32 pixel slice (3×32×32 = 3072 values in
-// [0, 1]) as an image tensor suitable for Network.InferTo.
-func FromImageData(data []float32) *Tensor {
-	return tensor.FromSlice(data, dataset.Channels, dataset.Height, dataset.Width)
+// [0, 1]) as an image tensor suitable for Network.InferTo. A slice of
+// any other length is rejected with an error naming the expected shape
+// (it used to panic deep inside the tensor layer).
+func FromImageData(data []float32) (*Tensor, error) {
+	want := dataset.Channels * dataset.Height * dataset.Width
+	if len(data) != want {
+		return nil, fmt.Errorf("ehinfer: image data has %d values, want %d (%d×%d×%d CHW)",
+			len(data), want, dataset.Channels, dataset.Height, dataset.Width)
+	}
+	return tensor.FromSlice(data, dataset.Channels, dataset.Height, dataset.Width), nil
 }
 
 // LeNetEE builds the paper's multi-exit LeNet (four conv layers, two
@@ -228,6 +236,19 @@ func LowerToInteger(net *Network, weightBits, actBits int, calibration ...*Tenso
 		WeightBits:  weightBits,
 		ActBits:     actBits,
 		Calibration: calibration,
+	})
+}
+
+// LowerDeployed lowers a deployment — typically one restored from an
+// artifact — to the integer pipeline using the deployment's pinned int8
+// calibration scales, so the flashed network quantizes exactly like the
+// deployment it came from even when the calibration images are long
+// gone. Bitwidths 0 default to 8/8.
+func LowerDeployed(d *Deployed, weightBits, actBits int) (*LoweredNetwork, error) {
+	return fixed.Lower(d.Net, fixed.LowerConfig{
+		WeightBits: weightBits,
+		ActBits:    actBits,
+		Scales:     d.Int8Calibration,
 	})
 }
 
@@ -328,6 +349,16 @@ func NewDeployed(net *Network, exitAccs []float64) (*Deployed, error) {
 // NewRuntime builds the intermittent-inference runtime for a deployment.
 func NewRuntime(d *Deployed, cfg RuntimeConfig) (*Runtime, error) {
 	return core.NewRuntime(d, cfg)
+}
+
+// RunProposed runs the paper's proposed runtime alone (no baselines) on
+// a scenario — the single-system building block behind CompareSystems
+// and the experiment engine. It is the natural way to exercise a
+// deployment restored from an artifact (Session.Deploy): the scenario's
+// TestSet switches it to empirical mode where the network actually
+// executes on cfg.Backend.
+func RunProposed(ctx context.Context, sc *Scenario, d *Deployed, cfg CompareConfig) (*Report, error) {
+	return core.RunProposed(ctx, sc, d, cfg)
 }
 
 // CompareSystems runs ours plus the three baselines on a scenario.

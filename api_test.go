@@ -144,6 +144,9 @@ func NewRNGImage(seed uint64) *Tensor {
 	for i := range img {
 		img[i] = rng.Float32()
 	}
-	t := FromImageData(img)
+	t, err := FromImageData(img)
+	if err != nil {
+		panic(err)
+	}
 	return t
 }

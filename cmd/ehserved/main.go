@@ -16,6 +16,15 @@
 //
 //	curl -sN -X POST 'localhost:8080/v1/grids?stream=1' -d '{"seeds":[1,2,3]}'
 //
+// Deployment artifacts (see cmd/train -save-deployed) upload once and
+// serve many grids — POST the bundle, then reference it as a policy
+// named "artifact:<id>":
+//
+//	curl -s --data-binary @model.ehar localhost:8080/v1/artifacts
+//	curl -s -X POST localhost:8080/v1/grids -d '{"policies":["artifact:a1"],"seeds":[1,2]}'
+//	curl -s localhost:8080/v1/artifacts/a1 -o roundtrip.ehar   # byte-identical download
+//	curl -s localhost:8080/v1/registry                          # all referenceable names
+//
 // Usage:
 //
 //	ehserved [-addr :8080] [-workers N] [-seed N]

@@ -6,9 +6,16 @@
 // constructor, one seed-derivation scheme, and one cancellation story
 // (Ctrl-C aborts between training episodes).
 //
+// With -deployed the compressed model is restored from a saved
+// deployment artifact (see cmd/train -save-deployed) instead of being
+// rebuilt in process — the search/compress phase is skipped entirely,
+// and the run is bit-identical to one on the never-serialized
+// deployment.
+//
 // Usage:
 //
 //	ehsim [-seed N] [-events N] [-hours H] [-peak mW] [-trace file.csv]
+//	      [-deployed model.ehar]
 //	      [-policy static|qlearning] [-episodes N] [-workers N] [-v]
 package main
 
@@ -27,15 +34,16 @@ import (
 
 func main() {
 	var (
-		seed     = flag.Uint64("seed", 42, "random seed for trace, events, and learning")
-		events   = flag.Int("events", 500, "number of events over the trace")
-		hours    = flag.Float64("hours", 6, "trace duration in hours (synthetic trace)")
-		peak     = flag.Float64("peak", 0.032, "peak harvesting power in mW (synthetic trace)")
-		traceCSV = flag.String("trace", "", "CSV file with a measured trace (overrides -hours/-peak)")
-		policy   = flag.String("policy", "qlearning", "runtime exit policy: qlearning or static")
-		episodes = flag.Int("episodes", 12, "Q-learning warm-up episodes before the measured run")
-		workers  = flag.Int("workers", 0, "engine worker goroutines (0 = all cores)")
-		verbose  = flag.Bool("v", false, "print per-system exit shares")
+		seed      = flag.Uint64("seed", 42, "random seed for trace, events, and learning")
+		events    = flag.Int("events", 500, "number of events over the trace")
+		hours     = flag.Float64("hours", 6, "trace duration in hours (synthetic trace)")
+		peak      = flag.Float64("peak", 0.032, "peak harvesting power in mW (synthetic trace)")
+		traceCSV  = flag.String("trace", "", "CSV file with a measured trace (overrides -hours/-peak)")
+		deployedF = flag.String("deployed", "", "deployment artifact to run (skips the in-process build)")
+		policy    = flag.String("policy", "qlearning", "runtime exit policy: qlearning or static")
+		episodes  = flag.Int("episodes", 12, "Q-learning warm-up episodes before the measured run")
+		workers   = flag.Int("workers", 0, "engine worker goroutines (0 = all cores)")
+		verbose   = flag.Bool("v", false, "print per-system exit shares")
 	)
 	flag.Parse()
 	if *events < 1 {
@@ -54,6 +62,16 @@ func main() {
 		grid.Traces = []exper.TraceSpec{exper.SolarTrace(int(*hours*3600), *peak)}
 	}
 
+	session := ehinfer.NewSession(ehinfer.WithWorkers(*workers), ehinfer.WithSeed(*seed))
+	if *deployedF != "" {
+		ps, err := ehinfer.PolicyFromArtifactFile(*deployedF)
+		if err != nil {
+			fatal(err)
+		}
+		grid.Policies = []ehinfer.PolicySpec{ps}
+		fmt.Printf("deployment artifact: %s (%s)\n", *deployedF, ps.Name)
+	}
+
 	// Materialize the point's trace and deployment up front for the
 	// header; the engine re-derives the identical ones from RunSeed.
 	pt := grid.Points()[0]
@@ -64,9 +82,14 @@ func main() {
 	fmt.Printf("trace: %d s, mean %.1f µW, total %.1f mJ harvestable; %d events\n",
 		trace.Duration(), 1000*trace.MeanPower(), trace.TotalEnergy(), grid.Events)
 
-	deployed, err := core.BuildDeployed(pt.Policy.Build(), pt.DeploySeed)
-	if err != nil {
-		fatal(err)
+	var deployed *core.Deployed
+	if pt.Policy.Deployed != nil {
+		deployed = pt.Policy.Deployed()
+	} else {
+		deployed, err = core.BuildDeployed(pt.Policy.Build(), pt.DeploySeed)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	dev := pt.Device.Build()
 	fmt.Printf("deployed: %0.1f KB weights, exit costs", float64(deployed.WeightBytes)/1024)
@@ -77,7 +100,6 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	session := ehinfer.NewSession(ehinfer.WithWorkers(*workers), ehinfer.WithSeed(*seed))
 	res, err := session.RunGrid(ctx, grid)
 	if err != nil {
 		fatal(err)

@@ -12,7 +12,11 @@
 // Usage:
 //
 //	sweep [-peaks 0.02,0.032,0.05] [-caps 3,6,10] [-seeds 3] [-events 500]
-//	      [-workers N] [-json out.json] [-progress] [-v]
+//	      [-deployed model.ehar] [-workers N] [-json out.json] [-progress] [-v]
+//
+// With -deployed every grid cell runs a deployment restored from the
+// given artifact (see cmd/train -save-deployed) instead of rebuilding
+// the paper's nonuniform deployment in process.
 package main
 
 import (
@@ -31,14 +35,15 @@ import (
 
 func main() {
 	var (
-		peaksArg = flag.String("peaks", "0.020,0.032,0.050", "comma-separated trace peak powers (mW)")
-		capsArg  = flag.String("caps", "3,6,10", "comma-separated capacitor sizes (mJ)")
-		seeds    = flag.Int("seeds", 3, "seeds per grid cell")
-		events   = flag.Int("events", 500, "events per run")
-		workers  = flag.Int("workers", 0, "worker goroutines (0 = all cores)")
-		jsonOut  = flag.String("json", "", "write full per-point results as JSON to this file")
-		progress = flag.Bool("progress", false, "print each point as it completes")
-		verbose  = flag.Bool("v", false, "print the full aggregate table for all systems")
+		peaksArg  = flag.String("peaks", "0.020,0.032,0.050", "comma-separated trace peak powers (mW)")
+		capsArg   = flag.String("caps", "3,6,10", "comma-separated capacitor sizes (mJ)")
+		seeds     = flag.Int("seeds", 3, "seeds per grid cell")
+		events    = flag.Int("events", 500, "events per run")
+		deployedF = flag.String("deployed", "", "deployment artifact to run (skips the in-process build)")
+		workers   = flag.Int("workers", 0, "worker goroutines (0 = all cores)")
+		jsonOut   = flag.String("json", "", "write full per-point results as JSON to this file")
+		progress  = flag.Bool("progress", false, "print each point as it completes")
+		verbose   = flag.Bool("v", false, "print the full aggregate table for all systems")
 	)
 	flag.Parse()
 	if *events < 1 {
@@ -58,6 +63,14 @@ func main() {
 	defer stop()
 
 	grid := ehinfer.PaperSweepGrid(peaks, caps, *seeds, *events)
+	if *deployedF != "" {
+		ps, err := ehinfer.PolicyFromArtifactFile(*deployedF)
+		if err != nil {
+			fatal(err)
+		}
+		grid.Policies = []ehinfer.PolicySpec{ps}
+		fmt.Fprintf(os.Stderr, "sweep: running deployment artifact %s (%s)\n", *deployedF, ps.Name)
+	}
 	opts := []ehinfer.SessionOption{ehinfer.WithWorkers(*workers)}
 	if *progress {
 		done := 0

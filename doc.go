@@ -40,7 +40,25 @@
 //     the experiment engine's deployment cache;
 //   - the HTTP serving layer (internal/serve, cmd/ehserved): submit
 //     declarative GridSpecs, poll progress, stream per-point results as
-//     NDJSON, fetch deterministic final reports, with graceful shutdown.
+//     NDJSON, fetch deterministic final reports, upload/download
+//     deployment artifacts, with graceful shutdown;
+//   - versioned deployment artifacts (internal/artifact): a
+//     self-describing bundle — magic, format version, JSON manifest,
+//     binary tensor sections — that round-trips a Deployed end to end
+//     (architecture spec, compressed weights, per-exit accuracies,
+//     compression policy, pinned int8 calibration scales, default
+//     backend) with SaveDeployed/LoadDeployed and Session.Deploy; a
+//     loaded artifact produces byte-identical episode reports to the
+//     in-process deployment it was saved from, on every backend, and
+//     decoding is strict (unknown versions, truncated sections, shape
+//     mismatches, and trailing bytes are errors);
+//   - open axis registries: RegisterDevice / RegisterPolicy /
+//     RegisterTrace / RegisterSchedule / RegisterDeployment publish
+//     user components under names any GridSpec — including one POSTed
+//     to ehserved — can reference; registries are RWMutex-guarded and
+//     duplicate-rejecting, and /v1/registry reflects them live. The
+//     fluent ScenarioBuilder (NewScenario) assembles custom scenarios
+//     over the same named components.
 //
 // This package is the public façade, organized around the Session type:
 // a Session owns the worker pool cap, the base seed RNG streams derive
@@ -83,4 +101,13 @@
 //	ehserved &
 //	curl -s localhost:8080/v1/grids -d '{"seeds":[1,2,3]}'
 //	curl -sN 'localhost:8080/v1/grids/g1/results?format=ndjson'
+//
+// # Artifacts: compress once, flash once
+//
+//	deployed, _ := session.BuildDeployed(ehinfer.Fig1bNonuniform())
+//	_ = ehinfer.SaveDeployed("model.ehar", deployed,
+//		ehinfer.WithArtifactName("flagship"))
+//	restored, _ := session.Deploy("model.ehar") // bit-identical runs
+//	_ = ehinfer.RegisterDeployment("flagship", restored)
+//	// …and any grid spec may now name "flagship" as a policy axis value.
 package ehinfer

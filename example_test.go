@@ -61,8 +61,12 @@ func ExampleNetwork_Resume() {
 	for i := range img {
 		img[i] = rng.Float32()
 	}
-	state := net.InferTo(ehinfer.FromImageData(img), 0) // cheap early exit
-	state = net.Resume(state, 2)                        // refine to the final exit
+	t, err := ehinfer.FromImageData(img)
+	if err != nil {
+		panic(err)
+	}
+	state := net.InferTo(t, 0)   // cheap early exit
+	state = net.Resume(state, 2) // refine to the final exit
 	fmt.Println("reached exit:", state.Exit+1)
 	// Output:
 	// reached exit: 3
@@ -113,7 +117,11 @@ func ExampleLowerToInteger() {
 	for i := range img {
 		img[i] = rng.Float32()
 	}
-	st, err := lowered.InferTo(ehinfer.FromImageData(img), 1)
+	t, err := ehinfer.FromImageData(img)
+	if err != nil {
+		panic(err)
+	}
+	st, err := lowered.InferTo(t, 1)
 	if err != nil {
 		panic(err)
 	}

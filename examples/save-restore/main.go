@@ -1,0 +1,110 @@
+// Save/restore: the paper's "compress once, flash once" workflow as
+// artifacts. The offline phase builds and saves a deployment bundle;
+// the serving phase — possibly another process, machine, or day —
+// restores it and runs scenarios without ever repeating the
+// train/search/compress work. The restored deployment is bit-identical:
+// the episode report it produces matches the in-process one byte for
+// byte.
+//
+// The example also registers custom components (a device and the loaded
+// deployment) in the open axis registries and runs a declarative
+// GridSpec that references everything by name — the same spec could be
+// POSTed verbatim to ehserved.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"reflect"
+
+	ehinfer "repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "ehinfer-save-restore")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "lenet-ee.ehar")
+
+	// ---- Offline phase: compress once, save once. ----
+	session := ehinfer.NewSession(ehinfer.WithSeed(1))
+	policy := ehinfer.Fig1bNonuniform()
+	deployed, err := session.BuildDeployed(policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ehinfer.SaveDeployed(path, deployed,
+		ehinfer.WithArtifactName("lenet-ee-nonuniform"),
+		ehinfer.WithArtifactPolicy(policy),
+	); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("saved %s: %.1f KB artifact, %.1f KB deployed weights\n",
+		filepath.Base(path), float64(info.Size())/1024, float64(deployed.WeightBytes)/1024)
+
+	// ---- Serving phase: restore and run, no rebuild. ----
+	restored, err := session.Deploy(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	sc := session.Scenario()
+	cfg := ehinfer.CompareConfig{WarmupEpisodes: 4}
+	fresh, err := session.RunProposed(ctx, sc, deployed, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fromDisk, err := session.RunProposed(ctx, sc, restored, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, _ := json.Marshal(fresh)
+	b, _ := json.Marshal(fromDisk)
+	fmt.Printf("restored run: IEpmJ %.3f, accuracy %.1f%%, reports byte-identical: %v\n",
+		fromDisk.IEpmJ(), 100*fromDisk.AccuracyAllEvents(), reflect.DeepEqual(a, b))
+
+	// ---- Open registries: name the artifact and a custom device, then
+	//      run a declarative grid that references both. ----
+	if err := ehinfer.RegisterDeployment("artifact:lenet-ee", restored); err != nil {
+		log.Fatal(err)
+	}
+	if err := ehinfer.RegisterDevice("MSP432-2x", func() *ehinfer.Device {
+		d := ehinfer.MSP432()
+		d.Name = "MSP432-2x"
+		d.MFLOPSPerSecond *= 2 // an imagined faster stepping
+		return d
+	}); err != nil {
+		log.Fatal(err)
+	}
+	specJSON := `{
+		"name": "artifact-grid",
+		"events": 120,
+		"devices": ["MSP432", "MSP432-2x"],
+		"policies": ["artifact:lenet-ee"],
+		"seeds": [1, 2]
+	}`
+	var spec ehinfer.GridSpec
+	if err := json.Unmarshal([]byte(specJSON), &spec); err != nil {
+		log.Fatal(err)
+	}
+	grid, err := spec.Grid()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := session.RunGrid(ctx, grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngrid over the restored artifact (%d points):\n", grid.Size())
+	for _, r := range res.Results {
+		fmt.Printf("  %-9s seed %d: IEpmJ %.3f\n",
+			r.Point.Device.Name, r.Point.Seed, r.Rows[0].IEpmJ)
+	}
+}

@@ -1,0 +1,406 @@
+// Package artifact defines the versioned deployment bundle — the
+// "compress once, flash once" unit of the paper's workflow made
+// portable. A bundle serializes a core.Deployed end to end: the network
+// architecture as a declarative multiexit.Spec (names, geometry, and
+// compression metadata included, so the rebuilt network reproduces
+// FLOPs, weight-size accounting, and inference bit-for-bit), the
+// compressed weights, the per-exit accuracies, the compression policy
+// that produced it (provenance), pinned int8 calibration scales, and
+// the deployment's default inference backend.
+//
+// # Wire format (version 1)
+//
+//	offset  size       field
+//	0       4          magic "EHDA"
+//	4       4          format version, uint32 little-endian
+//	8       4          manifest length M, uint32 little-endian
+//	12      M          manifest, JSON (see manifest)
+//	12+M    …          tensor sections: each parameter's float32 data,
+//	                   little-endian, concatenated in manifest order
+//
+// Nothing follows the last section. Decoding is strict: bad magic, an
+// unknown format version, unknown manifest fields, truncated sections,
+// shape mismatches, and trailing bytes are all distinct errors rather
+// than best-effort repairs — an artifact either round-trips exactly or
+// does not load.
+//
+// # Version policy
+//
+// The format version is a single integer gate: a reader accepts exactly
+// the versions it knows how to decode bit-faithfully and rejects
+// everything else. Any manifest change — even an additive field — bumps
+// the version, which is why decoding also rejects unknown manifest
+// fields: a version-1 manifest containing fields this build does not
+// know about is evidence of version skew, not extensibility.
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/multiexit"
+	"repro/internal/plan"
+)
+
+// Magic identifies a deployment-artifact stream ("EH Deployment
+// Artifact").
+const Magic = "EHDA"
+
+// FormatVersion is the artifact format this build writes and reads.
+const FormatVersion = 1
+
+const (
+	// maxManifestBytes bounds the JSON manifest; real manifests are a
+	// few KB.
+	maxManifestBytes = 16 << 20
+	// maxParamValues bounds the total float32 count a manifest may
+	// declare (256 MB of weights), so a corrupted or hostile manifest
+	// cannot request absurd allocations before section reads fail.
+	maxParamValues = 64 << 20
+	// maxDim bounds any single declared layer dimension.
+	maxDim = 1 << 24
+)
+
+// Bundle is the in-memory form of a deployment artifact.
+type Bundle struct {
+	// Name labels the artifact (optional; surfaced by tools and the
+	// ehserved artifact listing).
+	Name string
+	// Deployed is the packaged deployment. Its DefaultBackend and
+	// Int8Calibration fields are persisted with it.
+	Deployed *core.Deployed
+	// Policy optionally records the compression policy the deployment
+	// was built with — provenance, and reusable as a grid axis.
+	Policy *compress.Policy
+}
+
+// manifest is the JSON header of the wire format.
+type manifest struct {
+	Name     string            `json:"name,omitempty"`
+	Arch     *multiexit.Spec   `json:"arch"`
+	ExitAccs []float64         `json:"exitAccs"`
+	Backend  string            `json:"backend,omitempty"`
+	Policy   *compress.Policy  `json:"policy,omitempty"`
+	Int8Cal  *plan.Calibration `json:"int8Calibration,omitempty"`
+	Params   []paramSection    `json:"params"`
+}
+
+// paramSection describes one tensor section: which parameter it
+// restores, its shape, and how many float32 values follow.
+type paramSection struct {
+	Name  string `json:"name"`
+	Shape []int  `json:"shape"`
+	Count int    `json:"count"`
+}
+
+// Encode writes the bundle to w in the versioned wire format.
+func Encode(w io.Writer, b *Bundle) error {
+	if b == nil || b.Deployed == nil || b.Deployed.Net == nil {
+		return fmt.Errorf("artifact: nil bundle or deployment")
+	}
+	d := b.Deployed
+	spec, err := multiexit.Describe(d.Net)
+	if err != nil {
+		return fmt.Errorf("artifact: describe network: %w", err)
+	}
+	if b.Policy != nil {
+		if err := b.Policy.Validate(); err != nil {
+			return fmt.Errorf("artifact: bundle policy: %w", err)
+		}
+	}
+	m := manifest{
+		Name:     b.Name,
+		Arch:     spec,
+		ExitAccs: d.ExitAccs,
+		Policy:   b.Policy,
+		Int8Cal:  d.Int8Calibration,
+	}
+	if d.DefaultBackend != core.BackendDefault {
+		m.Backend = d.DefaultBackend.String()
+	}
+	params := d.Net.Params()
+	for _, p := range params {
+		m.Params = append(m.Params, paramSection{
+			Name:  p.Name,
+			Shape: append([]int(nil), p.Value.Shape()...),
+			Count: p.Value.Len(),
+		})
+	}
+	mdata, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("artifact: encode manifest: %w", err)
+	}
+
+	var header [12]byte
+	copy(header[:4], Magic)
+	binary.LittleEndian.PutUint32(header[4:8], FormatVersion)
+	binary.LittleEndian.PutUint32(header[8:12], uint32(len(mdata)))
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("artifact: write header: %w", err)
+	}
+	if _, err := w.Write(mdata); err != nil {
+		return fmt.Errorf("artifact: write manifest: %w", err)
+	}
+	buf := make([]byte, 0, 64<<10)
+	for _, p := range params {
+		buf = buf[:0]
+		for _, v := range p.Value.Data {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("artifact: write section %q: %w", p.Name, err)
+		}
+	}
+	return nil
+}
+
+// Decode reads a bundle from r, strictly: every structural defect is an
+// error. The reader must be positioned at the magic and must end at the
+// last tensor section.
+func Decode(r io.Reader) (*Bundle, error) {
+	var header [12]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, fmt.Errorf("artifact: read header: %w", err)
+	}
+	if string(header[:4]) != Magic {
+		return nil, fmt.Errorf("artifact: bad magic %q (not a deployment artifact)", header[:4])
+	}
+	version := binary.LittleEndian.Uint32(header[4:8])
+	if version != FormatVersion {
+		return nil, fmt.Errorf("artifact: unsupported format version %d (this build reads version %d)", version, FormatVersion)
+	}
+	mlen := binary.LittleEndian.Uint32(header[8:12])
+	if mlen == 0 || mlen > maxManifestBytes {
+		return nil, fmt.Errorf("artifact: manifest length %d outside (0, %d]", mlen, maxManifestBytes)
+	}
+	mdata := make([]byte, mlen)
+	if _, err := io.ReadFull(r, mdata); err != nil {
+		return nil, fmt.Errorf("artifact: truncated manifest: %w", err)
+	}
+	var m manifest
+	dec := json.NewDecoder(bytes.NewReader(mdata))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("artifact: decode manifest: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("artifact: trailing data inside manifest")
+	}
+	if m.Arch == nil {
+		return nil, fmt.Errorf("artifact: manifest has no architecture")
+	}
+	if err := checkSpecBudget(m.Arch); err != nil {
+		return nil, err
+	}
+	net, err := multiexit.FromSpec(m.Arch)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: rebuild network: %w", err)
+	}
+
+	params := net.Params()
+	if len(params) != len(m.Params) {
+		return nil, fmt.Errorf("artifact: manifest declares %d tensor sections, architecture has %d parameters",
+			len(m.Params), len(params))
+	}
+	var total int64
+	for i, sec := range m.Params {
+		p := params[i]
+		if sec.Name != p.Name {
+			return nil, fmt.Errorf("artifact: section %d is %q, architecture parameter is %q", i, sec.Name, p.Name)
+		}
+		if !shapeEqual(sec.Shape, p.Value.Shape()) {
+			return nil, fmt.Errorf("artifact: section %q has shape %v, architecture expects %v",
+				sec.Name, sec.Shape, p.Value.Shape())
+		}
+		if sec.Count != p.Value.Len() {
+			return nil, fmt.Errorf("artifact: section %q declares %d values for shape %v (%d values)",
+				sec.Name, sec.Count, sec.Shape, p.Value.Len())
+		}
+		total += int64(sec.Count)
+		if total > maxParamValues {
+			return nil, fmt.Errorf("artifact: declared weight volume exceeds %d values", maxParamValues)
+		}
+	}
+	buf := make([]byte, 0, 64<<10)
+	for i, sec := range m.Params {
+		need := sec.Count * 4
+		if cap(buf) < need {
+			buf = make([]byte, need)
+		}
+		buf = buf[:need]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("artifact: truncated section %q (%d of %d): %w", sec.Name, i+1, len(m.Params), err)
+		}
+		dst := params[i].Value.Data
+		for j := range dst {
+			dst[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[j*4:]))
+		}
+	}
+	var tail [1]byte
+	if _, err := io.ReadFull(r, tail[:]); err == nil {
+		return nil, fmt.Errorf("artifact: trailing data after last tensor section")
+	} else if err != io.EOF {
+		return nil, fmt.Errorf("artifact: read past last section: %w", err)
+	}
+
+	d, err := core.NewDeployed(net, m.ExitAccs)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: rebuild deployment: %w", err)
+	}
+	backend, err := core.ParseBackend(m.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	d.DefaultBackend = backend
+	if m.Int8Cal != nil {
+		if err := checkCalibration(m.Int8Cal, m.Arch, net.NumExits()); err != nil {
+			return nil, err
+		}
+		d.Int8Calibration = m.Int8Cal
+	}
+	if m.Policy != nil {
+		if err := m.Policy.Validate(); err != nil {
+			return nil, fmt.Errorf("artifact: bundled policy: %w", err)
+		}
+	}
+	return &Bundle{Name: m.Name, Deployed: d, Policy: m.Policy}, nil
+}
+
+// checkCalibration verifies pinned int8 scales cover the architecture
+// exactly: one ceiling per weighted (conv/dense) layer of every
+// sequential (an all-empty slice means "uncalibrated", which is
+// legitimate). Anything partial would silently fall back to the static
+// default ceiling for the missing layers — a quantization that differs
+// from the deployment the artifact was saved from, which the strict
+// decode contract forbids.
+func checkCalibration(cal *plan.Calibration, spec *multiexit.Spec, exits int) error {
+	if len(cal.Segments) != exits || len(cal.Branches) != exits {
+		return fmt.Errorf("artifact: int8 calibration covers %d/%d sequentials for %d exits",
+			len(cal.Segments), len(cal.Branches), exits)
+	}
+	check := func(kind string, scales [][]float64, seqs []multiexit.SequentialSpec) error {
+		for i, s := range scales {
+			if len(s) == 0 {
+				continue
+			}
+			weighted := 0
+			for _, ls := range seqs[i].Layers {
+				if ls.Kind == multiexit.LayerConv || ls.Kind == multiexit.LayerDense {
+					weighted++
+				}
+			}
+			if len(s) != weighted {
+				return fmt.Errorf("artifact: int8 calibration has %d ceilings for %s %d's %d weighted layers",
+					len(s), kind, i, weighted)
+			}
+			// A zero ceiling is a legitimate "this layer saw no
+			// activations" marker (both the saver and the loader fall
+			// back to the static default for it, identically); only
+			// values no calibration pass can produce are rejected.
+			for j, v := range s {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("artifact: int8 calibration ceiling %d of %s %d is %g", j, kind, i, v)
+				}
+			}
+		}
+		return nil
+	}
+	if err := check("segment", cal.Segments, spec.Segments); err != nil {
+		return err
+	}
+	return check("branch", cal.Branches, spec.Branches)
+}
+
+// checkSpecBudget rejects architecture specs whose declared dimensions
+// would allocate unreasonable parameter volumes, before FromSpec builds
+// anything.
+func checkSpecBudget(s *multiexit.Spec) error {
+	var total int64
+	// addWeights accumulates the product of the dims with an overflow-
+	// free early bail: every factor is ≤ maxDim (2^24) and the running
+	// product is checked against maxParamValues (≪ 2^63 / maxDim) after
+	// each multiplication, so the product can never wrap.
+	addWeights := func(name string, dims ...int) error {
+		p := int64(1)
+		for _, d := range dims {
+			p *= int64(d)
+			if p > maxParamValues {
+				return fmt.Errorf("artifact: layer %q exceeds %d weight values", name, maxParamValues)
+			}
+		}
+		total += p
+		if total > maxParamValues {
+			return fmt.Errorf("artifact: declared architecture exceeds %d weight values", maxParamValues)
+		}
+		return nil
+	}
+	walk := func(specs []multiexit.SequentialSpec) error {
+		for _, ss := range specs {
+			for _, ls := range ss.Layers {
+				dims := []int{ls.InC, ls.OutC, ls.KH, ls.KW, ls.In, ls.Out, ls.NomH, ls.NomW}
+				for _, d := range dims {
+					if d < 0 || d > maxDim {
+						return fmt.Errorf("artifact: layer %q dimension %d outside [0, %d]", ls.Name, d, maxDim)
+					}
+				}
+				switch ls.Kind {
+				case multiexit.LayerConv:
+					if err := addWeights(ls.Name, ls.InC, ls.OutC, ls.KH, ls.KW); err != nil {
+						return err
+					}
+				case multiexit.LayerDense:
+					if err := addWeights(ls.Name, ls.In, ls.Out); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(s.Segments); err != nil {
+		return err
+	}
+	return walk(s.Branches)
+}
+
+func shapeEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteFile saves the bundle to path.
+func WriteFile(path string, b *Bundle) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Encode(f, b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a bundle from path.
+func ReadFile(path string) (*Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

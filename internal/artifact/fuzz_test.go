@@ -1,0 +1,92 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/multiexit"
+	"repro/internal/nn"
+)
+
+// fuzzSeed builds a tiny valid artifact for the fuzz corpus.
+func fuzzSeed(tb testing.TB) []byte {
+	conv := nn.NewConv2D("c", 1, 2, 3, 3, 1, 1)
+	conv.NomH, conv.NomW = 4, 4
+	fc := nn.NewDense("f", 2*4*4, 2)
+	fc.Final = true
+	net := &multiexit.Network{
+		Segments: []*nn.Sequential{nn.NewSequential("s0", conv, nn.NewReLU("r"))},
+		Branches: []*nn.Sequential{nn.NewSequential("b0", nn.NewFlatten("fl"), fc)},
+		Classes:  2,
+	}
+	d, err := core.NewDeployed(net, []float64{0.5})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, &Bundle{Name: "fuzz", Deployed: d}); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecode asserts Decode never panics and never mistakes a mutated
+// stream for a different valid artifact silently: whatever it returns
+// must itself re-encode.
+func FuzzDecode(f *testing.F) {
+	seed := fuzzSeed(f)
+	f.Add(seed)
+	// Targeted corpus seeds: version skew, truncations, corrupted
+	// section lengths.
+	for _, cut := range []int{0, 4, 8, 11, len(seed) / 2, len(seed) - 1} {
+		if cut <= len(seed) {
+			f.Add(seed[:cut])
+		}
+	}
+	skew := append([]byte(nil), seed...)
+	binary.LittleEndian.PutUint32(skew[4:8], 99)
+	f.Add(skew)
+	badLen := append([]byte(nil), seed...)
+	binary.LittleEndian.PutUint32(badLen[8:12], uint32(len(seed)))
+	f.Add(badLen)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode (internal consistency).
+		var buf bytes.Buffer
+		if err := Encode(&buf, b); err != nil {
+			t.Fatalf("decoded artifact failed to re-encode: %v", err)
+		}
+	})
+}
+
+// TestDecodeRejectsOverflowingSpec pins the overflow-free budget check:
+// dimensions that individually pass maxDim but whose product would wrap
+// int64 must produce the strict decode error, not a makeslice panic.
+func TestDecodeRejectsOverflowingSpec(t *testing.T) {
+	seed := fuzzSeed(t)
+	mlen := binary.LittleEndian.Uint32(seed[8:12])
+	man := seed[12 : 12+int(mlen)]
+	// Inflate the conv geometry to 2^24 × 2^24 × 2^15 × 1 (product 2^63).
+	patched := bytes.Replace(man,
+		[]byte(`"inC":1,"outC":2,"kh":3,"kw":3`),
+		[]byte(`"inC":16777216,"outC":16777216,"kh":32768,"kw":1`), 1)
+	if bytes.Equal(patched, man) {
+		t.Fatal("geometry patch did not apply")
+	}
+	var out bytes.Buffer
+	out.Write(seed[:8])
+	var l [4]byte
+	binary.LittleEndian.PutUint32(l[:], uint32(len(patched)))
+	out.Write(l[:])
+	out.Write(patched)
+	out.Write(seed[12+int(mlen):])
+	if _, err := Decode(bytes.NewReader(out.Bytes())); err == nil {
+		t.Fatal("decode accepted an int64-overflowing architecture")
+	}
+}

@@ -106,12 +106,27 @@ func (d *Deployed) FloatPlan() (*plan.Plan, error) {
 	return d.planc.p, d.planc.err
 }
 
-// int8Plan compiles the deployment's int8 plan with the given
-// calibration images.
+// int8Plan compiles the deployment's int8 plan. Explicit calibration
+// images win; otherwise scales pinned by BindInt8Calibration (or an
+// artifact load) apply; with neither, the lowering uses its static
+// default ceiling.
 func (d *Deployed) int8Plan(calibration []*tensor.Tensor) (*plan.Plan, error) {
 	geom, err := plan.InferGeometry(d.Net)
 	if err != nil {
 		return nil, err
 	}
-	return plan.CompileInt8(d.Net, geom, plan.Int8Config{Calibration: calibration})
+	cfg := plan.Int8Config{Calibration: calibration}
+	if len(calibration) == 0 {
+		cfg.Scales = d.Int8Calibration
+	}
+	return plan.CompileInt8(d.Net, geom, cfg)
+}
+
+// BindInt8Calibration runs the calibration pass over the given images
+// and pins the resulting int8 requantization scales on the deployment.
+// Pinned scales are what SaveDeployed persists, so a restored artifact
+// quantizes exactly like the deployment it was saved from — no
+// calibration images needed at load time.
+func (d *Deployed) BindInt8Calibration(images []*tensor.Tensor) {
+	d.Int8Calibration = plan.Calibrate(d.Net, images)
 }

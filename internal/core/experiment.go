@@ -8,6 +8,7 @@ import (
 	"repro/internal/accmodel"
 	"repro/internal/baselines"
 	"repro/internal/compress"
+	"repro/internal/dataset"
 	"repro/internal/energy"
 	"repro/internal/mcu"
 	"repro/internal/metrics"
@@ -23,6 +24,12 @@ type Scenario struct {
 	Device   *mcu.Device
 	Storage  *energy.Storage
 	Seed     uint64
+	// TestSet, when non-nil, switches the scenario to empirical mode:
+	// events must carry SampleIndex into this set (see
+	// Schedule.AttachSamples) and the deployed network actually executes
+	// on the configured inference backend instead of the accuracy
+	// surrogate.
+	TestSet *dataset.Set
 }
 
 // DefaultScenario reproduces the paper's setup: a 6-hour solar harvesting
@@ -135,6 +142,7 @@ func RunProposed(ctx context.Context, sc *Scenario, d *Deployed, cfg CompareConf
 		Storage: sc.Storage,
 		Seed:    sc.Seed,
 		Backend: cfg.Backend,
+		TestSet: sc.TestSet,
 	})
 	if err != nil {
 		return nil, err
@@ -196,13 +204,13 @@ func CompareSystems(ctx context.Context, sc *Scenario, d *Deployed, cfg CompareC
 // far are returned alongside ctx.Err().
 func LearningCurve(ctx context.Context, sc *Scenario, d *Deployed, episodes int) (qcurve, staticCurve []float64, err error) {
 	qrt, err := NewRuntime(d, RuntimeConfig{
-		Mode: PolicyQLearning, Device: sc.Device, Storage: sc.Storage, Seed: sc.Seed,
+		Mode: PolicyQLearning, Device: sc.Device, Storage: sc.Storage, Seed: sc.Seed, TestSet: sc.TestSet,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
 	srt, err := NewRuntime(d, RuntimeConfig{
-		Mode: PolicyStaticLUT, Device: sc.Device, Storage: sc.Storage, Seed: sc.Seed,
+		Mode: PolicyStaticLUT, Device: sc.Device, Storage: sc.Storage, Seed: sc.Seed, TestSet: sc.TestSet,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -233,7 +241,7 @@ func LearningCurve(ctx context.Context, sc *Scenario, d *Deployed, episodes int)
 // The context is checked between warm-up episodes.
 func ExitUsage(ctx context.Context, sc *Scenario, d *Deployed, warmup int) (qhist, shist []int, qproc, sproc int, err error) {
 	qrt, err := NewRuntime(d, RuntimeConfig{
-		Mode: PolicyQLearning, Device: sc.Device, Storage: sc.Storage, Seed: sc.Seed,
+		Mode: PolicyQLearning, Device: sc.Device, Storage: sc.Storage, Seed: sc.Seed, TestSet: sc.TestSet,
 	})
 	if err != nil {
 		return nil, nil, 0, 0, err
@@ -253,7 +261,7 @@ func ExitUsage(ctx context.Context, sc *Scenario, d *Deployed, warmup int) (qhis
 		return nil, nil, 0, 0, err
 	}
 	srt, err := NewRuntime(d, RuntimeConfig{
-		Mode: PolicyStaticLUT, Device: sc.Device, Storage: sc.Storage, Seed: sc.Seed,
+		Mode: PolicyStaticLUT, Device: sc.Device, Storage: sc.Storage, Seed: sc.Seed, TestSet: sc.TestSet,
 	})
 	if err != nil {
 		return nil, nil, 0, 0, err

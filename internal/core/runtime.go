@@ -69,6 +69,17 @@ type Deployed struct {
 	Marginal [][]int64
 	// WeightBytes is the deployed model size.
 	WeightBytes int64
+	// DefaultBackend is the deployment's own preferred empirical-mode
+	// inference backend. It applies only when neither the runtime config
+	// nor an outer default (session, engine, grid) names a backend — a
+	// loaded artifact runs the way it was packaged unless the caller
+	// explicitly overrides.
+	DefaultBackend InferBackend
+	// Int8Calibration, when non-nil, pins the int8 backend's
+	// requantization scales (see BindInt8Calibration). Pinned scales let
+	// a deployment run int8 without calibration images — the
+	// "compress once, flash once" contract a serialized artifact keeps.
+	Int8Calibration *plan.Calibration
 
 	// planc caches the compiled float32 inference plan (see FloatPlan).
 	planc planCache
@@ -257,6 +268,12 @@ func NewRuntime(d *Deployed, cfg RuntimeConfig) (*Runtime, error) {
 		rng:      tensor.NewRNG(cfg.Seed + 0xc0fe),
 		costs:    costs,
 	}
+	if cfg.Backend == BackendDefault {
+		// No explicit choice anywhere up the stack: the deployment's own
+		// default (e.g. the backend a loaded artifact was packaged with)
+		// applies before the global plan default.
+		cfg.Backend = d.DefaultBackend
+	}
 	cfg.Backend = cfg.Backend.Resolve()
 	r.cfg.Backend = cfg.Backend
 	if cfg.TestSet != nil && cfg.Backend != BackendLegacy {
@@ -265,7 +282,7 @@ func NewRuntime(d *Deployed, cfg RuntimeConfig) (*Runtime, error) {
 			// int8 was explicitly requested; a deployment that cannot
 			// lower must not silently produce float results.
 			calib := cfg.Calibration
-			if len(calib) == 0 {
+			if len(calib) == 0 && d.Int8Calibration == nil {
 				calib = calibrationSamples(cfg.TestSet, 8)
 			}
 			p, perr := d.int8Plan(calib)

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"sync"
 )
 
 // WriteTraceCSV writes a trace as "t,power_mw" rows with a header.
@@ -56,6 +57,42 @@ func ReadTraceCSV(r io.Reader) (*Trace, error) {
 		trace.Power = append(trace.Power, v)
 	}
 	return trace, nil
+}
+
+// csvTraceCache memoizes parsed trace files process-wide, keyed by
+// path, so every TraceFromCSV builder for the same file — including the
+// fresh closures a grid's per-point TraceSpec.Build calls create —
+// shares one parse.
+var csvTraceCache sync.Map // path -> *csvTraceEntry
+
+type csvTraceEntry struct {
+	once  sync.Once
+	trace *Trace
+	err   error
+}
+
+// TraceFromCSV returns a trace builder backed by a CSV file on disk —
+// the registry-compatible form of LoadTraceCSV (see exper.RegisterTrace),
+// which is also what makes a measured trace usable as a grid axis value.
+// The file is read once per process and the parsed trace cached (a
+// many-point grid does not re-parse it per point; rewriting the file
+// under a running process is not observed — use a new path for new
+// data). The seed parameter is ignored: a measured trace has no
+// stochastic component. Builders are safe for concurrent use.
+func TraceFromCSV(path string) func(seed uint64) (*Trace, error) {
+	return func(uint64) (*Trace, error) {
+		e, _ := csvTraceCache.LoadOrStore(path, &csvTraceEntry{})
+		entry := e.(*csvTraceEntry)
+		entry.once.Do(func() { entry.trace, entry.err = LoadTraceCSV(path) })
+		if entry.err != nil {
+			// Failed parses are not pinned: drop this exact entry so a
+			// later call retries (the file may exist by then). The
+			// compare guard keeps a stale failure from evicting a fresh
+			// entry another goroutine already parsed successfully.
+			csvTraceCache.CompareAndDelete(path, e)
+		}
+		return entry.trace, entry.err
+	}
 }
 
 // LoadTraceCSV reads a trace file from disk.

@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/energy"
 )
 
 // Result is the outcome of one grid point: the proposed system's row
@@ -100,6 +99,13 @@ func (e *Engine) RunContext(ctx context.Context, g *Grid) (*GridResult, error) {
 	results := make([]Result, len(points))
 	ran := make([]bool, len(points))
 
+	// One registry lookup for the whole run: Validate vetted the name,
+	// and the write-once registries cannot lose it afterwards.
+	schedule, err := LookupSchedule(g.Schedule)
+	if err != nil {
+		return nil, err
+	}
+
 	start := time.Now()
 
 	// Build each policy's deployment once, up front (or fetch it from the
@@ -159,7 +165,7 @@ func (e *Engine) RunContext(ctx context.Context, g *Grid) (*GridResult, error) {
 				if msg, bad := depErrs[points[i].Policy.Name]; bad {
 					results[i] = Result{Point: points[i], Err: msg}
 				} else {
-					results[i] = runPoint(ctx, g, points[i], deps[points[i].Policy.Name], e.Backend)
+					results[i] = runPoint(ctx, g, points[i], deps[points[i].Policy.Name], e.Backend, schedule)
 				}
 				if notify != nil {
 					notify(results[i])
@@ -201,8 +207,16 @@ feed:
 }
 
 // buildDeployed resolves one policy's shared deployment, through the
-// cache when the engine has one.
+// cache when the engine has one. Pre-built deployment axis values
+// (PolicyFromDeployed) bypass both the build and the cache — they are
+// already the shared read-only object.
 func (e *Engine) buildDeployed(ps PolicySpec, seed uint64) (*core.Deployed, string) {
+	if ps.Deployed != nil {
+		if d := ps.Deployed(); d != nil {
+			return d, ""
+		}
+		return nil, fmt.Sprintf("exper: policy %q returned a nil deployment", ps.Name)
+	}
 	if e.Cache != nil {
 		return e.Cache.getOrBuild(ps.Name, seed, ps.Build)
 	}
@@ -218,7 +232,7 @@ func (e *Engine) buildDeployed(ps PolicySpec, seed uint64) (*core.Deployed, stri
 // constructed locally from the point's derived seed; the deployment is
 // the policy's shared read-only copy (built fresh when deployed is nil).
 // The grid's named backend wins over the engine default.
-func runPoint(ctx context.Context, g *Grid, p Point, deployed *core.Deployed, defaultBackend core.InferBackend) Result {
+func runPoint(ctx context.Context, g *Grid, p Point, deployed *core.Deployed, defaultBackend core.InferBackend, schedule ScheduleBuilder) Result {
 	res := Result{Point: p}
 
 	trace, err := p.Trace.Build(p.RunSeed)
@@ -233,16 +247,26 @@ func runPoint(ctx context.Context, g *Grid, p Point, deployed *core.Deployed, de
 	store := p.Storage.Storage // copy; simulations mutate the charge state
 	sc := &core.Scenario{
 		Trace:    trace,
-		Schedule: energy.UniformSchedule(g.events(), trace.Duration(), g.classes(), p.RunSeed),
+		Schedule: schedule(g.events(), trace.Duration(), g.classes(), p.RunSeed),
 		Device:   p.Device.Build(),
 		Storage:  &store,
 		Seed:     p.RunSeed,
 	}
 	if deployed == nil {
-		deployed, err = core.BuildDeployed(p.Policy.Build(), p.DeploySeed)
-		if err != nil {
-			res.Err = err.Error()
-			return res
+		// Direct runPoint use outside RunContext's hoisted-deployment
+		// path: resolve exactly like Engine.buildDeployed, including the
+		// nil-deployment error.
+		if p.Policy.Deployed != nil {
+			if deployed = p.Policy.Deployed(); deployed == nil {
+				res.Err = fmt.Sprintf("exper: policy %q returned a nil deployment", p.Policy.Name)
+				return res
+			}
+		} else {
+			deployed, err = core.BuildDeployed(p.Policy.Build(), p.DeploySeed)
+			if err != nil {
+				res.Err = err.Error()
+				return res
+			}
 		}
 	}
 	backend := defaultBackend

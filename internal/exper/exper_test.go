@@ -111,8 +111,11 @@ func TestDeriveSeedStability(t *testing.T) {
 
 func TestEngineRecordsPointErrors(t *testing.T) {
 	grid := testGrid()
+	// An unknown trace kind is now rejected by Validate up front; a CSV
+	// trace whose file is missing passes validation (the path is only
+	// opened per point) and exercises the point-level error path.
 	grid.Traces = []TraceSpec{
-		{Name: "bogus", Kind: TraceKind("nope")},
+		{Name: "bogus", Kind: TraceCSV, Path: "/does/not/exist.csv"},
 		SolarTrace(1800, 0.04),
 	}
 	grid.Baselines = false
@@ -184,7 +187,11 @@ func TestPaperCompareGridMatchesCompareSystems(t *testing.T) {
 	}
 
 	p := grid.Points()[0]
-	direct := runPoint(context.Background(), grid, p, nil, core.BackendPlan)
+	sched, err := LookupSchedule(grid.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := runPoint(context.Background(), grid, p, nil, core.BackendPlan, sched)
 	if direct.Err != "" {
 		t.Fatal(direct.Err)
 	}

@@ -17,6 +17,10 @@ const (
 	TraceSolar   TraceKind = "solar"
 	TraceKinetic TraceKind = "kinetic"
 	TraceCSV     TraceKind = "csv"
+	// TraceRegistered resolves the spec's Name against the open trace
+	// registry (see RegisterTrace) — how user-defined and file-backed
+	// trace builders become grid axis values.
+	TraceRegistered TraceKind = "registered"
 )
 
 // TraceSpec declaratively describes one energy trace axis value. It is
@@ -48,10 +52,22 @@ func (ts TraceSpec) Build(seed uint64) (*energy.Trace, error) {
 			Seconds: ts.Seconds, BurstPower: ts.PeakPower, Seed: seed,
 		}), nil
 	case TraceCSV:
-		return energy.LoadTraceCSV(ts.Path)
+		return energy.TraceFromCSV(ts.Path)(seed)
+	case TraceRegistered:
+		build, err := LookupTrace(ts.Name)
+		if err != nil {
+			return nil, err
+		}
+		return build(seed)
 	default:
 		return nil, fmt.Errorf("exper: unknown trace kind %q", ts.Kind)
 	}
+}
+
+// RegisteredTrace references a trace builder registered under name (see
+// RegisterTrace) as an axis value.
+func RegisteredTrace(name string) TraceSpec {
+	return TraceSpec{Name: name, Kind: TraceRegistered}
 }
 
 // SolarTrace is the common solar axis value.
@@ -82,16 +98,28 @@ func Device(name string, build func() *mcu.Device) DeviceSpec {
 	return DeviceSpec{Name: name, Build: build}
 }
 
-// PolicySpec names one compression-policy axis value. Build constructs a
-// fresh policy per point.
+// PolicySpec names one deployment axis value: either a compression
+// policy (Build constructs a fresh policy per deployment; the engine
+// compresses LeNet-EE with it) or a pre-built deployment (Deployed
+// returns a shared read-only *core.Deployed — e.g. one restored from a
+// saved artifact — and Build is nil).
 type PolicySpec struct {
 	Name  string                  `json:"name"`
 	Build func() *compress.Policy `json:"-"`
+	// Deployed, when non-nil, wins over Build: the axis value is the
+	// returned pre-built deployment and no compression runs.
+	Deployed func() *core.Deployed `json:"-"`
 }
 
 // Policy wraps a policy constructor as an axis value.
 func Policy(name string, build func() *compress.Policy) PolicySpec {
 	return PolicySpec{Name: name, Build: build}
+}
+
+// PolicyFromDeployed wraps a pre-built deployment as an axis value. The
+// deployment is shared read-only by every point that uses it.
+func PolicyFromDeployed(name string, d *core.Deployed) PolicySpec {
+	return PolicySpec{Name: name, Deployed: func() *core.Deployed { return d }}
 }
 
 // ExitSpec names one runtime exit-policy axis value.
@@ -143,6 +171,9 @@ type Grid struct {
 	// core.BackendNames). Surrogate-mode points never execute the
 	// network, so it only affects grids whose runs attach samples.
 	Backend string `json:"backend,omitempty"`
+	// Schedule names the event-schedule generator applied per point
+	// ("" = "uniform"; see ScheduleNames and RegisterSchedule).
+	Schedule string `json:"schedule,omitempty"`
 
 	Traces   []TraceSpec   `json:"traces"`
 	Devices  []DeviceSpec  `json:"devices"`
@@ -173,10 +204,33 @@ func (g *Grid) Validate() error {
 	if _, err := core.ParseBackend(g.Backend); err != nil {
 		return fmt.Errorf("exper: grid %q: %w", g.Name, err)
 	}
+	if _, err := LookupSchedule(g.Schedule); err != nil {
+		return fmt.Errorf("exper: grid %q: %w", g.Name, err)
+	}
+	// Vet every named trace axis up front, like the other named axes, so
+	// a typo fails the submission instead of every point at run time.
+	for _, ts := range g.Traces {
+		switch ts.Kind {
+		case TraceSolar, TraceKinetic:
+		case TraceCSV:
+			if ts.Path == "" {
+				return fmt.Errorf("exper: grid %q: csv trace %q has no path", g.Name, ts.Name)
+			}
+		case TraceRegistered:
+			if _, err := LookupTrace(ts.Name); err != nil {
+				return fmt.Errorf("exper: grid %q: %w", g.Name, err)
+			}
+		default:
+			return fmt.Errorf("exper: grid %q: unknown trace kind %q", g.Name, ts.Kind)
+		}
+	}
 	names := map[string]bool{}
 	for _, p := range g.Policies {
 		if p.Name == "" || names[p.Name] {
 			return fmt.Errorf("exper: grid %q needs unique non-empty policy names (got %q twice or empty)", g.Name, p.Name)
+		}
+		if p.Build == nil && p.Deployed == nil {
+			return fmt.Errorf("exper: grid %q policy %q has neither a policy constructor nor a deployment", g.Name, p.Name)
 		}
 		names[p.Name] = true
 	}

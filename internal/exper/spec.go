@@ -1,20 +1,12 @@
 package exper
 
-import (
-	"fmt"
-	"sort"
-
-	"repro/internal/compress"
-	"repro/internal/core"
-	"repro/internal/mcu"
-	"repro/internal/multiexit"
-)
-
 // GridSpec is the fully-declarative, JSON-serializable twin of Grid: the
 // device and policy axes are named instead of carrying Go constructors,
 // so a grid can cross a process boundary (the ehserved HTTP API submits
 // these). Empty axes default to the paper's §V values, which keeps the
-// minimal spec — `{"seeds":[1]}` — runnable.
+// minimal spec — `{"seeds":[1]}` — runnable. Names resolve against the
+// open axis registries (see RegisterDevice and friends), so components
+// registered at runtime are immediately addressable.
 type GridSpec struct {
 	Name         string `json:"name,omitempty"`
 	BaseSeed     uint64 `json:"baseSeed,omitempty"`
@@ -24,20 +16,29 @@ type GridSpec struct {
 	// Backend names the empirical-mode inference backend; see
 	// BackendNames for the registry ("" selects the compiled plan).
 	Backend string `json:"backend,omitempty"`
+	// Schedule names the event-schedule generator; see ScheduleNames
+	// ("" selects "uniform").
+	Schedule string `json:"schedule,omitempty"`
 
 	Traces []TraceSpec `json:"traces,omitempty"`
 	// Devices names MCU axis values; see DeviceNames for the registry.
 	Devices []string `json:"devices,omitempty"`
-	// Policies names compression-policy axis values; see PolicyNames.
+	// Policies names compression-policy axis values (see PolicyNames) or
+	// registered deployments (see RegisterDeployment).
 	Policies []string      `json:"policies,omitempty"`
 	Exits    []ExitSpec    `json:"exits,omitempty"`
 	Storages []StorageSpec `json:"storages,omitempty"`
 	Seeds    []uint64      `json:"seeds,omitempty"`
 }
 
-// Grid resolves the named axes against the device and policy registries
-// and returns a validated, runnable grid.
-func (s *GridSpec) Grid() (*Grid, error) {
+// Grid resolves the named axes against the axis registries and returns a
+// validated, runnable grid.
+func (s *GridSpec) Grid() (*Grid, error) { return s.GridResolved(nil) }
+
+// GridResolved is Grid with a caller-supplied policy resolver consulted
+// before the registries — how ehserved maps "artifact:<id>" policy names
+// onto its uploaded artifacts without publishing them process-wide.
+func (s *GridSpec) GridResolved(lookup func(name string) (PolicySpec, bool)) (*Grid, error) {
 	g := &Grid{
 		Name:         s.Name,
 		BaseSeed:     s.BaseSeed,
@@ -45,6 +46,7 @@ func (s *GridSpec) Grid() (*Grid, error) {
 		EventClasses: s.EventClasses,
 		Baselines:    s.Baselines,
 		Backend:      s.Backend,
+		Schedule:     s.Schedule,
 		Traces:       s.Traces,
 		Exits:        s.Exits,
 		Storages:     s.Storages,
@@ -81,6 +83,12 @@ func (s *GridSpec) Grid() (*Grid, error) {
 		policies = []string{"nonuniform"}
 	}
 	for _, name := range policies {
+		if lookup != nil {
+			if p, ok := lookup(name); ok {
+				g.Policies = append(g.Policies, p)
+				continue
+			}
+		}
 		p, err := LookupPolicy(name)
 		if err != nil {
 			return nil, err
@@ -91,64 +99,4 @@ func (s *GridSpec) Grid() (*Grid, error) {
 		return nil, err
 	}
 	return g, nil
-}
-
-// deviceRegistry maps the MCU names a declarative spec may use.
-var deviceRegistry = map[string]func() *mcu.Device{
-	"MSP432":       mcu.MSP432,
-	"MSP430FR5994": mcu.MSP430FR5994,
-	"ApolloM4":     mcu.ApolloM4,
-}
-
-// policyRegistry maps the compression-policy names a declarative spec may
-// use. Policies that are defined relative to an architecture are anchored
-// to the paper's LeNet-EE, which is what every grid deploys.
-var policyRegistry = map[string]func() *compress.Policy{
-	"nonuniform": compress.Fig1bNonuniform,
-	"fig1b-uniform": func() *compress.Policy {
-		return compress.Fig1bUniform(multiexit.LeNetEE(nil))
-	},
-	"full-precision": func() *compress.Policy {
-		return compress.FullPrecision(multiexit.LeNetEE(nil))
-	},
-	"uniform-half-8bit": func() *compress.Policy {
-		return compress.Uniform(multiexit.LeNetEE(nil), 0.5, 8, 8)
-	},
-}
-
-// LookupDevice resolves a registry device name to an axis value.
-func LookupDevice(name string) (DeviceSpec, error) {
-	build, ok := deviceRegistry[name]
-	if !ok {
-		return DeviceSpec{}, fmt.Errorf("exper: unknown device %q (known: %v)", name, DeviceNames())
-	}
-	return Device(name, build), nil
-}
-
-// LookupPolicy resolves a registry policy name to an axis value.
-func LookupPolicy(name string) (PolicySpec, error) {
-	build, ok := policyRegistry[name]
-	if !ok {
-		return PolicySpec{}, fmt.Errorf("exper: unknown policy %q (known: %v)", name, PolicyNames())
-	}
-	return Policy(name, build), nil
-}
-
-// DeviceNames lists the registry device names, sorted.
-func DeviceNames() []string { return sortedKeys(deviceRegistry) }
-
-// PolicyNames lists the registry policy names, sorted.
-func PolicyNames() []string { return sortedKeys(policyRegistry) }
-
-// BackendNames lists the inference-backend names a declarative spec may
-// use, sorted.
-func BackendNames() []string { return core.BackendNames() }
-
-func sortedKeys[V any](m map[string]V) []string {
-	names := make([]string, 0, len(m))
-	for name := range m {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/multiexit"
 	"repro/internal/nn"
+	"repro/internal/plan"
 	"repro/internal/tensor"
 )
 
@@ -44,6 +45,11 @@ type LowerConfig struct {
 	// explicit quantization set (defaults 8/8).
 	WeightBits int
 	ActBits    int
+	// Scales supplies precomputed per-layer activation ceilings — e.g.
+	// the pinned calibration a deployment artifact restores — and wins
+	// over Calibration, so a lowered network quantizes exactly like the
+	// deployment it came from without the original images.
+	Scales *plan.Calibration
 	// ActMax is the assumed activation range for requantization when no
 	// calibration images are supplied (default 4).
 	ActMax float64
@@ -76,7 +82,15 @@ func Lower(net *multiexit.Network, cfg LowerConfig) (*LoweredNetwork, error) {
 		return nil, err
 	}
 	ln := &LoweredNetwork{inH: 32, inW: 32, inC: 3}
-	calib := calibrateActivations(net, cfg.Calibration)
+	var calib map[segKey][]float64
+	if cfg.Scales != nil {
+		calib = map[segKey][]float64{}
+		cfg.Scales.Each(func(branch bool, idx int, scales []float64) {
+			calib[segKey{branch, idx}] = scales
+		})
+	} else {
+		calib = calibrateActivations(net, cfg.Calibration)
+	}
 	for si, seg := range net.Segments {
 		ops, err := lowerSequential(seg, cfg, calib[segKey{false, si}])
 		if err != nil {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/multiexit"
 	"repro/internal/nn"
+	"repro/internal/plan"
 	"repro/internal/tensor"
 )
 
@@ -147,6 +148,46 @@ func TestLowerHonoursCompressedBitwidths(t *testing.T) {
 	for _, q := range found.W.Q {
 		if q < -8 || q > 7 {
 			t.Fatalf("4-bit layer has code %d outside [−8, 7]", q)
+		}
+	}
+}
+
+// TestLowerWithPinnedScales: lowering with a precomputed plan.Calibration
+// must reproduce the image-calibrated lowering exactly — the contract
+// that lets a restored deployment artifact flash without its original
+// calibration images.
+func TestLowerWithPinnedScales(t *testing.T) {
+	net := multiexit.LeNetEE(tensor.NewRNG(6))
+	var imgs []*tensor.Tensor
+	rng := tensor.NewRNG(7)
+	for i := 0; i < 4; i++ {
+		img := tensor.New(3, 32, 32)
+		tensor.FillUniform(img, rng, 0, 1)
+		imgs = append(imgs, img)
+	}
+	fromImages, err := Lower(net, LowerConfig{Calibration: imgs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromScales, err := Lower(net, LowerConfig{Scales: plan.Calibrate(net, imgs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := tensor.New(3, 32, 32)
+	tensor.FillUniform(probe, tensor.NewRNG(8), 0, 1)
+	for exit := 0; exit < 3; exit++ {
+		a, err := fromImages.InferTo(probe, exit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fromScales.InferTo(probe, exit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Logits {
+			if a.Logits[i] != b.Logits[i] {
+				t.Fatalf("exit %d logit %d diverges: %v vs %v", exit, i, a.Logits[i], b.Logits[i])
+			}
 		}
 	}
 }

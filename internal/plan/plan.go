@@ -173,6 +173,64 @@ type Int8Config struct {
 	// post-training-quantization calibration pass. Strongly recommended;
 	// the runtime calibrates on a handful of deployment samples.
 	Calibration []*tensor.Tensor
+	// Scales, when non-nil, supplies precomputed per-layer activation
+	// ceilings (see Calibrate) and wins over Calibration. This is how a
+	// deployment artifact replays the exact calibration it was saved
+	// with, without shipping the calibration images.
+	Scales *Calibration
+}
+
+// Calibration is the exportable result of the int8 calibration pass:
+// for every trunk segment and exit branch, the max observed float
+// activation after each weighted (conv/dense) layer, in execution
+// order. It is pure data, so a deployment artifact can persist it and
+// a later CompileInt8 (via Int8Config.Scales) binds bit-identical
+// requantization scales on any machine.
+type Calibration struct {
+	Segments [][]float64 `json:"segments"`
+	Branches [][]float64 `json:"branches"`
+}
+
+// Calibrate runs the float network over the calibration images and
+// returns the per-weighted-layer activation ceilings the int8 lowering
+// binds. With no images the result is empty (CompileInt8 then falls
+// back to the static ActMax).
+func Calibrate(net *multiexit.Network, images []*tensor.Tensor) *Calibration {
+	m := calibrate(net, images)
+	c := &Calibration{
+		Segments: make([][]float64, net.NumExits()),
+		Branches: make([][]float64, net.NumExits()),
+	}
+	for i := 0; i < net.NumExits(); i++ {
+		c.Segments[i] = m[calKey{false, i}]
+		c.Branches[i] = m[calKey{true, i}]
+	}
+	return c
+}
+
+// Each calls fn for every non-empty per-sequential ceiling slice —
+// the one place the "empty means uncalibrated, skip it" convention
+// lives, shared by this compiler and the fixed-point lowering.
+func (c *Calibration) Each(fn func(branch bool, idx int, scales []float64)) {
+	for i, v := range c.Segments {
+		if len(v) > 0 {
+			fn(false, i, v)
+		}
+	}
+	for i, v := range c.Branches {
+		if len(v) > 0 {
+			fn(true, i, v)
+		}
+	}
+}
+
+// calMap flattens a Calibration back into the keyed form compile uses.
+func (c *Calibration) calMap() map[calKey][]float64 {
+	m := map[calKey][]float64{}
+	c.Each(func(branch bool, idx int, scales []float64) {
+		m[calKey{branch, idx}] = scales
+	})
+	return m
 }
 
 // Compile builds the float32 program for the network at the given input
@@ -204,7 +262,11 @@ func compile(net *multiexit.Network, geom Geometry, toInt8 bool, cfg Int8Config)
 	p := &Plan{classes: net.Classes, geom: geom, int8: toInt8, maxVol: geom.Vol()}
 	var calib map[calKey][]float64
 	if toInt8 {
-		calib = calibrate(net, cfg.Calibration)
+		if cfg.Scales != nil {
+			calib = cfg.Scales.calMap()
+		} else {
+			calib = calibrate(net, cfg.Calibration)
+		}
 	}
 	cur := shape{c: geom.C, h: geom.H, w: geom.W}
 	// inScale is the activation scale flowing into the next weighted

@@ -1,11 +1,15 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 
 	ehinfer "repro"
@@ -14,6 +18,26 @@ import (
 
 // maxSpecBytes bounds a submitted grid spec; real specs are a few KB.
 const maxSpecBytes = 1 << 20
+
+// Artifact-store bounds: uploads are whole deployment bundles held in
+// memory (raw bytes for bit-identical download plus the decoded
+// deployment), so both the count and the per-upload size are capped.
+const (
+	maxArtifacts     = 64
+	maxArtifactBytes = 64 << 20
+)
+
+// artifactPrefix turns an uploaded artifact id into the policy-axis
+// name a GridSpec uses to reference it.
+const artifactPrefix = "artifact:"
+
+// storedArtifact is one uploaded deployment bundle.
+type storedArtifact struct {
+	id     string
+	name   string
+	data   []byte // exact uploaded bytes; served back verbatim
+	bundle *ehinfer.DeploymentBundle
+}
 
 // Server is the HTTP/JSON grid-execution service. All grids run on one
 // shared Session, so they share its worker cap and deployment cache.
@@ -44,6 +68,10 @@ type Server struct {
 	order  []string // submission order, for listing
 	nextID int
 	closed bool
+
+	artifacts map[string]*storedArtifact
+	artOrder  []string // upload order, for listing
+	nextArtID int
 }
 
 // New builds a server executing grids on the given session (nil means a
@@ -54,19 +82,26 @@ func New(session *ehinfer.Session) *Server {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	sv := &Server{
-		session: session,
-		mux:     http.NewServeMux(),
-		baseCtx: ctx,
-		stop:    cancel,
-		jobs:    make(map[string]*job),
+		session:   session,
+		mux:       http.NewServeMux(),
+		baseCtx:   ctx,
+		stop:      cancel,
+		jobs:      make(map[string]*job),
+		artifacts: make(map[string]*storedArtifact),
 	}
 	sv.mux.HandleFunc("POST /v1/grids", sv.handleSubmit)
 	sv.mux.HandleFunc("GET /v1/grids", sv.handleList)
 	sv.mux.HandleFunc("GET /v1/grids/{id}", sv.handleStatus)
 	sv.mux.HandleFunc("GET /v1/grids/{id}/results", sv.handleResults)
 	sv.mux.HandleFunc("DELETE /v1/grids/{id}", sv.handleCancel)
+	sv.mux.HandleFunc("POST /v1/artifacts", sv.handleArtifactUpload)
+	sv.mux.HandleFunc("GET /v1/artifacts", sv.handleArtifactList)
+	sv.mux.HandleFunc("GET /v1/artifacts/{id}", sv.handleArtifactDownload)
+	sv.mux.HandleFunc("DELETE /v1/artifacts/{id}", sv.handleArtifactDelete)
 	sv.mux.HandleFunc("GET /v1/registry", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, Registry())
+		reg := Registry()
+		reg["artifacts"] = sv.artifactNames()
+		writeJSON(w, http.StatusOK, reg)
 	})
 	sv.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -164,7 +199,9 @@ func (sv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad grid spec: %w", err))
 		return
 	}
-	grid, err := spec.Grid()
+	// "artifact:<id>" policy names resolve against this server's
+	// uploaded artifacts before the process-wide registries.
+	grid, err := spec.GridResolved(sv.artifactPolicy)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -344,6 +381,189 @@ func (sv *Server) followNDJSON(w http.ResponseWriter, r *http.Request, j *job) {
 	}
 }
 
+// artifactPolicy resolves an "artifact:<id>" policy-axis name to the
+// uploaded deployment it references.
+func (sv *Server) artifactPolicy(name string) (ehinfer.PolicySpec, bool) {
+	id, ok := strings.CutPrefix(name, artifactPrefix)
+	if !ok {
+		return ehinfer.PolicySpec{}, false
+	}
+	sv.mu.Lock()
+	art := sv.artifacts[id]
+	sv.mu.Unlock()
+	if art == nil {
+		return ehinfer.PolicySpec{}, false
+	}
+	return ehinfer.PolicyFromDeployed(name, art.bundle.Deployed), true
+}
+
+// artifactNames lists the policy-axis names of the uploaded artifacts,
+// in upload order.
+func (sv *Server) artifactNames() []string {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	names := make([]string, 0, len(sv.artOrder))
+	for _, id := range sv.artOrder {
+		names = append(names, artifactPrefix+id)
+	}
+	return names
+}
+
+// artifactStatus is one artifact listing entry.
+type artifactStatus struct {
+	ID          string `json:"id"`
+	Name        string `json:"name,omitempty"`
+	Policy      string `json:"policy"` // the grid policy-axis name
+	Exits       int    `json:"exits"`
+	WeightBytes int64  `json:"weightBytes"`
+	Backend     string `json:"backend,omitempty"`
+	Bytes       int    `json:"bytes"`
+	Download    string `json:"download"`
+}
+
+func (art *storedArtifact) status() artifactStatus {
+	d := art.bundle.Deployed
+	st := artifactStatus{
+		ID:          art.id,
+		Name:        art.name,
+		Policy:      artifactPrefix + art.id,
+		Exits:       d.Net.NumExits(),
+		WeightBytes: d.WeightBytes,
+		Bytes:       len(art.data),
+		Download:    "/v1/artifacts/" + art.id,
+	}
+	if d.DefaultBackend != ehinfer.BackendDefault {
+		st.Backend = d.DefaultBackend.String()
+	}
+	return st
+}
+
+// handleArtifactUpload accepts a deployment-artifact stream (as written
+// by ehinfer.SaveDeployed), decodes it strictly, and stores it under a
+// fresh id. Grids reference it as policy "artifact:<id>"; the exact
+// uploaded bytes are available for download.
+func (sv *Server) handleArtifactUpload(w http.ResponseWriter, r *http.Request) {
+	// Reject doomed uploads before burning a body read and a full
+	// decode; the same conditions are re-checked under the lock at
+	// store time (they can flip mid-request).
+	if code, err := sv.artifactStoreFull(); err != nil {
+		writeErr(w, code, err)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxArtifactBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("artifact exceeds the %d-byte upload limit", tooBig.Limit))
+			return
+		}
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("read artifact: %w", err))
+		return
+	}
+	bundle, err := ehinfer.DecodeDeployed(bytes.NewReader(data))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sv.mu.Lock()
+	if code, err := sv.admitArtifactLocked(); err != nil {
+		sv.mu.Unlock()
+		writeErr(w, code, err)
+		return
+	}
+	sv.nextArtID++
+	art := &storedArtifact{
+		id:     fmt.Sprintf("a%d", sv.nextArtID),
+		name:   bundle.Name,
+		data:   data,
+		bundle: bundle,
+	}
+	sv.artifacts[art.id] = art
+	sv.artOrder = append(sv.artOrder, art.id)
+	sv.mu.Unlock()
+
+	w.Header().Set("Location", "/v1/artifacts/"+art.id)
+	writeJSON(w, http.StatusCreated, art.status())
+}
+
+// artifactStoreFull reports why an upload cannot be admitted (shutdown
+// or store at capacity), or (0, nil).
+func (sv *Server) artifactStoreFull() (int, error) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.admitArtifactLocked()
+}
+
+// admitArtifactLocked is the single admission policy for uploads,
+// shared by the cheap pre-read check and the post-decode store path.
+// Caller holds sv.mu.
+func (sv *Server) admitArtifactLocked() (int, error) {
+	if sv.closed {
+		return http.StatusServiceUnavailable, fmt.Errorf("serve: server is shutting down")
+	}
+	if len(sv.artifacts) >= maxArtifacts {
+		return http.StatusInsufficientStorage,
+			fmt.Errorf("serve: artifact store is full (%d artifacts); DELETE one first", maxArtifacts)
+	}
+	return 0, nil
+}
+
+func (sv *Server) handleArtifactList(w http.ResponseWriter, _ *http.Request) {
+	sv.mu.Lock()
+	arts := make([]*storedArtifact, 0, len(sv.artOrder))
+	for _, id := range sv.artOrder {
+		arts = append(arts, sv.artifacts[id])
+	}
+	sv.mu.Unlock()
+	out := make([]artifactStatus, 0, len(arts))
+	for _, art := range arts {
+		out = append(out, art.status())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"artifacts": out})
+}
+
+// handleArtifactDownload serves the artifact back byte-for-byte as it
+// was uploaded.
+func (sv *Server) handleArtifactDownload(w http.ResponseWriter, r *http.Request) {
+	sv.mu.Lock()
+	art := sv.artifacts[r.PathValue("id")]
+	sv.mu.Unlock()
+	if art == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown artifact %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(art.data)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(art.data)
+}
+
+// handleArtifactDelete removes an artifact from the store. Grids
+// already resolved against it keep their deployment; new submissions
+// referencing the id fail.
+func (sv *Server) handleArtifactDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sv.mu.Lock()
+	art := sv.artifacts[id]
+	if art != nil {
+		delete(sv.artifacts, id)
+		kept := sv.artOrder[:0]
+		for _, a := range sv.artOrder {
+			if a != id {
+				kept = append(kept, a)
+			}
+		}
+		sv.artOrder = kept
+	}
+	sv.mu.Unlock()
+	if art == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown artifact %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
 func (sv *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j := sv.lookup(r.PathValue("id"))
 	if j == nil {
@@ -355,17 +575,23 @@ func (sv *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // Registry reports the axis names a GridSpec may reference — surfaced so
-// clients can discover valid devices/policies/backends without reading
-// source.
+// clients can discover valid devices/policies/traces/schedules/backends
+// without reading source. The listings read the live registries, so
+// components registered at runtime (exper.RegisterDevice and friends)
+// appear immediately; the per-server artifact names are merged in by the
+// /v1/registry handler.
 func Registry() map[string][]string {
 	devices := exper.DeviceNames()
 	policies := exper.PolicyNames()
 	sort.Strings(devices)
 	sort.Strings(policies)
 	return map[string][]string{
-		"devices":  devices,
-		"policies": policies,
-		"backends": exper.BackendNames(),
+		"devices":     devices,
+		"policies":    policies,
+		"backends":    exper.BackendNames(),
+		"traces":      exper.TraceNames(),
+		"schedules":   exper.ScheduleNames(),
+		"deployments": exper.DeploymentNames(),
 	}
 }
 

@@ -217,6 +217,16 @@ func (r *GridRun) Wait() (*GridResult, error) {
 	return r.res, r.err
 }
 
+// RunProposed runs the proposed runtime alone on a scenario, honouring
+// ctx between training episodes. The session's backend applies when the
+// config leaves its Backend unset, exactly as in CompareSystems.
+func (s *Session) RunProposed(ctx context.Context, sc *Scenario, d *Deployed, cfg CompareConfig) (*Report, error) {
+	if cfg.Backend == core.BackendDefault {
+		cfg.Backend = s.backend
+	}
+	return core.RunProposed(ctx, sc, d, cfg)
+}
+
 // CompareSystems runs ours plus the three baselines on a scenario,
 // honouring ctx between systems and training episodes. The session's
 // backend applies when the config leaves its Backend unset
