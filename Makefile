@@ -3,16 +3,17 @@
 
 GO ?= go
 
-# The root-package micro benchmark set (micro_bench_test.go); bench-json
-# archives exactly these so the perf trajectory is comparable PR to PR.
-MICROBENCH = ^Benchmark(InferToExit1|InferToExit3|InferToExit3Int8|LegacyInferToExit3|IncrementalResume|LegacyIncrementalResume|PlanCompile|TrainStep|ApplyCompressionPolicy|QuantizeWeights8bit|QTableUpdate|SolarTraceGeneration|SynthCIFARSample|EngineRunToCompletion|FullSimulationEpisode)$$
-BENCH_JSON ?= BENCH_pr3.json
+# The root-package micro benchmark set (micro_bench_test.go +
+# serve_bench_test.go); bench-json archives exactly these so the perf
+# trajectory is comparable PR to PR.
+MICROBENCH = ^Benchmark(InferToExit1|InferToExit3|InferToExit3Int8|InferBatched1|InferBatched4|InferBatched16|ServerInferThroughput|LegacyInferToExit3|IncrementalResume|LegacyIncrementalResume|PlanCompile|TrainStep|ApplyCompressionPolicy|QuantizeWeights8bit|QTableUpdate|SolarTraceGeneration|SynthCIFARSample|EngineRunToCompletion|FullSimulationEpisode)$$
+BENCH_JSON ?= BENCH_pr5.json
 
 # The hot-path subset bench-smoke gates in CI: a kernel regression that
 # breaks inference or the episode loop fails the build.
 SMOKEBENCH = ^Benchmark(InferToExit1|InferToExit3|InferToExit3Int8|IncrementalResume|FullSimulationEpisode)$$
 
-.PHONY: all build test race bench bench-smoke bench-json artifact-check fmt fmt-check lint staticcheck clean
+.PHONY: all build test race bench bench-smoke bench-json artifact-check infer-smoke fmt fmt-check lint staticcheck clean
 
 all: build
 
@@ -54,6 +55,12 @@ artifact-check:
 	$(GO) build ./examples/...
 	$(GO) vet ./examples/...
 
+## infer-smoke: boot the real ehserved daemon, upload the golden
+## artifact, POST one /v1/infer request, and assert the decoded
+## prediction — the end-to-end gate on the online serving path
+infer-smoke:
+	./scripts/infer_smoke.sh
+
 ## fmt: rewrite sources with gofmt
 fmt:
 	gofmt -w .
@@ -72,7 +79,7 @@ staticcheck:
 	staticcheck ./...
 
 ## ci: everything the CI workflow gates on
-ci: fmt-check lint build race bench artifact-check
+ci: fmt-check lint build race bench artifact-check infer-smoke
 
 clean:
 	$(GO) clean ./...

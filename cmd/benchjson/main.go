@@ -21,11 +21,15 @@ import (
 
 // Benchmark is one parsed result line.
 type Benchmark struct {
-	Name        string  `json:"name"`
-	Procs       int     `json:"procs,omitempty"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"nsPerOp"`
-	MBPerS      float64 `json:"mbPerS,omitempty"`
+	Name       string  `json:"name"`
+	Procs      int     `json:"procs,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"nsPerOp"`
+	MBPerS     float64 `json:"mbPerS,omitempty"`
+	// NsPerImage carries the batched-inference benchmarks' custom
+	// per-image metric (b.ReportMetric(..., "ns/img")), which is what
+	// makes batch-size scaling comparable across BenchmarkInferBatched*.
+	NsPerImage  float64 `json:"nsPerImage,omitempty"`
 	BytesPerOp  int64   `json:"bytesPerOp,omitempty"`
 	AllocsPerOp int64   `json:"allocsPerOp,omitempty"`
 }
@@ -101,6 +105,8 @@ func parseLine(line string) (Benchmark, bool) {
 			b.NsPerOp, _ = strconv.ParseFloat(val, 64)
 		case "MB/s":
 			b.MBPerS, _ = strconv.ParseFloat(val, 64)
+		case "ns/img":
+			b.NsPerImage, _ = strconv.ParseFloat(val, 64)
 		case "B/op":
 			b.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
 		case "allocs/op":

@@ -25,9 +25,21 @@
 //	curl -s localhost:8080/v1/artifacts/a1 -o roundtrip.ehar   # byte-identical download
 //	curl -s localhost:8080/v1/registry                          # all referenceable names
 //
+// Uploaded artifacts (and registered deployments) also serve online
+// inference: POST an image (or a small batch) to /v1/infer and get the
+// predicted class, the exit taken, and the per-exit confidence profile
+// back. Requests are micro-batched per model — held up to -batch-window
+// for company, dispatched at -max-batch — with bounded queues that shed
+// load as 429 once -queue-cap requests are waiting:
+//
+//	curl -s -X POST localhost:8080/v1/infer \
+//	    -d '{"artifact":"a1","input":[0.1, ...],"threshold":0.8}'
+//	curl -s localhost:8080/v1/stats   # queue depth, batch histogram, latency percentiles
+//
 // Usage:
 //
 //	ehserved [-addr :8080] [-workers N] [-seed N]
+//	         [-max-batch N] [-batch-window D] [-queue-cap N]
 package main
 
 import (
@@ -42,14 +54,18 @@ import (
 	"time"
 
 	ehinfer "repro"
+	"repro/internal/batch"
 	"repro/internal/serve"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "session worker goroutines (0 = all cores)")
-		seed    = flag.Uint64("seed", 42, "session base seed")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "session worker goroutines (0 = all cores)")
+		seed        = flag.Uint64("seed", 42, "session base seed")
+		maxBatch    = flag.Int("max-batch", 0, "largest /v1/infer micro-batch per model (0 = default 8)")
+		batchWindow = flag.Duration("batch-window", 0, "how long an under-full micro-batch waits for company (0 = default 2ms, negative = dispatch immediately)")
+		queueCap    = flag.Int("queue-cap", 0, "per-model pending-request bound before 429 (0 = default 256)")
 	)
 	flag.Parse()
 
@@ -57,7 +73,11 @@ func main() {
 		ehinfer.WithWorkers(*workers),
 		ehinfer.WithSeed(*seed),
 	)
-	sv := serve.New(session)
+	sv := serve.New(session, serve.WithBatchConfig(batch.Config{
+		MaxBatch: *maxBatch,
+		Window:   *batchWindow,
+		QueueCap: *queueCap,
+	}))
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           sv,

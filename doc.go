@@ -42,6 +42,17 @@
 //     declarative GridSpecs, poll progress, stream per-point results as
 //     NDJSON, fetch deterministic final reports, upload/download
 //     deployment artifacts, with graceful shutdown;
+//   - online inference serving (internal/batch, POST /v1/infer):
+//     requests against an uploaded artifact or registered deployment
+//     are micro-batched per model — a bounded queue accumulates them up
+//     to a batch-size/latency-window bound, sheds overload as 429, and
+//     drains cleanly on shutdown — and execute on a batched plan
+//     executor (plan.BatchExec) whose per-image float32 output is
+//     bit-identical to the single-image plan; Session.Infer and
+//     Session.InferBatch expose the same path in-process, returning the
+//     predicted class, exit taken, and per-exit confidence profile, and
+//     GET /v1/stats reports queue depth, the batch-size histogram,
+//     latency percentiles, and throughput;
 //   - versioned deployment artifacts (internal/artifact): a
 //     self-describing bundle — magic, format version, JSON manifest,
 //     binary tensor sections — that round-trips a Deployed end to end
@@ -110,4 +121,15 @@
 //	restored, _ := session.Deploy("model.ehar") // bit-identical runs
 //	_ = ehinfer.RegisterDeployment("flagship", restored)
 //	// …and any grid spec may now name "flagship" as a policy axis value.
+//
+// # Online inference
+//
+//	pred, _ := session.Infer(ctx, restored, pixels) // deepest exit
+//	fmt.Println(pred.Class, pred.Exit, pred.ExitConfidences)
+//	preds, _ := session.InferBatch(ctx, restored, batch,
+//		ehinfer.InferWithThreshold(0.8)) // anytime early exit
+//
+// Over HTTP the same path is POST /v1/infer on ehserved (micro-batched
+// per model, 429 backpressure at the queue bound; see README "Online
+// inference" for the batching knobs and curl quickstart).
 package ehinfer

@@ -1,0 +1,106 @@
+package ehinfer
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/batch"
+)
+
+// Prediction is the answer to one online inference request: the
+// predicted class at the exit taken, that exit's confidence, the
+// per-exit anytime profile, and the backend that produced it.
+type Prediction = batch.Prediction
+
+// InferOption tunes a Session.Infer/InferBatch call. The defaults
+// (deepest exit, no threshold) apply when none are given.
+type InferOption func(*batch.Options)
+
+// InferToExit bounds inference depth: the prediction is taken at exit
+// e (0-based) unless a threshold stops earlier.
+func InferToExit(e int) InferOption {
+	return func(o *batch.Options) { o.Exit = e }
+}
+
+// InferWithThreshold enables anytime early exit: the prediction is
+// taken at the first exit whose normalized-entropy confidence reaches
+// th, falling back to the depth bound when none does.
+func InferWithThreshold(th float64) InferOption {
+	return func(o *batch.Options) { o.Threshold = th }
+}
+
+// inferModels caches one serving executor per deployment so repeated
+// Infer calls reuse compiled plans and pooled arenas.
+type inferModels struct {
+	mu sync.Mutex
+	m  map[*Deployed]*batch.Model
+}
+
+// model returns the session's serving executor for d, building it on
+// first use with the session's backend preference.
+func (s *Session) model(d *Deployed) (*batch.Model, error) {
+	s.models.mu.Lock()
+	defer s.models.mu.Unlock()
+	if m := s.models.m[d]; m != nil {
+		return m, nil
+	}
+	m, err := batch.NewModel(d, s.backend, 0)
+	if err != nil {
+		return nil, fmt.Errorf("ehinfer: %w", err)
+	}
+	if s.models.m == nil {
+		s.models.m = make(map[*Deployed]*batch.Model)
+	}
+	s.models.m[d] = m
+	return m, nil
+}
+
+// Infer runs one input (a flattened CHW image matching the
+// deployment's input geometry, e.g. FromImageData for 3×32×32) through
+// the deployment and returns the prediction. The backend follows the
+// session's WithBackend preference, then the deployment's own default,
+// then the compiled plan. Malformed inputs (wrong volume, NaN/Inf) are
+// errors, never panics.
+func (s *Session) Infer(ctx context.Context, d *Deployed, input []float32, opts ...InferOption) (Prediction, error) {
+	preds, err := s.InferBatch(ctx, d, [][]float32{input}, opts...)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return preds[0], nil
+}
+
+// InferBatch runs a batch of inputs through the deployment on the
+// batched executor (micro-batches of the model's batch bound; per-image
+// results are bit-identical to single-input Infer calls on the same
+// backend). ctx is checked between micro-batches; on cancellation the
+// completed prefix is discarded and ctx.Err() returned.
+func (s *Session) InferBatch(ctx context.Context, d *Deployed, inputs [][]float32, opts ...InferOption) ([]Prediction, error) {
+	if d == nil {
+		return nil, fmt.Errorf("ehinfer: nil deployment")
+	}
+	opt := batch.Options{Exit: -1}
+	for _, o := range opts {
+		o(&opt)
+	}
+	m, err := s.model(d)
+	if err != nil {
+		return nil, err
+	}
+	reqs := make([]batch.Req, len(inputs))
+	for i, in := range inputs {
+		reqs[i] = batch.Req{Input: in, Options: opt}
+		if err := m.Validate(&reqs[i]); err != nil {
+			return nil, fmt.Errorf("ehinfer: input %d: %w", i, err)
+		}
+	}
+	preds := make([]Prediction, 0, len(reqs))
+	for lo := 0; lo < len(reqs); lo += m.MaxBatch() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		hi := min(lo+m.MaxBatch(), len(reqs))
+		preds = append(preds, m.InferBatch(reqs[lo:hi])...)
+	}
+	return preds, nil
+}

@@ -1,0 +1,445 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Inferer executes one micro-batch of validated requests. *Model is the
+// production implementation; tests substitute stubs to probe the queue's
+// scheduling without paying for inference.
+type Inferer interface {
+	InferBatch(reqs []Req) []Prediction
+}
+
+// Config tunes a queue's micro-batching policy.
+type Config struct {
+	// MaxBatch is the most requests one dispatch carries (default 8).
+	MaxBatch int
+	// Window is how long the dispatcher holds an under-full batch open
+	// waiting for company (default 2ms). Larger windows trade tail
+	// latency for bigger batches; zero keeps the default, negative
+	// dispatches immediately (degenerate per-request batches).
+	Window time.Duration
+	// QueueCap bounds the requests waiting to be dispatched (default
+	// 256). At the bound Submit fails fast with ErrQueueFull — the
+	// backpressure signal the HTTP layer turns into 429.
+	QueueCap int
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.Window == 0 {
+		c.Window = 2 * time.Millisecond
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+}
+
+// Queue errors.
+var (
+	// ErrQueueFull reports that the pending-request bound was hit; the
+	// caller should shed load (HTTP 429).
+	ErrQueueFull = errors.New("batch: queue is full")
+	// ErrClosed reports submission to a closed queue.
+	ErrClosed = errors.New("batch: queue is closed")
+	// ErrInferenceFailed wraps a panic recovered during batch execution
+	// — a server-side failure (HTTP 500), distinct from the transient
+	// shed/shutdown conditions a client may retry.
+	ErrInferenceFailed = errors.New("batch: inference failed")
+)
+
+// latencyRing is how many recent request latencies the percentile
+// estimator keeps.
+const latencyRing = 1024
+
+// Queue accumulates inference requests into micro-batches: a dispatch
+// fires as soon as MaxBatch requests are waiting, or Window after the
+// first request of an under-full batch arrived. One worker goroutine
+// owns dispatch order, so a queue never runs its Inferer concurrently
+// with itself (concurrency across models comes from one queue per
+// model). Submit is safe for any number of concurrent callers.
+type Queue struct {
+	inf Inferer
+	cfg Config
+
+	ch   chan *pending
+	stop chan struct{}
+	done chan struct{}
+
+	stateMu sync.RWMutex
+	closed  bool
+
+	statMu   sync.Mutex
+	started  time.Time
+	served   int64
+	rejected int64
+	canceled int64
+	errored  int64
+	batches  int64
+	sizes    []int64 // histogram: sizes[k-1] counts k-request batches
+	lats     []time.Duration
+	latNext  int
+	depth    int64 // requests accepted but not yet answered
+	maxDepth int64
+}
+
+// outcome travels back to the submitter.
+type outcome struct {
+	pred Prediction
+	err  error
+}
+
+// pending is one queued request.
+type pending struct {
+	req      Req
+	ctx      context.Context
+	enqueued time.Time
+	done     chan outcome // buffered(1): the worker never blocks on it
+}
+
+// NewQueue starts a queue dispatching onto inf. Close it to drain.
+func NewQueue(inf Inferer, cfg Config) *Queue {
+	cfg.fillDefaults()
+	q := &Queue{
+		inf:     inf,
+		cfg:     cfg,
+		ch:      make(chan *pending, cfg.QueueCap),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		started: time.Now(),
+		sizes:   make([]int64, cfg.MaxBatch),
+		lats:    make([]time.Duration, 0, latencyRing),
+	}
+	go q.worker()
+	return q
+}
+
+// Ticket is an accepted request waiting for its answer.
+type Ticket struct {
+	p *pending
+}
+
+// Enqueue admits a request without waiting for the result, so a
+// multi-input HTTP request can queue all its inputs into the same
+// micro-batching window before collecting. Fails fast with ErrQueueFull
+// at the bound and ErrClosed after Close. ctx cancellation after
+// admission makes the dispatcher skip the request.
+func (q *Queue) Enqueue(ctx context.Context, r Req) (*Ticket, error) {
+	p := &pending{req: r, ctx: ctx, enqueued: time.Now(), done: make(chan outcome, 1)}
+	// The state read-lock pairs with Close's write-lock: once closed is
+	// set no new request can enter ch, so the worker's final drain
+	// observes a complete queue.
+	q.stateMu.RLock()
+	defer q.stateMu.RUnlock()
+	if q.closed {
+		return nil, ErrClosed
+	}
+	select {
+	case q.ch <- p:
+		q.noteEnqueued()
+		return &Ticket{p: p}, nil
+	default:
+		q.noteRejected()
+		return nil, ErrQueueFull
+	}
+}
+
+// Wait blocks for the request's answer. It returns ctx.Err() if ctx
+// ends first — the dispatcher then observes the cancellation and skips
+// the request (its slot is never silently dropped: every admitted
+// request is either answered or skipped-as-canceled, exactly once).
+func (t *Ticket) Wait(ctx context.Context) (Prediction, error) {
+	select {
+	case out := <-t.p.done:
+		return out.pred, out.err
+	case <-ctx.Done():
+		return Prediction{}, ctx.Err()
+	}
+}
+
+// Submit is Enqueue+Wait for the single-request caller.
+func (q *Queue) Submit(ctx context.Context, r Req) (Prediction, error) {
+	t, err := q.Enqueue(ctx, r)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return t.Wait(ctx)
+}
+
+// Close stops admissions, waits for the dispatcher to drain every
+// already-admitted request (each one still gets a real answer), and
+// returns when the worker has exited or ctx gave up.
+func (q *Queue) Close(ctx context.Context) error {
+	q.stateMu.Lock()
+	already := q.closed
+	q.closed = true
+	q.stateMu.Unlock()
+	if !already {
+		close(q.stop)
+	}
+	select {
+	case <-q.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker is the dispatch loop: collect a batch, execute, repeat; on
+// stop, drain whatever is left.
+func (q *Queue) worker() {
+	defer close(q.done)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	batch := make([]*pending, 0, q.cfg.MaxBatch)
+	for {
+		// Block for the batch's first request.
+		var first *pending
+		select {
+		case first = <-q.ch:
+		case <-q.stop:
+			q.drain(batch[:0])
+			return
+		}
+		batch = append(batch[:0], first)
+
+		// Gather until full, the window closes, or shutdown.
+		if q.cfg.Window > 0 {
+			timer.Reset(q.cfg.Window)
+		gather:
+			for len(batch) < q.cfg.MaxBatch {
+				select {
+				case p := <-q.ch:
+					batch = append(batch, p)
+				case <-timer.C:
+					break gather
+				case <-q.stop:
+					break gather
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		} else {
+			// Immediate mode still fills from whatever already queued.
+		fill:
+			for len(batch) < q.cfg.MaxBatch {
+				select {
+				case p := <-q.ch:
+					batch = append(batch, p)
+				default:
+					break fill
+				}
+			}
+		}
+		q.dispatch(batch)
+		select {
+		case <-q.stop:
+			q.drain(batch[:0])
+			return
+		default:
+		}
+	}
+}
+
+// drain answers every request still queued at shutdown, in arrival
+// order, in micro-batches.
+func (q *Queue) drain(batch []*pending) {
+	for {
+		select {
+		case p := <-q.ch:
+			batch = append(batch, p)
+			if len(batch) == q.cfg.MaxBatch {
+				q.dispatch(batch)
+				batch = batch[:0]
+			}
+		default:
+			if len(batch) > 0 {
+				q.dispatch(batch)
+			}
+			return
+		}
+	}
+}
+
+// dispatch executes one gathered batch: canceled requests are skipped
+// (their submitters already returned), live ones run through the
+// Inferer and receive their prediction.
+func (q *Queue) dispatch(batch []*pending) {
+	live := batch[:0]
+	var ncanceled int64
+	for _, p := range batch {
+		if p.ctx != nil && p.ctx.Err() != nil {
+			p.done <- outcome{err: p.ctx.Err()}
+			ncanceled++
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		q.noteBatch(0, ncanceled, nil)
+		return
+	}
+	reqs := make([]Req, len(live))
+	for i, p := range live {
+		reqs[i] = p.req
+	}
+	preds, err := q.runBatch(reqs)
+	if err != nil {
+		// Execution panicked: fail this batch's requests, keep the
+		// worker (and the daemon) alive for the next one.
+		for _, p := range live {
+			p.done <- outcome{err: err}
+		}
+		q.noteFailed(len(live), ncanceled)
+		return
+	}
+	now := time.Now()
+	lats := make([]time.Duration, len(live))
+	for i, p := range live {
+		p.done <- outcome{pred: preds[i]}
+		lats[i] = now.Sub(p.enqueued)
+	}
+	q.noteBatch(len(live), ncanceled, lats)
+}
+
+// runBatch executes one batch on the Inferer, converting a panic into
+// an error. The worker goroutine is the one place inference runs — an
+// HTTP handler's recover guard cannot reach it — so this recover is
+// what keeps a poisoned request from taking the whole daemon down.
+func (q *Queue) runBatch(reqs []Req) (preds []Prediction, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			preds, err = nil, fmt.Errorf("%w: panic: %v", ErrInferenceFailed, rec)
+		}
+	}()
+	return q.inf.InferBatch(reqs), nil
+}
+
+// Stats is a queue's observability snapshot (GET /v1/stats).
+type Stats struct {
+	// QueueDepth is the number of requests admitted but not yet
+	// answered (including any batch currently executing).
+	QueueDepth int `json:"queueDepth"`
+	// MaxDepth is the high-water mark of QueueDepth.
+	MaxDepth int `json:"maxDepth"`
+	// Served counts answered requests; Rejected counts ErrQueueFull
+	// refusals; Canceled counts requests whose context ended before
+	// dispatch; Errored counts requests whose execution failed
+	// (recovered panic) — they are not part of Served.
+	Served   int64 `json:"served"`
+	Rejected int64 `json:"rejected"`
+	Canceled int64 `json:"canceled"`
+	Errored  int64 `json:"errored,omitempty"`
+	// Batches counts dispatches; BatchSizes[i] counts dispatches that
+	// carried i+1 requests — the micro-batching histogram.
+	Batches    int64   `json:"batches"`
+	BatchSizes []int64 `json:"batchSizes"`
+	// MeanBatch is Served/Batches.
+	MeanBatch float64 `json:"meanBatch"`
+	// LatencyMS are percentiles over the most recent request latencies
+	// (admission to answer), in milliseconds.
+	LatencyMS LatencyStats `json:"latencyMs"`
+	// ThroughputPerSec is Served divided by the queue's uptime.
+	ThroughputPerSec float64 `json:"throughputPerSec"`
+}
+
+// LatencyStats are latency percentiles in milliseconds.
+type LatencyStats struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+}
+
+// Stats snapshots the queue's counters.
+func (q *Queue) Stats() Stats {
+	q.statMu.Lock()
+	defer q.statMu.Unlock()
+	st := Stats{
+		QueueDepth: int(q.depth),
+		MaxDepth:   int(q.maxDepth),
+		Served:     q.served,
+		Rejected:   q.rejected,
+		Canceled:   q.canceled,
+		Errored:    q.errored,
+		Batches:    q.batches,
+		BatchSizes: append([]int64(nil), q.sizes...),
+	}
+	if q.batches > 0 {
+		st.MeanBatch = float64(q.served) / float64(q.batches)
+	}
+	if up := time.Since(q.started).Seconds(); up > 0 {
+		st.ThroughputPerSec = float64(q.served) / up
+	}
+	if len(q.lats) > 0 {
+		s := append([]time.Duration(nil), q.lats...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		pct := func(p float64) float64 {
+			i := int(p * float64(len(s)-1))
+			return float64(s[i]) / float64(time.Millisecond)
+		}
+		st.LatencyMS = LatencyStats{P50: pct(0.50), P90: pct(0.90), P99: pct(0.99)}
+	}
+	return st
+}
+
+func (q *Queue) noteEnqueued() {
+	q.statMu.Lock()
+	q.depth++
+	if q.depth > q.maxDepth {
+		q.maxDepth = q.depth
+	}
+	q.statMu.Unlock()
+}
+
+func (q *Queue) noteRejected() {
+	q.statMu.Lock()
+	q.rejected++
+	q.statMu.Unlock()
+}
+
+// noteFailed retires a batch whose execution errored: the requests
+// leave the depth accounting but are counted as errored, not served.
+func (q *Queue) noteFailed(size int, ncanceled int64) {
+	q.statMu.Lock()
+	q.depth -= int64(size) + ncanceled
+	q.canceled += ncanceled
+	q.errored += int64(size)
+	q.statMu.Unlock()
+}
+
+func (q *Queue) noteBatch(size int, ncanceled int64, lats []time.Duration) {
+	q.statMu.Lock()
+	defer q.statMu.Unlock()
+	q.depth -= int64(size) + ncanceled
+	q.canceled += ncanceled
+	if size == 0 {
+		return
+	}
+	q.batches++
+	q.served += int64(size)
+	if size <= len(q.sizes) {
+		q.sizes[size-1]++
+	}
+	for _, l := range lats {
+		if len(q.lats) < latencyRing {
+			q.lats = append(q.lats, l)
+		} else {
+			q.lats[q.latNext] = l
+			q.latNext = (q.latNext + 1) % latencyRing
+		}
+	}
+}

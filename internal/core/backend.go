@@ -106,6 +106,20 @@ func (d *Deployed) FloatPlan() (*plan.Plan, error) {
 	return d.planc.p, d.planc.err
 }
 
+// Int8PlanPinned returns the deployment's int8 plan compiled from its
+// pinned calibration scales (or the lowering's static default ceiling
+// when none are bound), compiling on first use and cached like
+// FloatPlan. This is the serving path's int8 entry point: unlike the
+// runtime, which calibrates on its own test samples per simulation, an
+// online server has no calibration set — it runs the artifact exactly
+// as packaged.
+func (d *Deployed) Int8PlanPinned() (*plan.Plan, error) {
+	d.planc8.once.Do(func() {
+		d.planc8.p, d.planc8.err = d.int8Plan(nil)
+	})
+	return d.planc8.p, d.planc8.err
+}
+
 // int8Plan compiles the deployment's int8 plan. Explicit calibration
 // images win; otherwise scales pinned by BindInt8Calibration (or an
 // artifact load) apply; with neither, the lowering uses its static

@@ -81,8 +81,10 @@ type Deployed struct {
 	// "compress once, flash once" contract a serialized artifact keeps.
 	Int8Calibration *plan.Calibration
 
-	// planc caches the compiled float32 inference plan (see FloatPlan).
-	planc planCache
+	// planc caches the compiled float32 inference plan (see FloatPlan);
+	// planc8 caches the pinned-scale int8 plan (see Int8PlanPinned).
+	planc  planCache
+	planc8 planCache
 }
 
 // NewDeployed captures the deployment view of a (compressed) network.

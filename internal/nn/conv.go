@@ -103,7 +103,9 @@ func (l *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	g := l.Geom(h, w)
 	if err := g.Validate(); err != nil {
-		panic(err)
+		// Wrap with the layer name like every sibling panic in this file —
+		// a bare geometry error is useless in a deep-stack report.
+		panic(fmt.Sprintf("nn: Conv2D %q: %v", l.name, err))
 	}
 	oh, ow := g.OutH(), g.OutW()
 	l.lastH, l.lastW = h, w

@@ -1,7 +1,9 @@
 package nn
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/tensor"
@@ -213,4 +215,22 @@ func TestActBitsAppliedOnlyAtInference(t *testing.T) {
 	if trainOut.L2Distance(inferOut) == 0 {
 		t.Fatal("1-bit ActBits should alter inference output vs training output")
 	}
+}
+
+// TestConv2DBadGeometryPanicNamesLayer: an invalid runtime geometry
+// (kernel larger than the padded input) must panic with the layer's
+// name, like every other Conv2D panic — not the bare geometry error.
+func TestConv2DBadGeometryPanicNamesLayer(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic on invalid conv geometry")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, `Conv2D "tiny-conv"`) {
+			t.Fatalf("panic %q does not name the layer", msg)
+		}
+	}()
+	l := NewConv2D("tiny-conv", 1, 1, 5, 5, 1, 0)
+	l.Forward(tensor.New(1, 1, 3, 3), false) // 3x3 input cannot fit a 5x5 kernel
 }

@@ -86,39 +86,50 @@ func (s *State) Logits() []float32 { return s.logits }
 
 // Predicted returns the argmax class, matching
 // multiexit.State.Predicted (first maximum wins).
-func (s *State) Predicted() int {
+func (s *State) Predicted() int { return Argmax(s.logits) }
+
+// Confidence returns the normalized-entropy confidence of the state's
+// logits in [0, 1]. It reproduces multiexit.State.Confidence
+// (nn.Softmax + nn.NormalizedEntropy) bit for bit, against the state's
+// own scratch instead of fresh tensors.
+func (s *State) Confidence() float64 { return LogitsConfidence(s.logits, s.probs) }
+
+// Argmax returns the index of the first maximum of a logits row,
+// matching multiexit.State.Predicted.
+func Argmax(logits []float32) int {
 	best := 0
-	for i, v := range s.logits {
-		if v > s.logits[best] {
+	for i, v := range logits {
+		if v > logits[best] {
 			best = i
 		}
 	}
 	return best
 }
 
-// Confidence returns the normalized-entropy confidence of the state's
-// logits in [0, 1]. It reproduces multiexit.State.Confidence
-// (nn.Softmax + nn.NormalizedEntropy) bit for bit, against the state's
-// own scratch instead of fresh tensors.
-func (s *State) Confidence() float64 {
-	row := s.logits
-	maxV := row[0]
-	for _, v := range row[1:] {
+// LogitsConfidence computes the normalized-entropy confidence of one
+// logits row using caller-owned softmax scratch (len(probs) must be at
+// least len(logits)). State.Confidence and the batched serving path
+// share this loop, so both reproduce multiexit.State.Confidence bit for
+// bit without allocating.
+func LogitsConfidence(logits, probs []float32) float64 {
+	probs = probs[:len(logits)]
+	maxV := logits[0]
+	for _, v := range logits[1:] {
 		if v > maxV {
 			maxV = v
 		}
 	}
 	var sum float64
-	for j, v := range row {
+	for j, v := range logits {
 		e := math.Exp(float64(v - maxV))
-		s.probs[j] = float32(e)
+		probs[j] = float32(e)
 		sum += e
 	}
 	inv := float32(1 / sum)
-	for j := range s.probs {
-		s.probs[j] *= inv
+	for j := range probs {
+		probs[j] *= inv
 	}
-	return 1 - nn.NormalizedEntropy(s.probs)
+	return 1 - nn.NormalizedEntropy(probs)
 }
 
 // InferTo runs inference on a single image (CHW or 1CHW, matching the

@@ -1,0 +1,310 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"sort"
+	"time"
+
+	ehinfer "repro"
+	"repro/internal/batch"
+	"repro/internal/exper"
+)
+
+// Online-inference bounds: a request carries at most maxInferInputs
+// images, and its JSON body at most maxInferBytes.
+const (
+	maxInferInputs = 64
+	maxInferBytes  = 16 << 20
+)
+
+// inferTarget is one served model: the resolved executor plus its
+// micro-batching queue. Targets are created lazily on first use and
+// keyed by the request's artifact/deployment reference.
+type inferTarget struct {
+	key   string
+	model *batch.Model
+	queue *batch.Queue
+}
+
+// inferRequest is the POST /v1/infer wire form. Exactly one of
+// Artifact/Deployment selects the model, and exactly one of
+// Input/Inputs carries the image(s).
+type inferRequest struct {
+	// Artifact references an uploaded artifact by id (e.g. "a1");
+	// Deployment references a registered deployment by name.
+	Artifact   string `json:"artifact,omitempty"`
+	Deployment string `json:"deployment,omitempty"`
+	// Input is one flattened CHW image; Inputs a small batch of them.
+	Input  []float32   `json:"input,omitempty"`
+	Inputs [][]float32 `json:"inputs,omitempty"`
+	// Exit bounds inference depth (default: deepest exit); Threshold
+	// enables anytime early exit (see batch.Options).
+	Exit      *int    `json:"exit,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// inferResponse is the POST /v1/infer reply.
+type inferResponse struct {
+	Model       string             `json:"model"`
+	Backend     string             `json:"backend"`
+	Exits       int                `json:"exits"`
+	Predictions []batch.Prediction `json:"predictions"`
+}
+
+// handleInfer answers online inference requests against an uploaded
+// artifact or a registered deployment. Malformed payloads are client
+// errors (400/404/429), and a recover guard converts any panic that
+// slips through into a 500 — a bad request must never take the daemon
+// down.
+func (sv *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			// The guard of last resort: validation is supposed to make
+			// this unreachable, but a panic here must stay one request's
+			// problem, not the daemon's.
+			debug.PrintStack()
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("infer: internal error: %v", rec))
+		}
+	}()
+
+	var req inferRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxInferBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad infer request: %w", err))
+		return
+	}
+
+	inputs := req.Inputs
+	switch {
+	case req.Input != nil && req.Inputs != nil:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf(`use "input" or "inputs", not both`))
+		return
+	case req.Input != nil:
+		inputs = [][]float32{req.Input}
+	case len(inputs) == 0:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf(`empty batch: provide "input" or a non-empty "inputs"`))
+		return
+	}
+	if len(inputs) > maxInferInputs {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("batch of %d inputs exceeds the per-request limit of %d", len(inputs), maxInferInputs))
+		return
+	}
+
+	tgt, code, err := sv.inferTargetFor(&req)
+	if err != nil {
+		writeErr(w, code, err)
+		return
+	}
+
+	exit := -1
+	if req.Exit != nil {
+		exit = *req.Exit
+		if exit < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("exit %d invalid: omit the field for the deepest exit", exit))
+			return
+		}
+	}
+	reqs := make([]batch.Req, len(inputs))
+	for i, in := range inputs {
+		reqs[i] = batch.Req{Input: in, Options: batch.Options{Exit: exit, Threshold: req.Threshold}}
+		if err := tgt.model.Validate(&reqs[i]); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("input %d: %w", i, err))
+			return
+		}
+	}
+
+	// Enqueue the whole request before waiting, so all its inputs can
+	// share one micro-batching window.
+	tickets := make([]*batch.Ticket, len(reqs))
+	for i := range reqs {
+		t, err := tgt.queue.Enqueue(r.Context(), reqs[i])
+		if err != nil {
+			switch {
+			case errors.Is(err, batch.ErrQueueFull):
+				w.Header().Set("Retry-After", "1")
+				writeErr(w, http.StatusTooManyRequests, fmt.Errorf("inference queue for %s is full", tgt.key))
+			case errors.Is(err, batch.ErrClosed):
+				writeErr(w, http.StatusServiceUnavailable, err)
+			default:
+				writeErr(w, http.StatusInternalServerError, err)
+			}
+			return // abandoned tickets carry r.Context() and are skipped once it ends
+		}
+		tickets[i] = t
+	}
+	preds := make([]batch.Prediction, len(tickets))
+	for i, t := range tickets {
+		p, err := t.Wait(r.Context())
+		if err != nil {
+			if errors.Is(err, batch.ErrInferenceFailed) {
+				// A server-side execution failure (recovered panic):
+				// permanent for this payload, so 500 — a 503 would invite
+				// the client to retry the same poison request.
+				writeErr(w, http.StatusInternalServerError, err)
+				return
+			}
+			// Otherwise the client went away or shutdown raced the wait;
+			// transient from the client's point of view.
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		preds[i] = p
+	}
+	writeJSON(w, http.StatusOK, inferResponse{
+		Model:       tgt.key,
+		Backend:     tgt.model.Backend().String(),
+		Exits:       tgt.model.NumExits(),
+		Predictions: preds,
+	})
+}
+
+// inferTargetFor resolves the request's model reference to a served
+// target, creating its model and queue on first use.
+func (sv *Server) inferTargetFor(req *inferRequest) (*inferTarget, int, error) {
+	switch {
+	case req.Artifact != "" && req.Deployment != "":
+		return nil, http.StatusBadRequest, fmt.Errorf(`use "artifact" or "deployment", not both`)
+	case req.Artifact == "" && req.Deployment == "":
+		return nil, http.StatusBadRequest, fmt.Errorf(`missing model reference: set "artifact" (uploaded id) or "deployment" (registered name)`)
+	}
+
+	key := "deployment:" + req.Deployment
+	if req.Artifact != "" {
+		key = artifactPrefix + req.Artifact
+	}
+
+	// Resolve the deployment under the server lock, but build the model
+	// outside it — plan compilation is too slow to stall every other
+	// endpoint behind sv.mu.
+	sv.mu.Lock()
+	if sv.closed {
+		sv.mu.Unlock()
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("serve: server is shutting down")
+	}
+	if tgt := sv.infers[key]; tgt != nil {
+		sv.mu.Unlock()
+		return tgt, 0, nil
+	}
+	var d *ehinfer.Deployed
+	if req.Artifact != "" {
+		if art := sv.artifacts[req.Artifact]; art != nil {
+			d = art.bundle.Deployed
+		}
+	}
+	sv.mu.Unlock()
+
+	if d == nil {
+		if req.Artifact != "" {
+			return nil, http.StatusNotFound, fmt.Errorf("unknown artifact %q", req.Artifact)
+		}
+		dep, err := exper.LookupDeployment(req.Deployment)
+		if err != nil {
+			return nil, http.StatusNotFound, err
+		}
+		d = dep
+	}
+	model, err := batch.NewModel(d, sv.session.Backend(), sv.batchCfg.MaxBatch)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+
+	// First writer wins: a racing request may have built the same target
+	// meanwhile (or deleted the artifact — then serving this request
+	// from the resolved deployment is still correct, but the target must
+	// not be re-registered past its teardown).
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if sv.closed {
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("serve: server is shutting down")
+	}
+	if tgt := sv.infers[key]; tgt != nil {
+		return tgt, 0, nil
+	}
+	if req.Artifact != "" && sv.artifacts[req.Artifact] == nil {
+		return nil, http.StatusNotFound, fmt.Errorf("unknown artifact %q", req.Artifact)
+	}
+	tgt := &inferTarget{key: key, model: model, queue: batch.NewQueue(model, sv.batchCfg)}
+	sv.infers[key] = tgt
+	return tgt, 0, nil
+}
+
+// dropInferLocked removes a target (artifact deleted, shutdown) and
+// closes its queue in the background with a drain deadline; the dead
+// queue's counters fold into the server-level retired totals so
+// /v1/stats totals stay monotonic across deletes. Caller holds sv.mu.
+func (sv *Server) dropInferLocked(key string) {
+	tgt := sv.infers[key]
+	if tgt == nil {
+		return
+	}
+	delete(sv.infers, key)
+	sv.wg.Add(1)
+	go func() {
+		defer sv.wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = tgt.queue.Close(ctx)
+		st := tgt.queue.Stats() // final after Close: the worker has exited
+		sv.mu.Lock()
+		sv.retiredServed += st.Served
+		sv.retiredRejected += st.Rejected
+		sv.mu.Unlock()
+	}()
+}
+
+// inferStatus is one target's entry in GET /v1/stats.
+type inferStatus struct {
+	Model    string      `json:"model"`
+	Backend  string      `json:"backend"`
+	Exits    int         `json:"exits"`
+	InputLen int         `json:"inputLen"`
+	MaxBatch int         `json:"maxBatch"`
+	Queue    batch.Stats `json:"queue"`
+}
+
+// handleStats reports the serving side's observability counters: per
+// model queue depth, the micro-batch size histogram, latency
+// percentiles, and throughput, plus grid-job totals.
+func (sv *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	sv.mu.Lock()
+	targets := make([]*inferTarget, 0, len(sv.infers))
+	for _, tgt := range sv.infers {
+		targets = append(targets, tgt)
+	}
+	jobs := len(sv.jobs)
+	served, rejected := sv.retiredServed, sv.retiredRejected
+	sv.mu.Unlock()
+
+	infer := make(map[string]inferStatus, len(targets))
+	for _, tgt := range targets {
+		st := tgt.queue.Stats()
+		served += st.Served
+		rejected += st.Rejected
+		infer[tgt.key] = inferStatus{
+			Model:    tgt.key,
+			Backend:  tgt.model.Backend().String(),
+			Exits:    tgt.model.NumExits(),
+			InputLen: tgt.model.InputLen(),
+			MaxBatch: tgt.model.MaxBatch(),
+			Queue:    st,
+		}
+	}
+	keys := make([]string, 0, len(infer))
+	for k := range infer {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptimeMs": time.Since(sv.started).Milliseconds(),
+		"infer":    infer,
+		"models":   keys,
+		"totals":   map[string]int64{"served": served, "rejected": rejected},
+		"grids":    map[string]int{"jobs": jobs},
+	})
+}

@@ -11,8 +11,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	ehinfer "repro"
+	"repro/internal/batch"
 	"repro/internal/exper"
 )
 
@@ -53,10 +55,24 @@ type storedArtifact struct {
 //	GET    /v1/grids/{id}/results            final aggregated JSON
 //	GET    /v1/grids/{id}/results?format=ndjson  follow per-point results
 //	DELETE /v1/grids/{id}       cancel a running job
+//	POST   /v1/infer            online inference against an artifact or
+//	                            registered deployment (micro-batched)
+//	GET    /v1/stats            serving stats: queue depths, batch-size
+//	                            histograms, latency percentiles
 //	GET    /healthz             liveness
 type Server struct {
 	session *ehinfer.Session
 	mux     *http.ServeMux
+	started time.Time
+
+	// batchCfg tunes the per-model micro-batching queues behind
+	// /v1/infer; infers holds them, created lazily per referenced model.
+	// retiredServed/retiredRejected accumulate counters of queues torn
+	// down by artifact deletes, keeping /v1/stats totals monotonic.
+	batchCfg        batch.Config
+	infers          map[string]*inferTarget
+	retiredServed   int64
+	retiredRejected int64
 
 	// baseCtx parents every async job; Shutdown cancels it.
 	baseCtx context.Context
@@ -74,9 +90,18 @@ type Server struct {
 	nextArtID int
 }
 
+// Option customizes a Server at construction.
+type Option func(*Server)
+
+// WithBatchConfig tunes the micro-batching queues behind /v1/infer
+// (zero fields keep the batch package defaults).
+func WithBatchConfig(cfg batch.Config) Option {
+	return func(sv *Server) { sv.batchCfg = cfg }
+}
+
 // New builds a server executing grids on the given session (nil means a
 // default session).
-func New(session *ehinfer.Session) *Server {
+func New(session *ehinfer.Session, opts ...Option) *Server {
 	if session == nil {
 		session = ehinfer.NewSession()
 	}
@@ -84,16 +109,23 @@ func New(session *ehinfer.Session) *Server {
 	sv := &Server{
 		session:   session,
 		mux:       http.NewServeMux(),
+		started:   time.Now(),
 		baseCtx:   ctx,
 		stop:      cancel,
 		jobs:      make(map[string]*job),
 		artifacts: make(map[string]*storedArtifact),
+		infers:    make(map[string]*inferTarget),
+	}
+	for _, o := range opts {
+		o(sv)
 	}
 	sv.mux.HandleFunc("POST /v1/grids", sv.handleSubmit)
 	sv.mux.HandleFunc("GET /v1/grids", sv.handleList)
 	sv.mux.HandleFunc("GET /v1/grids/{id}", sv.handleStatus)
 	sv.mux.HandleFunc("GET /v1/grids/{id}/results", sv.handleResults)
 	sv.mux.HandleFunc("DELETE /v1/grids/{id}", sv.handleCancel)
+	sv.mux.HandleFunc("POST /v1/infer", sv.handleInfer)
+	sv.mux.HandleFunc("GET /v1/stats", sv.handleStats)
 	sv.mux.HandleFunc("POST /v1/artifacts", sv.handleArtifactUpload)
 	sv.mux.HandleFunc("GET /v1/artifacts", sv.handleArtifactList)
 	sv.mux.HandleFunc("GET /v1/artifacts/{id}", sv.handleArtifactDownload)
@@ -112,12 +144,16 @@ func New(session *ehinfer.Session) *Server {
 // ServeHTTP implements http.Handler.
 func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { sv.mux.ServeHTTP(w, r) }
 
-// Shutdown cancels every running job, rejects new submissions, and waits
-// for workers to drain (or ctx to expire). Call it after the HTTP
-// listener has stopped accepting requests.
+// Shutdown cancels every running job, rejects new submissions, drains
+// the inference queues (queued requests are still answered), and waits
+// for workers (or ctx to expire). Call it after the HTTP listener has
+// stopped accepting requests.
 func (sv *Server) Shutdown(ctx context.Context) error {
 	sv.mu.Lock()
 	sv.closed = true
+	for key := range sv.infers {
+		sv.dropInferLocked(key)
+	}
 	sv.mu.Unlock()
 	sv.stop()
 	done := make(chan struct{})
@@ -541,13 +577,15 @@ func (sv *Server) handleArtifactDownload(w http.ResponseWriter, r *http.Request)
 
 // handleArtifactDelete removes an artifact from the store. Grids
 // already resolved against it keep their deployment; new submissions
-// referencing the id fail.
+// referencing the id fail, and its inference queue (if any) is drained
+// and closed.
 func (sv *Server) handleArtifactDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sv.mu.Lock()
 	art := sv.artifacts[id]
 	if art != nil {
 		delete(sv.artifacts, id)
+		sv.dropInferLocked(artifactPrefix + id)
 		kept := sv.artOrder[:0]
 		for _, a := range sv.artOrder {
 			if a != id {

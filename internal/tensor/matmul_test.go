@@ -88,3 +88,33 @@ func TestMatMulIntoReusesStorage(t *testing.T) {
 		t.Fatalf("MatMulInto = %v", dst.Data)
 	}
 }
+
+// TestGemmTransBSerialRowBatched checks the property the batched
+// inference executor (internal/plan.BatchExec) relies on for its dense
+// stages: stacking many inputs as extra A rows in one GemmTransBSerial
+// call yields, row for row, bit-identical output to m=1 calls per input
+// — every output element is one self-contained ascending-p dot product.
+func TestGemmTransBSerialRowBatched(t *testing.T) {
+	rng := NewRNG(11)
+	for _, dims := range [][3]int{
+		{3, 7, 2}, {4, 16, 6}, {5, 9, 7}, {16, 75, 49}, {7, 31, 1},
+	} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := New(m, k)
+		b := New(n, k)
+		FillNormal(a, rng, 1)
+		FillNormal(b, rng, 1)
+		wide := make([]float32, m*n)
+		one := make([]float32, n)
+		GemmTransBSerial(wide, a.Data, b.Data, m, k, n)
+		for i := 0; i < m; i++ {
+			GemmTransBSerial(one, a.Data[i*k:(i+1)*k], b.Data, 1, k, n)
+			for j := range one {
+				if wide[i*n+j] != one[j] {
+					t.Fatalf("m=%d k=%d n=%d: row %d element %d = %x, want %x (must be bit-identical)",
+						m, k, n, i, j, wide[i*n+j], one[j])
+				}
+			}
+		}
+	}
+}

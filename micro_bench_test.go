@@ -5,7 +5,7 @@ package ehinfer
 // Q-table updates, and the simulation engine. These measure the library
 // itself (testing.B timing is meaningful here, unlike the figure benches
 // which are one-shot experiment drivers). Every benchmark reports
-// allocations; BENCH_pr3.json archives the results per PR.
+// allocations; BENCH_pr5.json archives the results per PR.
 
 import (
 	"testing"
@@ -246,4 +246,58 @@ func BenchmarkFullSimulationEpisode(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkInferBatched* measure the batched serving executor
+// (plan.BatchExec) at the micro-batch sizes the online queue
+// dispatches. ns/op is per batch; the ns/img metric is the per-image
+// cost. Every size draws distinct images from one rotating pool —
+// serving traffic never re-infers a cache-hot image, so a fair
+// comparison must not either. On a single core (this CI box) per-image
+// cost is flat with batch size — the serial kernels already run at
+// scalar peak, and the dispatch overhead the batch amortizes is small —
+// while on a w-core host the executor's per-worker lanes divide
+// per-image wall time by min(batch, w).
+func BenchmarkInferBatched1(b *testing.B)  { benchInferBatched(b, 1) }
+func BenchmarkInferBatched4(b *testing.B)  { benchInferBatched(b, 4) }
+func BenchmarkInferBatched16(b *testing.B) { benchInferBatched(b, 16) }
+
+func benchInferBatched(b *testing.B, n int) {
+	net := multiexit.LeNetEE(tensor.NewRNG(1))
+	geom, err := plan.InferGeometry(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := plan.Compile(net, geom)
+	if err != nil {
+		b.Fatal(err)
+	}
+	be, err := p.NewBatchExec(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A pool of 16 distinct images; each dispatch takes the next n,
+	// wrapping, so every batch size sees the same image diversity.
+	const pool = 16
+	rng := tensor.NewRNG(2)
+	imgs := make([][]float32, pool+n-1)
+	for i := 0; i < pool; i++ {
+		img := tensor.New(3, 32, 32)
+		tensor.FillUniform(img, rng, 0, 1)
+		imgs[i] = img.Data
+	}
+	for i := pool; i < len(imgs); i++ {
+		imgs[i] = imgs[i-pool]
+	}
+	dsts := make([]*plan.State, n)
+	for i := range dsts {
+		dsts[i] = p.NewState()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (i * n) % pool
+		be.InferBatchTo(dsts, imgs[off:off+n], 2)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/img")
 }

@@ -1,0 +1,50 @@
+#!/bin/sh
+# infer-smoke: boot the real ehserved daemon, upload the checked-in
+# golden artifact, POST one online inference, and assert a well-formed
+# prediction decodes. This is the CI gate proving the serving path works
+# end to end in the shipped binary, not just under httptest.
+set -eu
+
+PORT="${INFER_SMOKE_PORT:-18157}"
+BASE="http://127.0.0.1:$PORT"
+TMP="$(mktemp -d)"
+trap 'kill "$SERVER_PID" 2>/dev/null || true; wait "$SERVER_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/ehserved" ./cmd/ehserved
+"$TMP/ehserved" -addr "127.0.0.1:$PORT" >"$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+
+ok=0
+for _ in $(seq 1 100); do
+    if curl -sf "$BASE/healthz" >/dev/null 2>&1; then ok=1; break; fi
+    sleep 0.1
+done
+if [ "$ok" != 1 ]; then
+    echo "infer-smoke: server never became healthy" >&2
+    cat "$TMP/server.log" >&2
+    exit 1
+fi
+
+# Upload the golden two-exit artifact (1x16x16 input, 4 classes).
+curl -sf --data-binary @testdata/golden_two_exit.ehar "$BASE/v1/artifacts" >"$TMP/upload.json"
+grep -q '"id":"a1"' "$TMP/upload.json" || { echo "infer-smoke: unexpected upload response:"; cat "$TMP/upload.json"; exit 1; }
+
+# One inference: a constant mid-gray 256-value input.
+awk 'BEGIN {
+    s = "";
+    for (i = 0; i < 256; i++) s = s (i ? "," : "") "0.5";
+    print "{\"artifact\":\"a1\",\"input\":[" s "]}";
+}' >"$TMP/request.json"
+curl -sf -X POST --data-binary @"$TMP/request.json" "$BASE/v1/infer" >"$TMP/response.json"
+
+# The decoded prediction must carry a class in [0,4), the exit taken,
+# and the int8 backend the golden artifact pins as its default.
+grep -Eq '"class":[0-3][,}]' "$TMP/response.json" || { echo "infer-smoke: no decodable class:"; cat "$TMP/response.json"; exit 1; }
+grep -Eq '"exit":[01][,}]' "$TMP/response.json" || { echo "infer-smoke: no exit taken:"; cat "$TMP/response.json"; exit 1; }
+grep -q '"backend":"int8"' "$TMP/response.json" || { echo "infer-smoke: wrong backend:"; cat "$TMP/response.json"; exit 1; }
+
+# And the stats endpoint must account for it.
+curl -sf "$BASE/v1/stats" >"$TMP/stats.json"
+grep -q '"served":1' "$TMP/stats.json" || { echo "infer-smoke: stats did not count the request:"; cat "$TMP/stats.json"; exit 1; }
+
+echo "infer-smoke: OK ($(cat "$TMP/response.json"))"

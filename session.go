@@ -29,6 +29,9 @@ type Session struct {
 	backend  InferBackend
 	cache    *exper.DeployCache
 	progress func(ExperimentResult)
+
+	// models caches per-deployment serving executors for Infer/InferBatch.
+	models inferModels
 }
 
 // SessionOption configures a Session at construction.
