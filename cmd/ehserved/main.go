@@ -34,12 +34,21 @@
 //
 //	curl -s -X POST localhost:8080/v1/infer \
 //	    -d '{"artifact":"a1","input":[0.1, ...],"threshold":0.8}'
-//	curl -s localhost:8080/v1/stats   # queue depth, batch histogram, latency percentiles
+//	curl -s localhost:8080/metrics    # Prometheus text: queues, latencies, exits
+//
+// Operations: GET /metrics is the Prometheus scrape endpoint, /healthz
+// and /readyz the liveness/readiness probes (readiness flips 503 the
+// moment shutdown starts, before the listener closes). -rate/-burst
+// enable per-client token-bucket admission control on the /v1/ routes
+// (keyed by X-Client-ID, else remote host); -pprof mounts
+// /debug/pprof/. Every request gets an X-Request-ID and one structured
+// log line on stderr.
 //
 // Usage:
 //
 //	ehserved [-addr :8080] [-workers N] [-seed N]
 //	         [-max-batch N] [-batch-window D] [-queue-cap N]
+//	         [-rate RPS] [-burst N] [-pprof] [-log-level LEVEL]
 package main
 
 import (
@@ -47,9 +56,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -66,18 +77,38 @@ func main() {
 		maxBatch    = flag.Int("max-batch", 0, "largest /v1/infer micro-batch per model (0 = default 8)")
 		batchWindow = flag.Duration("batch-window", 0, "how long an under-full micro-batch waits for company (0 = default 2ms, negative = dispatch immediately)")
 		queueCap    = flag.Int("queue-cap", 0, "per-model pending-request bound before 429 (0 = default 256)")
+		rate        = flag.Float64("rate", 0, "per-client request rate on /v1/ routes, tokens/second (0 = unlimited)")
+		burst       = flag.Int("burst", 0, "per-client burst size when -rate is set (0 = ceil(rate))")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logLevel    = flag.String("log-level", "info", "request log level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(strings.ToLower(*logLevel))); err != nil {
+		fatal(fmt.Errorf("bad -log-level %q: %w", *logLevel, err))
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	session := ehinfer.NewSession(
 		ehinfer.WithWorkers(*workers),
 		ehinfer.WithSeed(*seed),
 	)
-	sv := serve.New(session, serve.WithBatchConfig(batch.Config{
-		MaxBatch: *maxBatch,
-		Window:   *batchWindow,
-		QueueCap: *queueCap,
-	}))
+	b := *burst
+	if b <= 0 && *rate > 0 {
+		b = int(*rate + 0.999)
+	}
+	sv := serve.New(
+		serve.WithSession(session),
+		serve.WithBatchConfig(batch.Config{
+			MaxBatch: *maxBatch,
+			Window:   *batchWindow,
+			QueueCap: *queueCap,
+		}),
+		serve.WithRateLimit(*rate, b),
+		serve.WithLogger(logger),
+		serve.WithPprof(*pprofOn),
+	)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           sv,
@@ -98,8 +129,10 @@ func main() {
 		fatal(err)
 	}
 
-	// Graceful shutdown: stop accepting requests, then cancel running
+	// Graceful shutdown: flip /readyz to draining so load balancers stop
+	// routing here, then stop accepting requests, then cancel running
 	// grids and wait for their workers to drain.
+	sv.StartDrain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -41,7 +41,27 @@
 //   - the HTTP serving layer (internal/serve, cmd/ehserved): submit
 //     declarative GridSpecs, poll progress, stream per-point results as
 //     NDJSON, fetch deterministic final reports, upload/download
-//     deployment artifacts, with graceful shutdown;
+//     deployment artifacts, with graceful shutdown; every request runs
+//     through one middleware chain — panic recovery, request-ID
+//     injection, structured slog request logging, metrics, per-client
+//     token-bucket rate limiting (X-Client-ID keyed, 429 + Retry-After
+//     above the queue-cap backpressure) — built with functional options
+//     (serve.New + WithSession/WithBatchConfig/WithRateLimit/
+//     WithLogger/WithClock/WithPprof);
+//   - operational observability (internal/obs): a zero-dependency
+//     metrics registry (counters, gauges, histograms) served as
+//     Prometheus text exposition on GET /metrics — per-route request
+//     counts and latencies, per-model queue depth, batch-size and
+//     latency histograms, exit-taken counters — with GET /v1/stats kept
+//     as a deprecated JSON view over the same registry (monotonic
+//     across artifact deletes), /healthz and /readyz health probes
+//     (readiness flips during graceful drain), and net/http/pprof
+//     behind the -pprof flag;
+//   - an exported error taxonomy (ErrBadInput, ErrModelNotFound,
+//     ErrQueueFull, ErrInferenceFailed): Session.Infer/InferBatch and
+//     the HTTP layer wrap these sentinels so errors.Is works end to
+//     end, and internal/serve maps them to HTTP status codes in one
+//     table;
 //   - online inference serving (internal/batch, POST /v1/infer):
 //     requests against an uploaded artifact or registered deployment
 //     are micro-batched per model — a bounded queue accumulates them up

@@ -1,0 +1,29 @@
+package ehinfer
+
+import (
+	"errors"
+
+	"repro/internal/batch"
+)
+
+// The programmable error taxonomy of the serving path. Every error
+// returned by Session.Infer/InferBatch (and surfaced by ehserved's
+// /v1/infer endpoint) wraps exactly one of these sentinels, so callers
+// branch with errors.Is instead of string-matching — and the HTTP layer
+// maps each sentinel to a status code in one table (internal/serve).
+var (
+	// ErrQueueFull reports that a bounded inference queue refused the
+	// request — shed load and retry later (HTTP 429 + Retry-After).
+	ErrQueueFull = batch.ErrQueueFull
+	// ErrModelNotFound reports that the referenced artifact or
+	// registered deployment does not exist (HTTP 404).
+	ErrModelNotFound = errors.New("ehinfer: model not found")
+	// ErrBadInput reports a request that failed boundary validation:
+	// wrong input volume, non-finite values, an exit bound out of range,
+	// or a threshold outside [0, 1] (HTTP 400).
+	ErrBadInput = batch.ErrBadInput
+	// ErrInferenceFailed reports a server-side execution failure (a
+	// recovered panic) — permanent for this payload, not worth
+	// retrying verbatim (HTTP 500).
+	ErrInferenceFailed = batch.ErrInferenceFailed
+)

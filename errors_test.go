@@ -1,0 +1,39 @@
+package ehinfer_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	ehinfer "repro"
+)
+
+// TestErrorTaxonomy pins that Session.Infer/InferBatch failures are
+// programmable with errors.Is against the exported sentinels — no
+// string matching.
+func TestErrorTaxonomy(t *testing.T) {
+	session := ehinfer.NewSession(ehinfer.WithWorkers(1))
+	d, err := session.BuildDeployed(ehinfer.Fig1bNonuniform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if _, err := session.Infer(ctx, nil, make([]float32, 3072)); !errors.Is(err, ehinfer.ErrModelNotFound) {
+		t.Fatalf("nil deployment: %v, want ErrModelNotFound", err)
+	}
+	if _, err := session.Infer(ctx, d, []float32{1, 2, 3}); !errors.Is(err, ehinfer.ErrBadInput) {
+		t.Fatalf("wrong volume: %v, want ErrBadInput", err)
+	}
+	if _, err := session.Infer(ctx, d, make([]float32, 3072), ehinfer.InferToExit(99)); !errors.Is(err, ehinfer.ErrBadInput) {
+		t.Fatalf("exit out of range: %v, want ErrBadInput", err)
+	}
+	if _, err := session.Infer(ctx, d, make([]float32, 3072), ehinfer.InferWithThreshold(2)); !errors.Is(err, ehinfer.ErrBadInput) {
+		t.Fatalf("bad threshold: %v, want ErrBadInput", err)
+	}
+
+	// A valid request still works after the failures above.
+	if _, err := session.Infer(ctx, d, make([]float32, 3072)); err != nil {
+		t.Fatalf("valid request failed: %v", err)
+	}
+}

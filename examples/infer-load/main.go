@@ -32,7 +32,7 @@ func main() {
 	// 1. A serving session and the HTTP surface, tuned for visible
 	//    micro-batching: up to 8 images per dispatch, a 5ms window.
 	session := ehinfer.NewSession(ehinfer.WithWorkers(1))
-	sv := serve.New(session, serve.WithBatchConfig(batch.Config{
+	sv := serve.New(serve.WithSession(session), serve.WithBatchConfig(batch.Config{
 		MaxBatch: 8,
 		Window:   5 * time.Millisecond,
 		QueueCap: 64,

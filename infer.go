@@ -77,7 +77,7 @@ func (s *Session) Infer(ctx context.Context, d *Deployed, input []float32, opts 
 // completed prefix is discarded and ctx.Err() returned.
 func (s *Session) InferBatch(ctx context.Context, d *Deployed, inputs [][]float32, opts ...InferOption) ([]Prediction, error) {
 	if d == nil {
-		return nil, fmt.Errorf("ehinfer: nil deployment")
+		return nil, fmt.Errorf("%w: nil deployment", ErrModelNotFound)
 	}
 	opt := batch.Options{Exit: -1}
 	for _, o := range opts {

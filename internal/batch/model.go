@@ -172,24 +172,24 @@ func (m *Model) InputShape() (c, h, w int) { return m.geom.C, m.geom.H, m.geom.W
 func (m *Model) InputLen() int { return m.geom.Vol() }
 
 // Validate checks one request at the serving boundary, returning a
-// client-addressable error: wrong input volume, non-finite values, an
-// exit bound out of range, or a threshold outside [0, 1]. Anything that
-// passes cannot panic the execution layers.
+// client-addressable error wrapping ErrBadInput: wrong input volume,
+// non-finite values, an exit bound out of range, or a threshold outside
+// [0, 1]. Anything that passes cannot panic the execution layers.
 func (m *Model) Validate(r *Req) error {
 	if want := m.geom.Vol(); len(r.Input) != want {
-		return fmt.Errorf("input has %d values, want %d (%d×%d×%d CHW)",
-			len(r.Input), want, m.geom.C, m.geom.H, m.geom.W)
+		return fmt.Errorf("%w: input has %d values, want %d (%d×%d×%d CHW)",
+			ErrBadInput, len(r.Input), want, m.geom.C, m.geom.H, m.geom.W)
 	}
 	for i, v := range r.Input {
 		if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
-			return fmt.Errorf("input[%d] is %v; values must be finite", i, v)
+			return fmt.Errorf("%w: input[%d] is %v; values must be finite", ErrBadInput, i, v)
 		}
 	}
 	if r.Exit >= m.NumExits() {
-		return fmt.Errorf("exit %d out of range: model has %d exits", r.Exit, m.NumExits())
+		return fmt.Errorf("%w: exit %d out of range: model has %d exits", ErrBadInput, r.Exit, m.NumExits())
 	}
 	if !(r.Threshold >= 0 && r.Threshold <= 1) { // rejects NaN too
-		return fmt.Errorf("threshold %v outside [0, 1]", r.Threshold)
+		return fmt.Errorf("%w: threshold %v outside [0, 1]", ErrBadInput, r.Threshold)
 	}
 	return nil
 }

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Inferer executes one micro-batch of validated requests. *Model is the
@@ -29,6 +31,46 @@ type Config struct {
 	// 256). At the bound Submit fails fast with ErrQueueFull — the
 	// backpressure signal the HTTP layer turns into 429.
 	QueueCap int
+	// Metrics routes the queue's counters into a shared obs registry
+	// (one instrument set per served model). Nil gets private,
+	// unregistered instruments — Stats still works, nothing is exposed.
+	// The queue's counters ARE these instruments: the JSON Stats view
+	// and a Prometheus exposition of the same registry cannot disagree.
+	Metrics *Metrics
+}
+
+// Metrics is the obs instrument set a queue updates. Counters are
+// monotonic across queue generations: when the serving layer tears a
+// queue down and later rebuilds one for the same model, passing the same
+// Metrics continues the series instead of resetting it.
+type Metrics struct {
+	// Served/Rejected/Canceled/Errored/Batches mirror the Stats fields
+	// of the same names.
+	Served, Rejected, Canceled, Errored, Batches *obs.Counter
+	// BatchSize takes one observation per non-empty dispatch. For exact
+	// per-size counts (Stats.BatchSizes), build it with unit-width
+	// integer buckets: obs.LinearBuckets(1, 1, MaxBatch).
+	BatchSize *obs.Histogram
+	// Latency takes one observation per served request
+	// (admission→answer), in seconds.
+	Latency *obs.Histogram
+	// Depth tracks requests admitted but not yet answered.
+	Depth *obs.Gauge
+}
+
+// newPrivateMetrics builds an unregistered instrument set for queues
+// whose owner did not supply one.
+func newPrivateMetrics(maxBatch int) *Metrics {
+	return &Metrics{
+		Served:    &obs.Counter{},
+		Rejected:  &obs.Counter{},
+		Canceled:  &obs.Counter{},
+		Errored:   &obs.Counter{},
+		Batches:   &obs.Counter{},
+		BatchSize: obs.NewHistogram(obs.LinearBuckets(1, 1, maxBatch)),
+		Latency:   obs.NewHistogram(obs.DefLatencyBuckets),
+		Depth:     &obs.Gauge{},
+	}
 }
 
 func (c *Config) fillDefaults() {
@@ -54,6 +96,10 @@ var (
 	// — a server-side failure (HTTP 500), distinct from the transient
 	// shed/shutdown conditions a client may retry.
 	ErrInferenceFailed = errors.New("batch: inference failed")
+	// ErrBadInput wraps every request-validation failure (wrong input
+	// volume, non-finite values, exit bound out of range, bad
+	// threshold) — the client-addressable taxonomy entry (HTTP 400).
+	ErrBadInput = errors.New("batch: bad input")
 )
 
 // latencyRing is how many recent request latencies the percentile
@@ -77,14 +123,13 @@ type Queue struct {
 	stateMu sync.RWMutex
 	closed  bool
 
+	// m holds the monotonic instruments (counters, size/latency
+	// histograms, depth gauge); the fields below are the queue-local
+	// remainder: the latency ring for percentile estimation and the
+	// depth high-water mark.
+	m        *Metrics
 	statMu   sync.Mutex
 	started  time.Time
-	served   int64
-	rejected int64
-	canceled int64
-	errored  int64
-	batches  int64
-	sizes    []int64 // histogram: sizes[k-1] counts k-request batches
 	lats     []time.Duration
 	latNext  int
 	depth    int64 // requests accepted but not yet answered
@@ -108,14 +153,18 @@ type pending struct {
 // NewQueue starts a queue dispatching onto inf. Close it to drain.
 func NewQueue(inf Inferer, cfg Config) *Queue {
 	cfg.fillDefaults()
+	m := cfg.Metrics
+	if m == nil {
+		m = newPrivateMetrics(cfg.MaxBatch)
+	}
 	q := &Queue{
 		inf:     inf,
 		cfg:     cfg,
+		m:       m,
 		ch:      make(chan *pending, cfg.QueueCap),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 		started: time.Now(),
-		sizes:   make([]int64, cfg.MaxBatch),
 		lats:    make([]time.Duration, 0, latencyRing),
 	}
 	go q.worker()
@@ -364,25 +413,33 @@ type LatencyStats struct {
 	P99 float64 `json:"p99"`
 }
 
-// Stats snapshots the queue's counters.
+// Stats snapshots the queue's counters — a JSON-shaped view over the
+// same obs instruments a /metrics exposition reads, so the two views
+// agree by construction.
 func (q *Queue) Stats() Stats {
 	q.statMu.Lock()
 	defer q.statMu.Unlock()
+	served, batches := q.m.Served.Value(), q.m.Batches.Value()
+	bc := q.m.BatchSize.BucketCounts()
+	sizes := make([]int64, len(bc)-1) // drop the +Inf overflow bucket
+	for i := range sizes {
+		sizes[i] = int64(bc[i])
+	}
 	st := Stats{
 		QueueDepth: int(q.depth),
 		MaxDepth:   int(q.maxDepth),
-		Served:     q.served,
-		Rejected:   q.rejected,
-		Canceled:   q.canceled,
-		Errored:    q.errored,
-		Batches:    q.batches,
-		BatchSizes: append([]int64(nil), q.sizes...),
+		Served:     served,
+		Rejected:   q.m.Rejected.Value(),
+		Canceled:   q.m.Canceled.Value(),
+		Errored:    q.m.Errored.Value(),
+		Batches:    batches,
+		BatchSizes: sizes,
 	}
-	if q.batches > 0 {
-		st.MeanBatch = float64(q.served) / float64(q.batches)
+	if batches > 0 {
+		st.MeanBatch = float64(served) / float64(batches)
 	}
 	if up := time.Since(q.started).Seconds(); up > 0 {
-		st.ThroughputPerSec = float64(q.served) / up
+		st.ThroughputPerSec = float64(served) / up
 	}
 	if len(q.lats) > 0 {
 		s := append([]time.Duration(nil), q.lats...)
@@ -402,13 +459,12 @@ func (q *Queue) noteEnqueued() {
 	if q.depth > q.maxDepth {
 		q.maxDepth = q.depth
 	}
+	q.m.Depth.Set(float64(q.depth))
 	q.statMu.Unlock()
 }
 
 func (q *Queue) noteRejected() {
-	q.statMu.Lock()
-	q.rejected++
-	q.statMu.Unlock()
+	q.m.Rejected.Inc()
 }
 
 // noteFailed retires a batch whose execution errored: the requests
@@ -416,24 +472,16 @@ func (q *Queue) noteRejected() {
 func (q *Queue) noteFailed(size int, ncanceled int64) {
 	q.statMu.Lock()
 	q.depth -= int64(size) + ncanceled
-	q.canceled += ncanceled
-	q.errored += int64(size)
+	q.m.Depth.Set(float64(q.depth))
 	q.statMu.Unlock()
+	q.m.Canceled.Add(ncanceled)
+	q.m.Errored.Add(int64(size))
 }
 
 func (q *Queue) noteBatch(size int, ncanceled int64, lats []time.Duration) {
 	q.statMu.Lock()
-	defer q.statMu.Unlock()
 	q.depth -= int64(size) + ncanceled
-	q.canceled += ncanceled
-	if size == 0 {
-		return
-	}
-	q.batches++
-	q.served += int64(size)
-	if size <= len(q.sizes) {
-		q.sizes[size-1]++
-	}
+	q.m.Depth.Set(float64(q.depth))
 	for _, l := range lats {
 		if len(q.lats) < latencyRing {
 			q.lats = append(q.lats, l)
@@ -441,5 +489,16 @@ func (q *Queue) noteBatch(size int, ncanceled int64, lats []time.Duration) {
 			q.lats[q.latNext] = l
 			q.latNext = (q.latNext + 1) % latencyRing
 		}
+	}
+	q.statMu.Unlock()
+	q.m.Canceled.Add(ncanceled)
+	if size == 0 {
+		return
+	}
+	q.m.Batches.Inc()
+	q.m.Served.Add(int64(size))
+	q.m.BatchSize.Observe(float64(size))
+	for _, l := range lats {
+		q.m.Latency.Observe(l.Seconds())
 	}
 }

@@ -6,8 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"runtime/debug"
-	"sort"
 	"time"
 
 	ehinfer "repro"
@@ -57,48 +55,40 @@ type inferResponse struct {
 }
 
 // handleInfer answers online inference requests against an uploaded
-// artifact or a registered deployment. Malformed payloads are client
-// errors (400/404/429), and a recover guard converts any panic that
-// slips through into a 500 — a bad request must never take the daemon
-// down.
+// artifact or a registered deployment. Failures are wrapped in the
+// exported error taxonomy and mapped to HTTP codes by the one
+// errorCodes table; panics are the recovery middleware's problem.
 func (sv *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
-	defer func() {
-		if rec := recover(); rec != nil {
-			// The guard of last resort: validation is supposed to make
-			// this unreachable, but a panic here must stay one request's
-			// problem, not the daemon's.
-			debug.PrintStack()
-			writeErr(w, http.StatusInternalServerError, fmt.Errorf("infer: internal error: %v", rec))
-		}
-	}()
+	start := time.Now()
 
 	var req inferRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxInferBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad infer request: %w", err))
+		writeError(w, fmt.Errorf("%w: bad infer request: %v", ehinfer.ErrBadInput, err))
 		return
 	}
 
 	inputs := req.Inputs
 	switch {
 	case req.Input != nil && req.Inputs != nil:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf(`use "input" or "inputs", not both`))
+		writeError(w, fmt.Errorf(`%w: use "input" or "inputs", not both`, ehinfer.ErrBadInput))
 		return
 	case req.Input != nil:
 		inputs = [][]float32{req.Input}
 	case len(inputs) == 0:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf(`empty batch: provide "input" or a non-empty "inputs"`))
+		writeError(w, fmt.Errorf(`%w: empty batch: provide "input" or a non-empty "inputs"`, ehinfer.ErrBadInput))
 		return
 	}
 	if len(inputs) > maxInferInputs {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("batch of %d inputs exceeds the per-request limit of %d", len(inputs), maxInferInputs))
+		writeError(w, fmt.Errorf("%w: batch of %d inputs exceeds the per-request limit of %d",
+			ehinfer.ErrBadInput, len(inputs), maxInferInputs))
 		return
 	}
 
-	tgt, code, err := sv.inferTargetFor(&req)
+	tgt, err := sv.inferTargetFor(&req)
 	if err != nil {
-		writeErr(w, code, err)
+		writeError(w, err)
 		return
 	}
 
@@ -106,7 +96,8 @@ func (sv *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if req.Exit != nil {
 		exit = *req.Exit
 		if exit < 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("exit %d invalid: omit the field for the deepest exit", exit))
+			writeError(w, fmt.Errorf("%w: exit %d invalid: omit the field for the deepest exit",
+				ehinfer.ErrBadInput, exit))
 			return
 		}
 	}
@@ -114,7 +105,7 @@ func (sv *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	for i, in := range inputs {
 		reqs[i] = batch.Req{Input: in, Options: batch.Options{Exit: exit, Threshold: req.Threshold}}
 		if err := tgt.model.Validate(&reqs[i]); err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("input %d: %w", i, err))
+			writeError(w, fmt.Errorf("input %d: %w", i, err))
 			return
 		}
 	}
@@ -125,15 +116,10 @@ func (sv *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	for i := range reqs {
 		t, err := tgt.queue.Enqueue(r.Context(), reqs[i])
 		if err != nil {
-			switch {
-			case errors.Is(err, batch.ErrQueueFull):
-				w.Header().Set("Retry-After", "1")
-				writeErr(w, http.StatusTooManyRequests, fmt.Errorf("inference queue for %s is full", tgt.key))
-			case errors.Is(err, batch.ErrClosed):
-				writeErr(w, http.StatusServiceUnavailable, err)
-			default:
-				writeErr(w, http.StatusInternalServerError, err)
+			if errors.Is(err, batch.ErrQueueFull) {
+				err = fmt.Errorf("%w: inference queue for %s", err, tgt.key)
 			}
+			writeError(w, err)
 			return // abandoned tickets carry r.Context() and are skipped once it ends
 		}
 		tickets[i] = t
@@ -142,19 +128,19 @@ func (sv *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	for i, t := range tickets {
 		p, err := t.Wait(r.Context())
 		if err != nil {
-			if errors.Is(err, batch.ErrInferenceFailed) {
-				// A server-side execution failure (recovered panic):
-				// permanent for this payload, so 500 — a 503 would invite
-				// the client to retry the same poison request.
-				writeErr(w, http.StatusInternalServerError, err)
-				return
-			}
-			// Otherwise the client went away or shutdown raced the wait;
-			// transient from the client's point of view.
-			writeErr(w, http.StatusServiceUnavailable, err)
+			// ErrInferenceFailed (a recovered execution panic) maps to a
+			// permanent 500 via the taxonomy table — a 503 would invite
+			// the client to retry the same poison request. Everything
+			// else here is the client leaving or shutdown racing the
+			// wait: transient, 503.
+			writeError(w, err)
 			return
 		}
 		preds[i] = p
+	}
+	elapsed := time.Since(start)
+	for _, p := range preds {
+		sv.noteExit(tgt.key, p.Exit, elapsed)
 	}
 	writeJSON(w, http.StatusOK, inferResponse{
 		Model:       tgt.key,
@@ -165,13 +151,16 @@ func (sv *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 }
 
 // inferTargetFor resolves the request's model reference to a served
-// target, creating its model and queue on first use.
-func (sv *Server) inferTargetFor(req *inferRequest) (*inferTarget, int, error) {
+// target, creating its model and queue on first use. Failures carry
+// taxonomy sentinels: ErrBadInput for reference shape, ErrModelNotFound
+// for unknown references, batch.ErrClosed during shutdown.
+func (sv *Server) inferTargetFor(req *inferRequest) (*inferTarget, error) {
 	switch {
 	case req.Artifact != "" && req.Deployment != "":
-		return nil, http.StatusBadRequest, fmt.Errorf(`use "artifact" or "deployment", not both`)
+		return nil, fmt.Errorf(`%w: use "artifact" or "deployment", not both`, ehinfer.ErrBadInput)
 	case req.Artifact == "" && req.Deployment == "":
-		return nil, http.StatusBadRequest, fmt.Errorf(`missing model reference: set "artifact" (uploaded id) or "deployment" (registered name)`)
+		return nil, fmt.Errorf(`%w: missing model reference: set "artifact" (uploaded id) or "deployment" (registered name)`,
+			ehinfer.ErrBadInput)
 	}
 
 	key := "deployment:" + req.Deployment
@@ -185,11 +174,11 @@ func (sv *Server) inferTargetFor(req *inferRequest) (*inferTarget, int, error) {
 	sv.mu.Lock()
 	if sv.closed {
 		sv.mu.Unlock()
-		return nil, http.StatusServiceUnavailable, fmt.Errorf("serve: server is shutting down")
+		return nil, fmt.Errorf("%w: server is shutting down", batch.ErrClosed)
 	}
 	if tgt := sv.infers[key]; tgt != nil {
 		sv.mu.Unlock()
-		return tgt, 0, nil
+		return tgt, nil
 	}
 	var d *ehinfer.Deployed
 	if req.Artifact != "" {
@@ -201,17 +190,17 @@ func (sv *Server) inferTargetFor(req *inferRequest) (*inferTarget, int, error) {
 
 	if d == nil {
 		if req.Artifact != "" {
-			return nil, http.StatusNotFound, fmt.Errorf("unknown artifact %q", req.Artifact)
+			return nil, fmt.Errorf("%w: unknown artifact %q", ehinfer.ErrModelNotFound, req.Artifact)
 		}
 		dep, err := exper.LookupDeployment(req.Deployment)
 		if err != nil {
-			return nil, http.StatusNotFound, err
+			return nil, fmt.Errorf("%w: %v", ehinfer.ErrModelNotFound, err)
 		}
 		d = dep
 	}
 	model, err := batch.NewModel(d, sv.session.Backend(), sv.batchCfg.MaxBatch)
 	if err != nil {
-		return nil, http.StatusBadRequest, err
+		return nil, fmt.Errorf("%w: %v", ehinfer.ErrBadInput, err)
 	}
 
 	// First writer wins: a racing request may have built the same target
@@ -221,23 +210,26 @@ func (sv *Server) inferTargetFor(req *inferRequest) (*inferTarget, int, error) {
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
 	if sv.closed {
-		return nil, http.StatusServiceUnavailable, fmt.Errorf("serve: server is shutting down")
+		return nil, fmt.Errorf("%w: server is shutting down", batch.ErrClosed)
 	}
 	if tgt := sv.infers[key]; tgt != nil {
-		return tgt, 0, nil
+		return tgt, nil
 	}
 	if req.Artifact != "" && sv.artifacts[req.Artifact] == nil {
-		return nil, http.StatusNotFound, fmt.Errorf("unknown artifact %q", req.Artifact)
+		return nil, fmt.Errorf("%w: unknown artifact %q", ehinfer.ErrModelNotFound, req.Artifact)
 	}
-	tgt := &inferTarget{key: key, model: model, queue: batch.NewQueue(model, sv.batchCfg)}
+	cfg := sv.batchCfg
+	cfg.Metrics = sv.queueMetrics(key)
+	tgt := &inferTarget{key: key, model: model, queue: batch.NewQueue(model, cfg)}
 	sv.infers[key] = tgt
-	return tgt, 0, nil
+	return tgt, nil
 }
 
 // dropInferLocked removes a target (artifact deleted, shutdown) and
-// closes its queue in the background with a drain deadline; the dead
-// queue's counters fold into the server-level retired totals so
-// /v1/stats totals stay monotonic across deletes. Caller holds sv.mu.
+// closes its queue in the background with a drain deadline. The dead
+// queue's counters live in the server registry keyed by model, so they
+// survive the teardown — /v1/stats totals and /metrics stay monotonic
+// with no extra bookkeeping here. Caller holds sv.mu.
 func (sv *Server) dropInferLocked(key string) {
 	tgt := sv.infers[key]
 	if tgt == nil {
@@ -250,11 +242,6 @@ func (sv *Server) dropInferLocked(key string) {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		_ = tgt.queue.Close(ctx)
-		st := tgt.queue.Stats() // final after Close: the worker has exited
-		sv.mu.Lock()
-		sv.retiredServed += st.Served
-		sv.retiredRejected += st.Rejected
-		sv.mu.Unlock()
 	}()
 }
 
@@ -266,45 +253,4 @@ type inferStatus struct {
 	InputLen int         `json:"inputLen"`
 	MaxBatch int         `json:"maxBatch"`
 	Queue    batch.Stats `json:"queue"`
-}
-
-// handleStats reports the serving side's observability counters: per
-// model queue depth, the micro-batch size histogram, latency
-// percentiles, and throughput, plus grid-job totals.
-func (sv *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	sv.mu.Lock()
-	targets := make([]*inferTarget, 0, len(sv.infers))
-	for _, tgt := range sv.infers {
-		targets = append(targets, tgt)
-	}
-	jobs := len(sv.jobs)
-	served, rejected := sv.retiredServed, sv.retiredRejected
-	sv.mu.Unlock()
-
-	infer := make(map[string]inferStatus, len(targets))
-	for _, tgt := range targets {
-		st := tgt.queue.Stats()
-		served += st.Served
-		rejected += st.Rejected
-		infer[tgt.key] = inferStatus{
-			Model:    tgt.key,
-			Backend:  tgt.model.Backend().String(),
-			Exits:    tgt.model.NumExits(),
-			InputLen: tgt.model.InputLen(),
-			MaxBatch: tgt.model.MaxBatch(),
-			Queue:    st,
-		}
-	}
-	keys := make([]string, 0, len(infer))
-	for k := range infer {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	writeJSON(w, http.StatusOK, map[string]any{
-		"uptimeMs": time.Since(sv.started).Milliseconds(),
-		"infer":    infer,
-		"models":   keys,
-		"totals":   map[string]int64{"served": served, "rejected": rejected},
-		"grids":    map[string]int{"jobs": jobs},
-	})
 }

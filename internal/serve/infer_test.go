@@ -235,7 +235,7 @@ func TestServeInferBackpressure(t *testing.T) {
 	// first ~100ms dispatch the remaining clients hit the 2-slot channel
 	// and shed. Multi-input requests would be all-or-nothing per request
 	// and could 429 across the board under total overload.
-	sv := New(ehinfer.NewSession(ehinfer.WithWorkers(1)),
+	sv := New(WithSession(ehinfer.NewSession(ehinfer.WithWorkers(1))),
 		WithBatchConfig(batch.Config{MaxBatch: 2, Window: time.Millisecond, QueueCap: 2}))
 	ts := newHTTPServer(t, sv)
 	id := uploadArtifact(t, ts, slowArtifact(t))

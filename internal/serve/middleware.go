@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Middleware is one interceptor layer: it wraps an http.Handler and
+// returns the wrapped handler. Every route passes through the server's
+// whole chain — observability and admission control are composed here,
+// never sprinkled into individual handlers.
+type Middleware func(http.Handler) http.Handler
+
+// Chain composes middlewares around a handler, first-listed outermost:
+// Chain(h, a, b, c) serves requests through a → b → c → h.
+func Chain(h http.Handler, mw ...Middleware) http.Handler {
+	for i := len(mw) - 1; i >= 0; i-- {
+		h = mw[i](h)
+	}
+	return h
+}
+
+// reqMeta is the per-request state the middleware layers share through
+// the request context: the request id, the matched route pattern (set
+// by the routing layer, read by metrics and logging), and the response
+// recorder.
+type reqMeta struct {
+	id    string
+	route string
+	rec   *statusRecorder
+}
+
+type metaKey struct{}
+
+// metaFrom returns the request's meta, or nil outside the chain.
+func metaFrom(ctx context.Context) *reqMeta {
+	m, _ := ctx.Value(metaKey{}).(*reqMeta)
+	return m
+}
+
+// statusRecorder captures the status code and byte count a handler
+// writes, and forwards Flush so NDJSON streaming keeps working through
+// the chain.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+	wrote bool
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if !sr.wrote {
+		sr.code = code
+		sr.wrote = true
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if !sr.wrote {
+		sr.code = http.StatusOK
+		sr.wrote = true
+	}
+	n, err := sr.ResponseWriter.Write(p)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withRoute tags the request meta with the route pattern the mux
+// matched, so the metrics and logging layers label by route, not by
+// raw (unbounded-cardinality) path.
+func withRoute(pattern string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if m := metaFrom(r.Context()); m != nil {
+			m.route = pattern
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// recoverMW is the outermost layer: it installs the shared statusRecorder
+// and meta, and converts a panic anywhere below — handler, middleware,
+// routing — into a logged 500 instead of a dead connection. (The batch
+// queue worker has its own recover; this one guards the HTTP side.)
+func (sv *Server) recoverMW(next http.Handler) http.Handler {
+	panics := sv.reg.Counter("ehserved_panics_recovered_total")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		meta := &reqMeta{rec: rec}
+		r = r.WithContext(context.WithValue(r.Context(), metaKey{}, meta))
+		defer func() {
+			if p := recover(); p != nil {
+				panics.Inc()
+				sv.log.Error("panic recovered",
+					"panic", fmt.Sprint(p),
+					"method", r.Method,
+					"path", r.URL.Path,
+					"request_id", meta.id,
+					"stack", string(debug.Stack()))
+				if !rec.wrote {
+					writeErr(rec, http.StatusInternalServerError,
+						fmt.Errorf("internal error (request %s)", meta.id))
+				}
+			}
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// reqSeq numbers generated request ids within the process.
+var reqSeq atomic.Uint64
+
+// requestIDMW honours a client-sent X-Request-ID (so a future gateway's
+// ids propagate) or generates one, and echoes it on the response.
+func (sv *Server) requestIDMW(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		meta := metaFrom(r.Context())
+		id := r.Header.Get("X-Request-ID")
+		if id == "" || len(id) > 128 {
+			id = fmt.Sprintf("%x-%d", sv.started.UnixNano()&0xffffff, reqSeq.Add(1))
+		}
+		meta.id = id
+		w.Header().Set("X-Request-ID", id)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// loggingMW emits one structured line per request: route, status,
+// duration, bytes, client, request id. 5xx log at error level.
+func (sv *Server) loggingMW(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		meta := metaFrom(r.Context())
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		level := sv.log.Info
+		if meta.rec.code >= 500 {
+			level = sv.log.Error
+		}
+		level("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"route", routeLabel(meta),
+			"status", meta.rec.code,
+			"bytes", meta.rec.bytes,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000,
+			"client", clientKey(r),
+			"request_id", meta.id)
+	})
+}
+
+// metricsMW counts every response by route and status code and observes
+// its duration — including 429s shed by the rate limiter below it. The
+// observation happens in a defer so a panicking handler is still
+// counted (as the 500 the recovery layer above will write) before the
+// panic is re-raised for recoverMW.
+func (sv *Server) metricsMW(next http.Handler) http.Handler {
+	inFlight := sv.reg.Gauge("ehserved_requests_in_flight")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		meta := metaFrom(r.Context())
+		inFlight.Add(1)
+		start := time.Now()
+		defer func() {
+			inFlight.Add(-1)
+			p := recover()
+			code := meta.rec.code
+			if p != nil && !meta.rec.wrote {
+				code = http.StatusInternalServerError
+			}
+			route := routeLabel(meta)
+			sv.reg.Counter(obs.Metric("ehserved_requests_total",
+				"route", route, "code", strconv.Itoa(code))).Inc()
+			sv.reg.Histogram(obs.Metric("ehserved_request_duration_seconds", "route", route),
+				obs.DefLatencyBuckets).Observe(time.Since(start).Seconds())
+			if p != nil {
+				panic(p)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// routeLabel is the bounded-cardinality route name for metrics/logs:
+// the matched pattern, "ratelimited" for requests shed before routing,
+// or "unmatched" for 404s the mux never routed.
+func routeLabel(meta *reqMeta) string {
+	if meta.route == "" {
+		return "unmatched"
+	}
+	return meta.route
+}
+
+// clientKey identifies the client for rate limiting and logging: the
+// X-Client-ID header when present (the fleet/gateway convention),
+// otherwise the remote address's host part.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" && len(id) <= 128 {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxRateClients bounds the per-client bucket map; past it, buckets
+// idle long enough to have fully refilled are pruned (they behave
+// identically to a fresh bucket, so dropping them is invisible).
+const maxRateClients = 4096
+
+// limiter is a per-client token-bucket rate limiter. Each client key
+// owns a bucket of `burst` tokens refilling at `rate` tokens/second;
+// a request spends one token or is shed. It sits ABOVE the batch
+// queue's queue-cap backpressure: overload is answered 429 before any
+// work (JSON decode aside) is admitted.
+type limiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newLimiter builds a limiter; rate must be > 0, burst < 1 is raised
+// to 1 (a bucket that can never hold a whole token would shed forever).
+func newLimiter(rate float64, burst int, now func() time.Time) *limiter {
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &limiter{rate: rate, burst: b, now: now, buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token from key's bucket. When the bucket is empty it
+// reports false plus how long until the next token exists.
+func (l *limiter) allow(key string) (bool, time.Duration) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[key]
+	if b == nil {
+		l.pruneLocked(now)
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens = math.Min(l.burst, b.tokens+dt*l.rate)
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// pruneLocked evicts fully-refilled idle buckets once the map is at
+// capacity. Caller holds l.mu.
+func (l *limiter) pruneLocked(now time.Time) {
+	if len(l.buckets) < maxRateClients {
+		return
+	}
+	idle := time.Duration(l.burst / l.rate * float64(time.Second))
+	for k, b := range l.buckets {
+		if now.Sub(b.last) >= idle {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// rateLimitMW sheds /v1/* requests whose client is over its budget with
+// 429 + Retry-After, before any handler work runs. Health probes,
+// /metrics scrapes, and pprof stay exempt — an operator must be able to
+// observe an overloaded daemon. A nil limiter (no -rate) disables the
+// layer entirely.
+func (sv *Server) rateLimitMW(next http.Handler) http.Handler {
+	if sv.limiter == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if ok, retry := sv.limiter.allow(clientKey(r)); !ok {
+			if m := metaFrom(r.Context()); m != nil {
+				m.route = "ratelimited"
+			}
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(math.Ceil(retry.Seconds()))))
+			writeErr(w, http.StatusTooManyRequests,
+				fmt.Errorf("rate limit exceeded for client %q; retry after %v", clientKey(r), retry.Round(time.Millisecond)))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

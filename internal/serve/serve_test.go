@@ -38,7 +38,7 @@ const slowSpec = `{
 
 func newTestServer(t *testing.T, workers int) (*Server, *httptest.Server) {
 	t.Helper()
-	sv := New(ehinfer.NewSession(ehinfer.WithWorkers(workers)))
+	sv := New(WithSession(ehinfer.NewSession(ehinfer.WithWorkers(workers))))
 	ts := httptest.NewServer(sv)
 	t.Cleanup(ts.Close)
 	t.Cleanup(func() {
@@ -297,7 +297,7 @@ func TestServeResultsConflictWhileRunning(t *testing.T) {
 // TestServeShutdownCancelsJobs: graceful shutdown aborts running grids
 // and drains within the deadline.
 func TestServeShutdownCancelsJobs(t *testing.T) {
-	sv := New(ehinfer.NewSession(ehinfer.WithWorkers(1)))
+	sv := New(WithSession(ehinfer.NewSession(ehinfer.WithWorkers(1))))
 	ts := httptest.NewServer(sv)
 	defer ts.Close()
 

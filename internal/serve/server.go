@@ -7,15 +7,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	ehinfer "repro"
 	"repro/internal/batch"
 	"repro/internal/exper"
+	"repro/internal/obs"
 )
 
 // maxSpecBytes bounds a submitted grid spec; real specs are a few KB.
@@ -41,10 +45,13 @@ type storedArtifact struct {
 	bundle *ehinfer.DeploymentBundle
 }
 
-// Server is the HTTP/JSON grid-execution service. All grids run on one
-// shared Session, so they share its worker cap and deployment cache.
+// Server is the HTTP/JSON serving daemon: grid execution, artifact
+// storage, and micro-batched online inference, behind one middleware
+// chain (panic recovery → request id → structured logging → metrics →
+// per-client rate limiting → routing). All grids run on one shared
+// Session, so they share its worker cap and deployment cache.
 //
-// Routes:
+// Routes (see Routes for the live table):
 //
 //	POST   /v1/grids            submit a GridSpec; 202 + job id
 //	POST   /v1/grids?stream=1   submit and stream NDJSON results on the
@@ -57,22 +64,33 @@ type storedArtifact struct {
 //	DELETE /v1/grids/{id}       cancel a running job
 //	POST   /v1/infer            online inference against an artifact or
 //	                            registered deployment (micro-batched)
-//	GET    /v1/stats            serving stats: queue depths, batch-size
-//	                            histograms, latency percentiles
+//	GET    /v1/stats            deprecated JSON stats view (see /metrics)
+//	GET    /metrics             Prometheus text exposition
 //	GET    /healthz             liveness
+//	GET    /readyz              readiness (503 once draining)
+//	GET    /debug/pprof/...     profiling, only with WithPprof(true)
 type Server struct {
 	session *ehinfer.Session
 	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the middleware chain
 	started time.Time
 
+	// Observability and admission control, assembled by New.
+	reg       *obs.Registry
+	log       *slog.Logger
+	clock     func() time.Time
+	limiter   *limiter
+	rateRPS   float64
+	rateBurst int
+	pprofOn   bool
+	ready     atomic.Bool
+
 	// batchCfg tunes the per-model micro-batching queues behind
-	// /v1/infer; infers holds them, created lazily per referenced model.
-	// retiredServed/retiredRejected accumulate counters of queues torn
-	// down by artifact deletes, keeping /v1/stats totals monotonic.
-	batchCfg        batch.Config
-	infers          map[string]*inferTarget
-	retiredServed   int64
-	retiredRejected int64
+	// /v1/infer; infers holds them, created lazily per referenced
+	// model. Their counters live in reg, keyed by model, and outlive
+	// queue teardown — /v1/stats totals stay monotonic that way.
+	batchCfg batch.Config
+	infers   map[string]*inferTarget
 
 	// baseCtx parents every async job; Shutdown cancels it.
 	baseCtx context.Context
@@ -93,23 +111,65 @@ type Server struct {
 // Option customizes a Server at construction.
 type Option func(*Server)
 
+// WithSession sets the Session grids and inference execute on (default:
+// a fresh ehinfer.NewSession()).
+func WithSession(session *ehinfer.Session) Option {
+	return func(sv *Server) { sv.session = session }
+}
+
 // WithBatchConfig tunes the micro-batching queues behind /v1/infer
 // (zero fields keep the batch package defaults).
 func WithBatchConfig(cfg batch.Config) Option {
 	return func(sv *Server) { sv.batchCfg = cfg }
 }
 
-// New builds a server executing grids on the given session (nil means a
-// default session).
-func New(session *ehinfer.Session, opts ...Option) *Server {
-	if session == nil {
-		session = ehinfer.NewSession()
+// WithRateLimit enables per-client token-bucket admission control on
+// the /v1/* routes: each client (X-Client-ID header, else remote host)
+// may sustain rps requests/second with bursts up to burst. Over-budget
+// requests are shed 429 + Retry-After before any work is admitted —
+// a layer above the queue-cap backpressure, which still guards the
+// inference queues themselves. rps <= 0 (the default) disables it.
+func WithRateLimit(rps float64, burst int) Option {
+	return func(sv *Server) { sv.rateRPS, sv.rateBurst = rps, burst }
+}
+
+// WithLogger routes the structured request log and error reports
+// (slog). The default logger discards everything — the library stays
+// quiet unless the operator wires a sink.
+func WithLogger(l *slog.Logger) Option {
+	return func(sv *Server) {
+		if l != nil {
+			sv.log = l
+		}
 	}
+}
+
+// WithClock substitutes the rate limiter's time source — tests drive
+// refill deterministically with a fake clock.
+func WithClock(now func() time.Time) Option {
+	return func(sv *Server) {
+		if now != nil {
+			sv.clock = now
+		}
+	}
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ (off by
+// default: profiling endpoints are for operators who asked for them).
+func WithPprof(enabled bool) Option {
+	return func(sv *Server) { sv.pprofOn = enabled }
+}
+
+// New builds the server. With no options it executes on a default
+// session with default batching, no rate limit, a discarding logger,
+// and no pprof.
+func New(opts ...Option) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	sv := &Server{
-		session:   session,
-		mux:       http.NewServeMux(),
 		started:   time.Now(),
+		reg:       obs.NewRegistry(),
+		log:       slog.New(slog.DiscardHandler),
+		clock:     time.Now,
 		baseCtx:   ctx,
 		stop:      cancel,
 		jobs:      make(map[string]*job),
@@ -119,36 +179,119 @@ func New(session *ehinfer.Session, opts ...Option) *Server {
 	for _, o := range opts {
 		o(sv)
 	}
-	sv.mux.HandleFunc("POST /v1/grids", sv.handleSubmit)
-	sv.mux.HandleFunc("GET /v1/grids", sv.handleList)
-	sv.mux.HandleFunc("GET /v1/grids/{id}", sv.handleStatus)
-	sv.mux.HandleFunc("GET /v1/grids/{id}/results", sv.handleResults)
-	sv.mux.HandleFunc("DELETE /v1/grids/{id}", sv.handleCancel)
-	sv.mux.HandleFunc("POST /v1/infer", sv.handleInfer)
-	sv.mux.HandleFunc("GET /v1/stats", sv.handleStats)
-	sv.mux.HandleFunc("POST /v1/artifacts", sv.handleArtifactUpload)
-	sv.mux.HandleFunc("GET /v1/artifacts", sv.handleArtifactList)
-	sv.mux.HandleFunc("GET /v1/artifacts/{id}", sv.handleArtifactDownload)
-	sv.mux.HandleFunc("DELETE /v1/artifacts/{id}", sv.handleArtifactDelete)
-	sv.mux.HandleFunc("GET /v1/registry", func(w http.ResponseWriter, _ *http.Request) {
-		reg := Registry()
-		reg["artifacts"] = sv.artifactNames()
-		writeJSON(w, http.StatusOK, reg)
-	})
-	sv.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	if sv.session == nil {
+		sv.session = ehinfer.NewSession()
+	}
+	if sv.rateRPS > 0 {
+		sv.limiter = newLimiter(sv.rateRPS, sv.rateBurst, sv.clock)
+	}
+	sv.ready.Store(true)
+	sv.initMetrics()
+
+	sv.mux = http.NewServeMux()
+	for _, rt := range sv.routes() {
+		sv.mux.Handle(rt.method+" "+rt.pattern, withRoute(rt.pattern, rt.handler))
+	}
+	sv.handler = Chain(sv.mux,
+		sv.recoverMW,   // outermost: panics below become logged 500s
+		sv.requestIDMW, // id before logging so the log line carries it
+		sv.loggingMW,
+		sv.metricsMW,   // counts everything below, rate-limit sheds included
+		sv.rateLimitMW, // admission control just above routing
+	)
 	return sv
 }
 
-// ServeHTTP implements http.Handler.
-func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { sv.mux.ServeHTTP(w, r) }
+// route is one row of the explicit route table.
+type route struct {
+	method  string
+	pattern string
+	handler http.HandlerFunc
+}
+
+// routes is the server's full route table — the single place paths map
+// to handlers, and the source of the per-route metric labels.
+func (sv *Server) routes() []route {
+	rts := []route{
+		{"POST", "/v1/grids", sv.handleSubmit},
+		{"GET", "/v1/grids", sv.handleList},
+		{"GET", "/v1/grids/{id}", sv.handleStatus},
+		{"GET", "/v1/grids/{id}/results", sv.handleResults},
+		{"DELETE", "/v1/grids/{id}", sv.handleCancel},
+		{"POST", "/v1/infer", sv.handleInfer},
+		{"GET", "/v1/stats", sv.handleStats},
+		{"POST", "/v1/artifacts", sv.handleArtifactUpload},
+		{"GET", "/v1/artifacts", sv.handleArtifactList},
+		{"GET", "/v1/artifacts/{id}", sv.handleArtifactDownload},
+		{"DELETE", "/v1/artifacts/{id}", sv.handleArtifactDelete},
+		{"GET", "/v1/registry", sv.handleRegistry},
+		{"GET", "/metrics", sv.handleMetrics},
+		{"GET", "/healthz", sv.handleHealthz},
+		{"GET", "/readyz", sv.handleReadyz},
+	}
+	if sv.pprofOn {
+		rts = append(rts,
+			route{"GET", "/debug/pprof/", pprof.Index},
+			route{"GET", "/debug/pprof/cmdline", pprof.Cmdline},
+			route{"GET", "/debug/pprof/profile", pprof.Profile},
+			route{"GET", "/debug/pprof/symbol", pprof.Symbol},
+			route{"GET", "/debug/pprof/trace", pprof.Trace},
+		)
+	}
+	return rts
+}
+
+// Routes lists the route table as "METHOD /pattern" strings — the
+// programmable surface a gateway enumerates.
+func (sv *Server) Routes() []string {
+	rts := sv.routes()
+	out := make([]string, len(rts))
+	for i, rt := range rts {
+		out[i] = rt.method + " " + rt.pattern
+	}
+	return out
+}
+
+// Metrics returns the server's obs registry — /metrics and /v1/stats
+// are views over it, and embedders may add their own instruments.
+func (sv *Server) Metrics() *obs.Registry { return sv.reg }
+
+func (sv *Server) handleRegistry(w http.ResponseWriter, _ *http.Request) {
+	reg := Registry()
+	reg["artifacts"] = sv.artifactNames()
+	writeJSON(w, http.StatusOK, reg)
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP.
+func (sv *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 200 while the server admits work, 503 the
+// moment draining starts — load balancers stop routing here while
+// in-flight requests finish.
+func (sv *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if sv.ready.Load() {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+}
+
+// StartDrain flips /readyz to 503 without refusing work — call it when
+// shutdown begins (before the listener closes) so load balancers drain
+// connections ahead of the hard stop. Idempotent.
+func (sv *Server) StartDrain() { sv.ready.Store(false) }
+
+// ServeHTTP implements http.Handler through the middleware chain.
+func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { sv.handler.ServeHTTP(w, r) }
 
 // Shutdown cancels every running job, rejects new submissions, drains
 // the inference queues (queued requests are still answered), and waits
 // for workers (or ctx to expire). Call it after the HTTP listener has
 // stopped accepting requests.
 func (sv *Server) Shutdown(ctx context.Context) error {
+	sv.StartDrain()
 	sv.mu.Lock()
 	sv.closed = true
 	for key := range sv.infers {

@@ -47,4 +47,35 @@ grep -q '"backend":"int8"' "$TMP/response.json" || { echo "infer-smoke: wrong ba
 curl -sf "$BASE/v1/stats" >"$TMP/stats.json"
 grep -q '"served":1' "$TMP/stats.json" || { echo "infer-smoke: stats did not count the request:"; cat "$TMP/stats.json"; exit 1; }
 
+# Liveness and readiness probes answer on the live daemon.
+curl -sf "$BASE/healthz" | grep -q '"status":"ok"' || { echo "infer-smoke: healthz not ok" >&2; exit 1; }
+curl -sf "$BASE/readyz" | grep -q '"status":"ready"' || { echo "infer-smoke: readyz not ready" >&2; exit 1; }
+
+# The Prometheus exposition carries every documented metric family, and
+# the infer counter reflects the request we just served.
+curl -sf "$BASE/metrics" >"$TMP/metrics.txt"
+for fam in \
+    ehserved_requests_total \
+    ehserved_request_duration_seconds \
+    ehserved_requests_in_flight \
+    ehserved_panics_recovered_total \
+    ehserved_infer_served_total \
+    ehserved_infer_rejected_total \
+    ehserved_infer_batches_total \
+    ehserved_infer_batch_size \
+    ehserved_infer_latency_seconds \
+    ehserved_infer_queue_depth \
+    ehserved_exit_taken_total \
+    ehserved_exit_latency_seconds \
+    ehserved_grid_jobs \
+    ehserved_artifacts \
+    ehserved_start_time_seconds \
+    ehserved_ready
+do
+    grep -q "# TYPE $fam " "$TMP/metrics.txt" || { echo "infer-smoke: /metrics missing family $fam" >&2; exit 1; }
+done
+grep -q 'ehserved_infer_served_total{model="artifact:a1"} 1' "$TMP/metrics.txt" \
+    || { echo "infer-smoke: /metrics did not count the inference:" >&2; grep ehserved_infer "$TMP/metrics.txt" >&2; exit 1; }
+grep -q 'ehserved_ready 1' "$TMP/metrics.txt" || { echo "infer-smoke: ready gauge not 1" >&2; exit 1; }
+
 echo "infer-smoke: OK ($(cat "$TMP/response.json"))"

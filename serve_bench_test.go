@@ -23,7 +23,7 @@ import (
 // server-side throughput number, not a kernel microbenchmark.
 func BenchmarkServerInferThroughput(b *testing.B) {
 	session := ehinfer.NewSession(ehinfer.WithWorkers(1))
-	sv := serve.New(session, serve.WithBatchConfig(batch.Config{
+	sv := serve.New(serve.WithSession(session), serve.WithBatchConfig(batch.Config{
 		MaxBatch: 8,
 		Window:   2 * time.Millisecond,
 		QueueCap: 256,
