@@ -7,13 +7,13 @@ GO ?= go
 # serve_bench_test.go); bench-json archives exactly these so the perf
 # trajectory is comparable PR to PR.
 MICROBENCH = ^Benchmark(InferToExit1|InferToExit3|InferToExit3Int8|InferBatched1|InferBatched4|InferBatched16|ServerInferThroughput|LegacyInferToExit3|IncrementalResume|LegacyIncrementalResume|PlanCompile|TrainStep|ApplyCompressionPolicy|QuantizeWeights8bit|QTableUpdate|SolarTraceGeneration|SynthCIFARSample|EngineRunToCompletion|FullSimulationEpisode)$$
-BENCH_JSON ?= BENCH_pr5.json
+BENCH_JSON ?= BENCH_pr7.json
 
 # The hot-path subset bench-smoke gates in CI: a kernel regression that
 # breaks inference or the episode loop fails the build.
 SMOKEBENCH = ^Benchmark(InferToExit1|InferToExit3|InferToExit3Int8|IncrementalResume|FullSimulationEpisode)$$
 
-.PHONY: all build test race bench bench-smoke bench-json artifact-check infer-smoke fmt fmt-check lint staticcheck clean
+.PHONY: all build test race bench bench-smoke bench-json artifact-check infer-smoke fmt fmt-check lint ehlint shellcheck staticcheck clean
 
 all: build
 
@@ -69,9 +69,26 @@ fmt:
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-## lint: static analysis (go vet)
-lint:
+## lint: static analysis — stock go vet, the repo's own ehlint analyzer
+## suite (run through go vet's -vettool protocol so cmd/go caches
+## results per package), and shellcheck over scripts/ when installed
+lint: ehlint shellcheck
 	$(GO) vet ./...
+
+## ehlint: the five repo-invariant analyzers (internal/lint) over the
+## whole tree, driven by go vet so analysis is unit-at-a-time and cached
+ehlint:
+	$(GO) build -o bin/ehlint ./cmd/ehlint
+	$(GO) vet -vettool=$(abspath bin/ehlint) ./...
+
+## shellcheck: lint shell scripts; skipped with a notice when the tool
+## is not installed (CI has it, minimal dev containers may not)
+shellcheck:
+	@if command -v shellcheck >/dev/null 2>&1; then \
+		shellcheck scripts/*.sh; \
+	else \
+		echo "shellcheck not installed; skipping script lint"; \
+	fi
 
 ## staticcheck: deeper static analysis (CI installs honnef.co staticcheck;
 ## locally: go install honnef.co/go/tools/cmd/staticcheck@latest)

@@ -1,0 +1,22 @@
+// Command ehlint is the repo's custom static-analysis suite: five
+// analyzers enforcing the hand-maintained invariants (bit-identical
+// kernel accumulation, zero-allocation hot paths, context threading,
+// the serve error taxonomy, and obs metric naming).
+//
+// Two modes:
+//
+//	go vet -vettool=$(pwd)/bin/ehlint ./...   # the make lint / CI path
+//	go run ./cmd/ehlint ./...                 # standalone, for iterating
+//
+// See internal/lint for the analyzers and README.md "Static analysis"
+// for the rules each one enforces.
+package main
+
+import (
+	"repro/internal/lint"
+	"repro/internal/lint/driver"
+)
+
+func main() {
+	driver.Main(lint.All()...)
+}

@@ -7,20 +7,25 @@
 //   - a multi-exit CNN (LeNet-EE: 4 conv layers, 2 early exits) with
 //     training, per-exit inference, and suspend/resume incremental
 //     inference (internal/multiexit, internal/nn, internal/tensor);
+//
 //   - power-trace-aware, exit-guided nonuniform compression — channel
 //     pruning + mixed-precision linear quantization searched by dual
 //     DDPG agents under FLOPs/size constraints (internal/compress,
 //     internal/search, internal/ddpg, internal/accmodel);
+//
 //   - an energy-harvesting intermittent-execution simulator — solar and
 //     kinetic traces, capacitor storage with turn-on/brown-out
 //     hysteresis, an MSP432 cost model, checkpointed run-to-completion
 //     execution for baselines (internal/energy, internal/mcu,
 //     internal/intermittent);
+//
 //   - the runtime layer — tabular Q-learning exit selection plus the
 //     incremental-inference decision (internal/qlearn, internal/core);
+//
 //   - the paper's baselines (SonicNet, SpArSeNet, LeNet-Cifar) and the
 //     IEpmJ/accuracy/latency metrics (internal/baselines,
 //     internal/metrics);
+//
 //   - the parallel experiment engine (internal/exper): declarative
 //     scenario grids — energy trace × MCU device × compression policy ×
 //     exit policy × seed — sharded across a goroutine worker pool with
@@ -28,6 +33,7 @@
 //     any worker count; the tensor kernels underneath (row-band parallel
 //     MatMul, pooled im2col-GEMM conv) spread single inferences across
 //     cores as well;
+//
 //   - compiled inference plans (internal/plan): a deployment-time
 //     compiler that turns the multi-exit network into a zero-allocation
 //     program — precomputed shapes and conv geometry, a reusable
@@ -38,6 +44,7 @@
 //     Session.WithBackend, RuntimeConfig.Backend, or a GridSpec's
 //     "backend" field; float plans are cached per deployment alongside
 //     the experiment engine's deployment cache;
+//
 //   - the HTTP serving layer (internal/serve, cmd/ehserved): submit
 //     declarative GridSpecs, poll progress, stream per-point results as
 //     NDJSON, fetch deterministic final reports, upload/download
@@ -48,6 +55,7 @@
 //     above the queue-cap backpressure) — built with functional options
 //     (serve.New + WithSession/WithBatchConfig/WithRateLimit/
 //     WithLogger/WithClock/WithPprof);
+//
 //   - operational observability (internal/obs): a zero-dependency
 //     metrics registry (counters, gauges, histograms) served as
 //     Prometheus text exposition on GET /metrics — per-route request
@@ -57,11 +65,13 @@
 //     across artifact deletes), /healthz and /readyz health probes
 //     (readiness flips during graceful drain), and net/http/pprof
 //     behind the -pprof flag;
+//
 //   - an exported error taxonomy (ErrBadInput, ErrModelNotFound,
 //     ErrQueueFull, ErrInferenceFailed): Session.Infer/InferBatch and
 //     the HTTP layer wrap these sentinels so errors.Is works end to
 //     end, and internal/serve maps them to HTTP status codes in one
 //     table;
+//
 //   - online inference serving (internal/batch, POST /v1/infer):
 //     requests against an uploaded artifact or registered deployment
 //     are micro-batched per model — a bounded queue accumulates them up
@@ -73,6 +83,7 @@
 //     predicted class, exit taken, and per-exit confidence profile, and
 //     GET /v1/stats reports queue depth, the batch-size histogram,
 //     latency percentiles, and throughput;
+//
 //   - versioned deployment artifacts (internal/artifact): a
 //     self-describing bundle — magic, format version, JSON manifest,
 //     binary tensor sections — that round-trips a Deployed end to end
@@ -83,6 +94,7 @@
 //     in-process deployment it was saved from, on every backend, and
 //     decoding is strict (unknown versions, truncated sections, shape
 //     mismatches, and trailing bytes are errors);
+//
 //   - open axis registries: RegisterDevice / RegisterPolicy /
 //     RegisterTrace / RegisterSchedule / RegisterDeployment publish
 //     user components under names any GridSpec — including one POSTed
@@ -90,6 +102,15 @@
 //     duplicate-rejecting, and /v1/registry reflects them live. The
 //     fluent ScenarioBuilder (NewScenario) assembles custom scenarios
 //     over the same named components.
+//
+//   - mechanical invariant enforcement (internal/lint, cmd/ehlint):
+//     five go/analysis-style analyzers — bitident (deterministic float
+//     accumulation in the kernels), hotpathalloc (allocation-free
+//     //ehlint:hotpath functions), ctxthread (context threading in the
+//     blocking engines), errtaxonomy (serve's error-code table and %w
+//     wrapping), obsmetric (Prometheus naming and label arity) — run by
+//     make lint and CI through go vet -vettool; see README "Static
+//     analysis".
 //
 // This package is the public façade, organized around the Session type:
 // a Session owns the worker pool cap, the base seed RNG streams derive

@@ -134,6 +134,13 @@ type Queue struct {
 	latNext  int
 	depth    int64 // requests accepted but not yet answered
 	maxDepth int64
+
+	// Dispatch scratch, sized to MaxBatch once at construction. Only
+	// the worker goroutine touches these, and noteBatch copies latsBuf
+	// into the ring before the next dispatch reuses it, so per-batch
+	// reslicing is safe and the dispatch path stays allocation-free.
+	reqsBuf []Req
+	latsBuf []time.Duration
 }
 
 // outcome travels back to the submitter.
@@ -166,6 +173,8 @@ func NewQueue(inf Inferer, cfg Config) *Queue {
 		done:    make(chan struct{}),
 		started: time.Now(),
 		lats:    make([]time.Duration, 0, latencyRing),
+		reqsBuf: make([]Req, 0, cfg.MaxBatch),
+		latsBuf: make([]time.Duration, 0, cfg.MaxBatch),
 	}
 	go q.worker()
 	return q
@@ -306,6 +315,8 @@ func (q *Queue) worker() {
 
 // drain answers every request still queued at shutdown, in arrival
 // order, in micro-batches.
+//
+//ehlint:hotpath
 func (q *Queue) drain(batch []*pending) {
 	for {
 		select {
@@ -327,6 +338,8 @@ func (q *Queue) drain(batch []*pending) {
 // dispatch executes one gathered batch: canceled requests are skipped
 // (their submitters already returned), live ones run through the
 // Inferer and receive their prediction.
+//
+//ehlint:hotpath
 func (q *Queue) dispatch(batch []*pending) {
 	live := batch[:0]
 	var ncanceled int64
@@ -342,9 +355,9 @@ func (q *Queue) dispatch(batch []*pending) {
 		q.noteBatch(0, ncanceled, nil)
 		return
 	}
-	reqs := make([]Req, len(live))
-	for i, p := range live {
-		reqs[i] = p.req
+	reqs := q.reqsBuf[:0]
+	for _, p := range live {
+		reqs = append(reqs, p.req)
 	}
 	preds, err := q.runBatch(reqs)
 	if err != nil {
@@ -357,10 +370,10 @@ func (q *Queue) dispatch(batch []*pending) {
 		return
 	}
 	now := time.Now()
-	lats := make([]time.Duration, len(live))
+	lats := q.latsBuf[:0]
 	for i, p := range live {
 		p.done <- outcome{pred: preds[i]}
-		lats[i] = now.Sub(p.enqueued)
+		lats = append(lats, now.Sub(p.enqueued))
 	}
 	q.noteBatch(len(live), ncanceled, lats)
 }

@@ -366,6 +366,8 @@ type eventCtx struct {
 
 // correctAt reports whether the event's result at the given exit is
 // correct, and the confidence of that result.
+//
+//ehlint:hotpath
 func (r *Runtime) correctAt(ctx *eventCtx, exit int) (bool, float64) {
 	if r.cfg.TestSet != nil && ctx.sample != nil {
 		if r.exec != nil {
@@ -478,7 +480,17 @@ func (r *Runtime) Run(trace *energy.Trace, schedule *energy.Schedule) (*metrics.
 	return report, nil
 }
 
+// boolReward maps a correctness bit to the paper's 0/1 reward signal.
+func boolReward(c bool) float64 {
+	if c {
+		return 1
+	}
+	return 0
+}
+
 // handleEvent implements the two sequential decisions of §IV.
+//
+//ehlint:hotpath
 func (r *Runtime) handleEvent(engine *intermittent.Engine, ctx *eventCtx, costs []float64, deadline float64, outcome *metrics.EventOutcome) {
 	store := engine.Store
 	m := len(costs)
@@ -550,12 +562,6 @@ func (r *Runtime) handleEvent(engine *intermittent.Engine, ctx *eventCtx, costs 
 			goOn = r.incrAgent.Table.Select(incrState, r.rng) == qlearn.ActionContinue
 		} else {
 			goOn = r.static.Continue(conf, margCost, store.Available())
-		}
-		boolReward := func(c bool) float64 {
-			if c {
-				return 1
-			}
-			return 0
 		}
 		// Continuing pays an energy opportunity cost (see
 		// IncrementalEnergyPenalty): refining this result spends budget

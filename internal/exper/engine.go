@@ -70,6 +70,9 @@ func (e *Engine) WorkerCount() int {
 
 // Run executes every point of the grid with no cancellation deadline; it
 // is RunContext with a background context.
+//
+// Deprecated: use RunContext so callers can cancel long sweeps; Run
+// exists for pre-context call sites and mints an uncancellable root.
 func (e *Engine) Run(g *Grid) (*GridResult, error) {
 	return e.RunContext(context.Background(), g)
 }

@@ -91,6 +91,8 @@ func (e *Engine) Ended() bool { return e.now >= float64(e.Trace.Duration()) }
 // Every float operation happens in the same order as the original
 // boundary-by-boundary loop, so results are bit-identical; only the loop
 // overhead (index conversions, bounds checks, field loads) is gone.
+//
+//ehlint:hotpath
 func (e *Engine) harvestStep(dt float64) {
 	if dt <= 0 {
 		return
@@ -197,6 +199,8 @@ func (e *Engine) RecentPower(window int) float64 {
 // WaitForEnergy advances time until the buffer has at least mj available
 // (and the device is on), or deadline (seconds) is reached, or the trace
 // ends. It reports whether the energy target was met.
+//
+//ehlint:hotpath
 func (e *Engine) WaitForEnergy(mj float64, deadline float64) bool {
 	limit := float64(e.Trace.Duration())
 	if deadline > 0 && deadline < limit {
@@ -265,6 +269,8 @@ func (e *Engine) WaitForEnergy(mj float64, deadline float64) bool {
 
 // zeroWaitSteps returns how many full 1-second wait steps from e.now
 // touch only zero-power trace seconds and fit entirely before limit.
+//
+//ehlint:hotpath
 func (e *Engine) zeroWaitSteps(limit float64) int {
 	t := e.now
 	max := int(limit - t) // full 1.0 steps that fit before limit
@@ -322,6 +328,8 @@ type TaskResult struct {
 // task the engine aborts it, reports ok=false, and the partially spent
 // energy is lost — mirroring a mid-inference power failure without a
 // checkpoint.
+//
+//ehlint:hotpath
 func (e *Engine) RunAtomic(flops int64) (TaskResult, bool) {
 	res := TaskResult{StartedAt: e.now}
 	cost := e.Device.ComputeEnergyMJ(flops)

@@ -1,0 +1,60 @@
+// Package analysis is a minimal, dependency-free analogue of
+// golang.org/x/tools/go/analysis: just enough surface (Analyzer, Pass,
+// Diagnostic) for the repo's custom vet checks. The module is
+// deliberately zero-dependency, so instead of importing x/tools the
+// lint suite reimplements the thin slice it needs against the standard
+// library's go/ast and go/types. Analyzers written against this package
+// keep the upstream shape — a later migration to the real
+// golang.org/x/tools/go/analysis is a mechanical import swap.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one analysis: a name, a doc string (first line is
+// the summary), and the Run function applied once per package.
+type Analyzer struct {
+	// Name is the analyzer's command-line and diagnostic tag. It must be
+	// a valid Go identifier.
+	Name string
+	// Doc documents what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one type-checked package, reporting
+	// findings through pass.Report.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass is one application of an Analyzer to one package: the syntax,
+// the type information, and the reporting sink.
+type Pass struct {
+	// Analyzer is the analysis being applied.
+	Analyzer *Analyzer
+	// Fset maps token positions to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed syntax trees (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's expression/object maps.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a message. The driver
+// renders it as file:line:col: message, the format go vet relays.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,263 @@
+// Package driver runs a set of analyzers either as a `go vet -vettool`
+// unit checker or as a standalone checker over package patterns.
+//
+// The vettool protocol (mirroring x/tools' unitchecker against cmd/go's
+// internal/work/exec.go): go vet first interrogates the tool with
+// `-flags` (expecting a JSON flag inventory on stdout), then invokes it
+// once per package as `tool <vetflags> <objdir>/vet.cfg`, where vet.cfg
+// is a JSON Config naming the unit's sources and the export-data files
+// of its dependencies. Diagnostics go to stderr as file:line:col:
+// message and a non-zero exit marks findings; an empty facts file is
+// written to Config.VetxOutput so cmd/go's result caching works.
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// vetConfig is the JSON shape cmd/go writes to <objdir>/vet.cfg. Field
+// names follow x/tools' unitchecker.Config — the wire contract.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the checker entry point: it dispatches on the protocol
+// arguments (-flags, -V=full, a *.cfg unit file) and otherwise treats
+// the arguments as package patterns for a standalone run. It does not
+// return.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+
+	// Protocol singletons first: cmd/go probes these before any unit.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-flags":
+			// We accept no analyzer flags; an empty inventory tells
+			// go vet not to forward any.
+			fmt.Println("[]")
+			os.Exit(0)
+		case strings.HasPrefix(args[0], "-V"):
+			printVersion(progname)
+			os.Exit(0)
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(unitRun(args[0], analyzers))
+		}
+	}
+
+	if len(args) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: %s [packages] | go vet -vettool=%s [packages]\n", progname, progname)
+		os.Exit(2)
+	}
+	os.Exit(standaloneRun(args, analyzers))
+}
+
+// printVersion answers `-V=full` in the exact shape cmd/go's tool-ID
+// computation expects: name, "version", and a content hash.
+func printVersion(progname string) {
+	hash := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			hash = fmt.Sprintf("%02x", sha256.Sum256(data))
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%s\n", progname, hash)
+}
+
+// unitRun analyzes one vet.cfg unit. Returns the process exit code.
+func unitRun(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: parsing vet config: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Facts-only runs over dependencies: we compute no facts, so just
+	// satisfy the caching contract and leave.
+	if cfg.VetxOnly {
+		writeVetx(cfg.VetxOutput)
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, err := parseUnit(fset, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	imp := unitImporter(fset, &cfg)
+	info := load.NewInfo()
+	conf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, buildArch()),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%s: type checking failed: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags := runAnalyzers(analyzers, &load.Package{
+		Path: cfg.ImportPath, Fset: fset, Files: files, Types: pkg, Info: info,
+	})
+	writeVetx(cfg.VetxOutput)
+	if len(diags) == 0 {
+		return 0
+	}
+	printDiags(fset, diags)
+	return 2
+}
+
+// standaloneRun loads patterns via the go list pipeline and analyzes
+// every matched package.
+func standaloneRun(patterns []string, analyzers []*analysis.Analyzer) int {
+	pkgs, err := load.Packages(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		if diags := runAnalyzers(analyzers, pkg); len(diags) > 0 {
+			printDiags(pkg.Fset, diags)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+// tagged pairs a diagnostic with the analyzer that produced it.
+type tagged struct {
+	analysis.Diagnostic
+	analyzer string
+}
+
+// runAnalyzers applies every analyzer to one package and returns the
+// position-sorted findings.
+func runAnalyzers(analyzers []*analysis.Analyzer, pkg *load.Package) []tagged {
+	var diags []tagged
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			diags = append(diags, tagged{Diagnostic: d, analyzer: name})
+		}
+		if err := a.Run(pass); err != nil {
+			diags = append(diags, tagged{
+				Diagnostic: analysis.Diagnostic{Message: fmt.Sprintf("analyzer failed: %v", err)},
+				analyzer:   name,
+			})
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}
+
+func printDiags(fset *token.FileSet, diags []tagged) {
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.analyzer)
+	}
+}
+
+// parseUnit parses the unit's Go sources (cmd/go invokes the tool with
+// the package directory as cwd, so relative names resolve as-is).
+func parseUnit(fset *token.FileSet, cfg *vetConfig) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// unitImporter resolves the unit's imports from the export-data files
+// cmd/go listed in PackageFile, routing through ImportMap for vendored
+// or otherwise renamed paths.
+func unitImporter(fset *token.FileSet, cfg *vetConfig) types.Importer {
+	base := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerClosure(func(path string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return base.Import(path)
+	})
+}
+
+type importerClosure func(string) (*types.Package, error)
+
+func (f importerClosure) Import(path string) (*types.Package, error) { return f(path) }
+
+func writeVetx(path string) {
+	if path == "" {
+		return
+	}
+	_ = os.WriteFile(path, nil, 0o666)
+}
+
+func buildArch() string {
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return runtime.GOARCH
+}

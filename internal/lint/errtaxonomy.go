@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// ErrTaxonomy keeps the serving layer's error contract single-sourced:
+// handlers wrap a taxonomy sentinel with %w and let the errorCodes
+// table choose the wire status. Hand-written error statuses drift from
+// the table; %v-wrapped sentinels break errors.Is and therefore the
+// table lookup itself.
+var ErrTaxonomy = &analysis.Analyzer{
+	Name: "errtaxonomy",
+	Doc: "in internal/serve, error statuses route through the errorCodes " +
+		"table: http.Error is forbidden, WriteHeader with a constant 4xx/5xx " +
+		"status is flagged (success statuses and forwarded variables are " +
+		"fine), and fmt.Errorf calls carrying an Err* sentinel must wrap it " +
+		"with %w",
+	Run: runErrTaxonomy,
+}
+
+func runErrTaxonomy(pass *analysis.Pass) error {
+	if pkgBase(pass.Pkg.Path()) != "serve" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case calleeIn(pass.TypesInfo, call, "net/http", "Error"):
+				pass.Reportf(call.Pos(), "http.Error bypasses the errorCodes table; wrap a taxonomy sentinel and use writeError (or writeErr for non-taxonomy statuses)")
+			case isWriteHeaderCall(call):
+				if code, ok := constInt(pass.TypesInfo, call.Args[0]); ok && code >= 400 {
+					pass.Reportf(call.Pos(), "WriteHeader(%d) hard-codes an error status; route it through the errorCodes table (writeError)", code)
+				}
+			case calleeIn(pass.TypesInfo, call, "fmt", "Errorf"):
+				checkSentinelWrap(pass, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isWriteHeaderCall matches w.WriteHeader(status) shapes.
+func isWriteHeaderCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "WriteHeader" && len(call.Args) == 1
+}
+
+// checkSentinelWrap flags fmt.Errorf calls that carry a sentinel error
+// (an Err*-named error value) without a %w verb: the result no longer
+// matches errors.Is, so the errorCodes table cannot map it.
+func checkSentinelWrap(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := constString(pass.TypesInfo, call.Args[0])
+	if !ok || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		name := errValueName(arg)
+		if name == "" || !strings.HasPrefix(name, "Err") {
+			continue
+		}
+		t := pass.TypesInfo.TypeOf(arg)
+		if t == nil || t.String() != "error" {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "sentinel %s formatted without %%w: errors.Is (and the errorCodes table) will not match the result", name)
+	}
+}
+
+// errValueName returns the terminal identifier name of x or pkg.x.
+func errValueName(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return v.Sel.Name
+	}
+	return ""
+}

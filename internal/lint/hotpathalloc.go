@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// HotPathAlloc enforces the zero-allocation contract on functions
+// annotated //ehlint:hotpath: the compiled-plan inference path, the
+// episode loop, and the batch dispatcher hold "0 allocs/op" benchmarks,
+// and this analyzer turns that property into a compile-time check
+// instead of a benchmark regression.
+var HotPathAlloc = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc: "functions marked //ehlint:hotpath must not contain allocating " +
+		"constructs: make/new, slice/map/chan composite literals, &composite " +
+		"literals, growing append (self-append x = append(x, ...) and " +
+		"append(buf[:0], ...) reuse are allowed), fmt calls (except feeding " +
+		"panic), capturing closures, and interface boxing at call sites",
+	Run: runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if docHasDirective(fn.Doc, "ehlint:hotpath") {
+				checkHotFunc(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+// checkHotFunc walks one annotated function body.
+func checkHotFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Calls feeding panic directly are failure-path formatting
+	// (panic(fmt.Sprintf(...))) — dead on the hot path by definition.
+	blessed := map[*ast.CallExpr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBuiltin(info, call.Fun, "panic") {
+			return true
+		}
+		blessed[call] = true
+		for _, arg := range call.Args {
+			if c, ok := arg.(*ast.CallExpr); ok {
+				blessed[c] = true
+			}
+		}
+		return true
+	})
+
+	inspectStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if blessed[v] {
+				return true
+			}
+			checkHotCall(pass, info, v, stack)
+		case *ast.CompositeLit:
+			switch typeOf(info, v).Underlying().(type) {
+			case *types.Slice, *types.Map, *types.Chan:
+				pass.Reportf(v.Pos(), "%s composite literal allocates in a //ehlint:hotpath function", underlyingKind(typeOf(info, v)))
+			}
+		case *ast.UnaryExpr:
+			if v.Op.String() == "&" {
+				if _, ok := v.X.(*ast.CompositeLit); ok {
+					pass.Reportf(v.Pos(), "&composite literal escapes to the heap in a //ehlint:hotpath function")
+				}
+			}
+		case *ast.FuncLit:
+			if capturesOuter(info, v, fn) {
+				pass.Reportf(v.Pos(), "capturing closure allocates in a //ehlint:hotpath function; hoist it to a named function")
+			}
+			return false // nested literal bodies are not part of the hot path contract
+		}
+		return true
+	})
+}
+
+// checkHotCall flags one call expression: allocating builtins, fmt,
+// and interface boxing at the call boundary.
+func checkHotCall(pass *analysis.Pass, info *types.Info, call *ast.CallExpr, stack []ast.Node) {
+	switch {
+	case isBuiltin(info, call.Fun, "make"):
+		pass.Reportf(call.Pos(), "make allocates in a //ehlint:hotpath function; preallocate the buffer on the owner")
+		return
+	case isBuiltin(info, call.Fun, "new"):
+		pass.Reportf(call.Pos(), "new allocates in a //ehlint:hotpath function; preallocate on the owner")
+		return
+	case isBuiltin(info, call.Fun, "append"):
+		if !isReuseAppend(call, stack) {
+			pass.Reportf(call.Pos(), "append may grow and allocate in a //ehlint:hotpath function; use x = append(x, ...) over a preallocated buffer")
+		}
+		return
+	}
+
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj := info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s allocates in a //ehlint:hotpath function", sel.Sel.Name)
+			return
+		}
+	}
+
+	// Interface boxing: a concrete argument passed as an interface
+	// parameter forces a heap conversion.
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Conversion: T(x) with T an interface boxes x.
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && !isInterfaceOrNil(info, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion to interface boxes its operand in a //ehlint:hotpath function")
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice: no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) && !isInterfaceOrNil(info, arg) {
+			pass.Reportf(arg.Pos(), "argument boxes into interface parameter in a //ehlint:hotpath function")
+		}
+	}
+}
+
+// isReuseAppend reports whether an append call is one of the blessed
+// no-growth shapes: x = append(x, ...) (self-append over a buffer that
+// amortizes) or append(buf[:0], ...) / append(buf[:n], ...) (explicit
+// reslice reuse).
+func isReuseAppend(call *ast.CallExpr, stack []ast.Node) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	if _, ok := call.Args[0].(*ast.SliceExpr); ok {
+		return true
+	}
+	if len(stack) == 0 {
+		return false
+	}
+	as, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || as.Rhs[0] != ast.Expr(call) {
+		return false
+	}
+	return types.ExprString(as.Lhs[0]) == types.ExprString(call.Args[0])
+}
+
+// capturesOuter reports whether a function literal references any
+// variable declared in the enclosing function but outside the literal.
+func capturesOuter(info *types.Info, lit *ast.FuncLit, fn *ast.FuncDecl) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captures {
+			return !captures
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if obj.Pos() >= fn.Pos() && obj.Pos() < lit.Pos() {
+			captures = true
+		}
+		return true
+	})
+	return captures
+}
+
+// isBuiltin reports whether e names the given predeclared function.
+func isBuiltin(info *types.Info, e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isInterfaceOrNil reports whether the argument already has interface
+// type (no boxing) or is the untyped nil.
+func isInterfaceOrNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return true // be lenient on anything the checker could not type
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return true
+	}
+	return types.IsInterface(tv.Type)
+}
+
+// underlyingKind names the allocating underlying type for a message.
+func underlyingKind(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	case *types.Chan:
+		return "chan"
+	}
+	return "composite"
+}

@@ -1,0 +1,52 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestBitIdent(t *testing.T) {
+	linttest.Run(t, lint.BitIdent, "testdata/src/tensor")
+}
+
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, lint.HotPathAlloc, "testdata/src/hot")
+}
+
+func TestCtxThread(t *testing.T) {
+	linttest.Run(t, lint.CtxThread, "testdata/src/exper")
+}
+
+func TestErrTaxonomy(t *testing.T) {
+	linttest.Run(t, lint.ErrTaxonomy, "testdata/src/serve")
+}
+
+func TestObsMetric(t *testing.T) {
+	linttest.Run(t, lint.ObsMetric, "testdata/src/metricsfix")
+}
+
+// TestAll ensures the suite registry stays wired: five analyzers with
+// distinct, stable names (the names appear in diagnostics and docs).
+func TestAll(t *testing.T) {
+	all := lint.All()
+	if len(all) != 5 {
+		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, name := range []string{"bitident", "hotpathalloc", "ctxthread", "errtaxonomy", "obsmetric"} {
+		if !seen[name] {
+			t.Errorf("All() missing analyzer %q", name)
+		}
+	}
+}

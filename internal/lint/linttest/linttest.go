@@ -1,0 +1,187 @@
+// Package linttest is a minimal analogue of x/tools'
+// go/analysis/analysistest: it type-checks a fixture package under
+// testdata/src/<name>, runs one analyzer over it, and compares the
+// reported diagnostics against `// want "regexp"` comments placed on
+// the offending lines. A line with no want comment must produce no
+// diagnostic; every want comment must be matched by exactly one
+// diagnostic on its line.
+//
+// Fixtures may import the standard library and real module packages
+// (e.g. repro/internal/obs): dependencies are resolved through
+// `go list -export` from the module root, the same pipeline the
+// standalone checker uses.
+package linttest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// wantRe matches a `// want "..." "..."` comment; quotedRe then pulls
+// out the individual patterns (several expectations may share a line).
+var (
+	wantRe   = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+	quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+// expectation is one `// want` comment: a line and a message pattern.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run type-checks the fixture directory as one package and checks the
+// analyzer's diagnostics against the fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixtureDir string) {
+	t.Helper()
+
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(fixtureDir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", fixtureDir)
+	}
+
+	moduleRoot, err := findModuleRoot(fixtureDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var importList []string
+	for imp := range imports {
+		importList = append(importList, imp)
+	}
+	sort.Strings(importList)
+	imp, _, err := load.Deps(moduleRoot, importList)
+	if err != nil {
+		t.Fatalf("loading fixture dependencies: %v", err)
+	}
+	// The fixture's package path is its directory name, so analyzers
+	// that scope by package-path base treat it like the real package.
+	pkg, info, err := load.Check(filepath.Base(fixtureDir), fset, files, imp)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	wants := collectWants(t, fset, files)
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !consumeWant(wants, filepath.Base(pos.Filename), pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// collectWants scans the fixture comments for want expectations.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				for _, q := range quotedRe.FindAllString(m[1], -1) {
+					// want patterns are Go string literals, same as
+					// analysistest: `\\(` in source means regexp `\(`.
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("bad want literal %s: %v", q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", pat, err)
+					}
+					pos := fset.Position(c.Pos())
+					wants = append(wants, &expectation{
+						file:    filepath.Base(pos.Filename),
+						line:    pos.Line,
+						pattern: re,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// consumeWant marks the first unmatched expectation on (file, line)
+// whose pattern matches msg.
+func consumeWant(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.pattern.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// findModuleRoot walks up from dir to the enclosing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", os.ErrNotExist
+		}
+		abs = parent
+	}
+}

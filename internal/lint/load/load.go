@@ -1,0 +1,204 @@
+// Package load type-checks packages for the lint suite outside go
+// vet's unit-at-a-time protocol: the standalone `ehlint ./...` mode and
+// the linttest fixture harness both come through here. It shells out to
+// `go list -export -json -deps`, which compiles (or fetches from the
+// build cache) export data for every dependency, then type-checks the
+// target packages from source against that export data — the same
+// importer pipeline the vet driver uses, minus the vet.cfg file.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	Dir             string
+	ImportPath      string
+	Name            string
+	Export          string
+	GoFiles         []string
+	CompiledGoFiles []string
+	DepOnly         bool
+	Incomplete      bool
+}
+
+// sources returns the unit's Go files: CompiledGoFiles when go list was
+// asked for them, otherwise GoFiles (go list only fills the former
+// under -compiled, which this loader does not need for pure Go).
+func (p *listPackage) sources() []string {
+	if len(p.CompiledGoFiles) > 0 {
+		return p.CompiledGoFiles
+	}
+	return p.GoFiles
+}
+
+// goList runs `go list -export -json -deps` over the patterns in dir
+// and decodes the package stream.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPackage
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding package stream: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter builds a types.Importer that resolves every import
+// from gc export data files, keyed by canonical import path.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	base := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return base.Import(path)
+	})
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// NewInfo allocates a types.Info with every map the analyzers may read.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:        map[ast.Expr]types.TypeAndValue{},
+		Instances:    map[*ast.Ident]types.Instance{},
+		Defs:         map[*ast.Ident]types.Object{},
+		Uses:         map[*ast.Ident]types.Object{},
+		Implicits:    map[ast.Node]types.Object{},
+		Selections:   map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:       map[ast.Node]*types.Scope{},
+		FileVersions: map[*ast.File]string{},
+	}
+}
+
+// Packages loads and type-checks the packages matching patterns,
+// resolving relative to dir (a directory inside the module).
+func Packages(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Name == "" || len(p.sources()) == 0 {
+			continue
+		}
+		files, err := parseFiles(fset, p.Dir, p.sources())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		pkg, info, err := Check(p.ImportPath, fset, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		out = append(out, &Package{Path: p.ImportPath, Fset: fset, Files: files, Types: pkg, Info: info})
+	}
+	return out, nil
+}
+
+// Deps type-checks nothing itself: it loads export data for the given
+// import paths (and their dependencies) so a caller can type-check
+// source files of its own — the linttest fixture path.
+func Deps(dir string, imports []string) (types.Importer, *token.FileSet, error) {
+	fset := token.NewFileSet()
+	if len(imports) == 0 {
+		return exportImporter(fset, nil), fset, nil
+	}
+	listed, err := goList(dir, imports)
+	if err != nil {
+		return nil, nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exportImporter(fset, exports), fset, nil
+}
+
+// Check type-checks one package's parsed files with full info maps.
+func Check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := NewInfo()
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// parseFiles parses sources (relative paths resolve against dir) with
+// comments retained — the analyzers read directives out of them.
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}

@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// ObsMetric polices the Prometheus naming contract around internal/obs:
+// family names are part of the operational interface (the smoke script,
+// dashboards, and the README all key on them), so they must be
+// compile-time constants with conventional shapes, and a family must be
+// labeled consistently everywhere it is touched.
+var ObsMetric = &analysis.Analyzer{
+	Name: "obsmetric",
+	Doc: "obs metric family names must be literal/constant snake_case " +
+		"strings; counter families end in _total and histogram families in a " +
+		"unit suffix (_seconds, _bytes, _total, or a counted-noun unit like " +
+		"_requests); obs.Metric label lists are key/value-balanced with " +
+		"snake_case keys and consistent arity per family",
+	Run: runObsMetric,
+}
+
+// unitSuffixes are the histogram/counter unit suffixes the exposition
+// contract accepts. _requests covers count-unit histograms (promlint's
+// "use the counted noun" convention).
+var unitSuffixes = []string{"_total", "_seconds", "_bytes", "_requests"}
+
+func runObsMetric(pass *analysis.Pass) error {
+	if pkgBase(pass.Pkg.Path()) == "obs" {
+		return nil // the instrument package itself manipulates names generically
+	}
+	// arity tracks the first-seen label keys per family within the
+	// package; every later touch must agree.
+	arity := map[string]labelUse{}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if calleeIn(pass.TypesInfo, call, "internal/obs", "Metric") {
+				checkObsMetricCall(pass, call, arity)
+				return true
+			}
+			if kind, nameArg := registryCall(pass, call); kind != "" {
+				checkFamilyExpr(pass, kind, nameArg)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// labelUse remembers where a family was first labeled and how.
+type labelUse struct {
+	keys string
+	pos  ast.Node
+}
+
+// checkObsMetricCall validates one obs.Metric(family, k, v, ...) call:
+// constant family, balanced snake_case keys, stable arity.
+func checkObsMetricCall(pass *analysis.Pass, call *ast.CallExpr, arity map[string]labelUse) {
+	if len(call.Args) == 0 {
+		return
+	}
+	fam, ok := constString(pass.TypesInfo, call.Args[0])
+	if !ok {
+		pass.Reportf(call.Args[0].Pos(), "obs.Metric family must be a string literal or named constant, not a computed value")
+		return
+	}
+	checkFamilyName(pass, call.Args[0], fam)
+
+	kv := call.Args[1:]
+	if call.Ellipsis.IsValid() {
+		return // forwarded slice: arity is the forwarder's problem
+	}
+	if len(kv)%2 != 0 {
+		pass.Reportf(call.Pos(), "obs.Metric(%q, ...) has an odd label list: arguments after the family must be key/value pairs", fam)
+		return
+	}
+	var keys []string
+	for i := 0; i < len(kv); i += 2 {
+		k, ok := constString(pass.TypesInfo, kv[i])
+		if !ok {
+			return // dynamic key: cannot check shape or arity
+		}
+		if !isSnakeCase(k) {
+			pass.Reportf(kv[i].Pos(), "label key %q is not snake_case", k)
+		}
+		keys = append(keys, k)
+	}
+	sig := strings.Join(keys, ",")
+	if prev, seen := arity[fam]; seen {
+		if prev.keys != sig {
+			pass.Reportf(call.Pos(), "family %q labeled {%s} here but {%s} at %s: label sets must be consistent per family",
+				fam, sig, prev.keys, pass.Fset.Position(prev.pos.Pos()))
+		}
+	} else {
+		arity[fam] = labelUse{keys: sig, pos: call}
+	}
+}
+
+// registryCall recognizes obs.Registry instrument lookups and returns
+// the metric kind they imply plus the name argument.
+func registryCall(pass *analysis.Pass, call *ast.CallExpr) (kind string, nameArg ast.Expr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", nil
+	}
+	var name string
+	switch sel.Sel.Name {
+	case "Counter":
+		name = "counter"
+	case "Gauge", "GaugeFunc":
+		name = "gauge"
+	case "Histogram":
+		name = "histogram"
+	case "SetHelp":
+		// SetHelp(name, kind, help): the declared kind governs.
+		if len(call.Args) >= 2 {
+			if k, ok := constString(pass.TypesInfo, call.Args[1]); ok {
+				name = k
+			}
+		}
+	default:
+		return "", nil
+	}
+	recv := pass.TypesInfo.TypeOf(sel.X)
+	if recv == nil || !strings.HasSuffix(strings.TrimPrefix(recv.String(), "*"), "internal/obs.Registry") {
+		return "", nil
+	}
+	return name, call.Args[0]
+}
+
+// checkFamilyExpr validates the name argument of a registry lookup: it
+// must be constant (or an obs.Metric call, which checkObsMetricCall
+// already covers) and carry the kind's unit suffix.
+func checkFamilyExpr(pass *analysis.Pass, kind string, nameArg ast.Expr) {
+	if inner, ok := nameArg.(*ast.CallExpr); ok {
+		if calleeIn(pass.TypesInfo, inner, "internal/obs", "Metric") {
+			if fam, ok := constString(pass.TypesInfo, inner.Args[0]); ok {
+				checkFamilyKind(pass, inner.Args[0], kind, fam)
+			}
+			return // name shape/arity handled by checkObsMetricCall
+		}
+	}
+	full, ok := constString(pass.TypesInfo, nameArg)
+	if !ok {
+		pass.Reportf(nameArg.Pos(), "metric name must be a string literal, named constant, or inline obs.Metric(...) call, not a computed value")
+		return
+	}
+	fam := full
+	if i := strings.IndexByte(full, '{'); i >= 0 {
+		fam = full[:i] // pre-rendered label set: check the family part only
+	}
+	checkFamilyName(pass, nameArg, fam)
+	checkFamilyKind(pass, nameArg, kind, fam)
+}
+
+// checkFamilyName enforces the snake_case family shape.
+func checkFamilyName(pass *analysis.Pass, at ast.Expr, fam string) {
+	if !isSnakeCase(fam) {
+		pass.Reportf(at.Pos(), "metric family %q is not snake_case ([a-z][a-z0-9_]*)", fam)
+	}
+}
+
+// checkFamilyKind enforces per-kind unit suffixes: counters end _total;
+// histograms end in a unit suffix. Gauges are dimensionless levels and
+// carry no suffix requirement.
+func checkFamilyKind(pass *analysis.Pass, at ast.Expr, kind, fam string) {
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(fam, "_total") {
+			pass.Reportf(at.Pos(), "counter family %q must end in _total", fam)
+		}
+	case "histogram":
+		for _, s := range unitSuffixes {
+			if strings.HasSuffix(fam, s) {
+				return
+			}
+		}
+		pass.Reportf(at.Pos(), "histogram family %q must end in a unit suffix (%s)", fam, strings.Join(unitSuffixes, ", "))
+	}
+}
+
+// isSnakeCase matches ^[a-z][a-z0-9_]*$ without a regexp.
+func isSnakeCase(s string) bool {
+	if s == "" || s[0] < 'a' || s[0] > 'z' {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,103 @@
+// Package hot is a hotpathalloc fixture: only functions annotated
+// //ehlint:hotpath are checked.
+package hot
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Scratch owns the preallocated buffers a hot path reuses.
+type Scratch struct {
+	buf  []float64
+	outs []int
+}
+
+// Unannotated allocates freely: without the annotation nothing fires.
+func Unannotated(n int) []int {
+	out := make([]int, n)
+	fmt.Println(len(out))
+	return out
+}
+
+// BadMake allocates a fresh buffer per call.
+//
+//ehlint:hotpath
+func (s *Scratch) BadMake(n int) []float64 {
+	tmp := make([]float64, n) // want "make allocates in a //ehlint:hotpath function"
+	return tmp
+}
+
+// BadLiteral builds a slice literal per call.
+//
+//ehlint:hotpath
+func BadLiteral(a, b int) []int {
+	return []int{a, b} // want "slice composite literal allocates"
+}
+
+// BadEscape heap-allocates the struct it returns.
+//
+//ehlint:hotpath
+func BadEscape(n int) *Scratch {
+	return &Scratch{outs: nil} // want "&composite literal escapes"
+}
+
+// BadAppend grows a fresh slice.
+//
+//ehlint:hotpath
+func BadAppend(dst []int, xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(dst, x) // want "append may grow and allocate"
+	}
+	return out
+}
+
+// BadFmt formats on the hot path.
+//
+//ehlint:hotpath
+func BadFmt(n int) string {
+	return fmt.Sprintf("n=%d", n) // want "fmt.Sprintf allocates"
+}
+
+// BadClosure captures a local.
+//
+//ehlint:hotpath
+func BadClosure(xs []int) {
+	n := 0
+	sort.Slice(xs, func(i, j int) bool { // want "argument boxes into interface parameter" "capturing closure allocates"
+		n++
+		return xs[i] < xs[j]
+	})
+	_ = n
+}
+
+// BadBoxing passes a concrete value where an interface is expected.
+//
+//ehlint:hotpath
+func BadBoxing(s fmt.Stringer) {
+	consume(42) // want "argument boxes into interface parameter"
+	consume(s)  // already an interface: no boxing
+}
+
+func consume(v any) { _ = v }
+
+// GoodHot is the blessed shape: self-append over owner-preallocated
+// buffers, reslice reuse, struct values, and panic-path formatting.
+//
+//ehlint:hotpath
+func (s *Scratch) GoodHot(xs []float64) float64 {
+	if len(xs) > cap(s.buf) {
+		panic(fmt.Sprintf("hot: %d exceeds scratch capacity %d", len(xs), cap(s.buf)))
+	}
+	buf := s.buf[:0]
+	for _, x := range xs {
+		buf = append(buf, x*2)
+	}
+	buf = append(buf[:0], xs...)
+	var sum float64
+	for _, v := range buf {
+		sum += v
+	}
+	return sum
+}

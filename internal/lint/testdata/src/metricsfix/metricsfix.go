@@ -1,0 +1,53 @@
+// Package metricsfix is an obsmetric fixture: it exercises the naming,
+// unit-suffix, and label-arity rules against the real repro/internal/obs
+// API.
+package metricsfix
+
+import (
+	"repro/internal/obs"
+)
+
+// Named constants are as good as literals: constant folding sees both.
+const mGoodTotal = "fixture_events_total"
+
+// Good covers the blessed shapes.
+func Good(r *obs.Registry, model string) {
+	r.Counter(mGoodTotal).Inc()
+	r.Counter(obs.Metric("fixture_drops_total", "model", model)).Inc()
+	r.Gauge("fixture_queue_depth").Set(1) // gauges are unit-suffix exempt
+	r.Histogram("fixture_latency_seconds", obs.LinearBuckets(0, 0.1, 5)).Observe(0.2)
+	r.SetHelp(mGoodTotal, "counter", "Total fixture events.")
+}
+
+// BadNonLiteral computes the family name at run time.
+func BadNonLiteral(r *obs.Registry, name string) {
+	r.Counter(name).Inc() // want "metric name must be a string literal, named constant, or inline obs.Metric"
+}
+
+// BadCounterSuffix forgets the _total convention.
+func BadCounterSuffix(r *obs.Registry) {
+	r.Counter("fixture_events").Inc() // want "counter family \"fixture_events\" must end in _total"
+}
+
+// BadHistogramSuffix has no unit suffix at all.
+func BadHistogramSuffix(r *obs.Registry) {
+	r.Histogram("fixture_latency", nil).Observe(1) // want "histogram family \"fixture_latency\" must end in a unit suffix"
+}
+
+// BadSnake breaks snake_case in the family and a label key.
+func BadSnake(r *obs.Registry, model string) {
+	r.Counter("fixtureEvents_total").Inc()                                 // want "not snake_case"
+	r.Counter(obs.Metric("fixture_reads_total", "modelName", model)).Inc() // want "label key \"modelName\" is not snake_case"
+	_ = obs.Metric("fixture_writes_total", "model", model, "dangling")     // want "has an odd label list"
+}
+
+// BadArity registers the same family with two different label sets.
+func BadArity(r *obs.Registry, model, shard string) {
+	r.Counter(obs.Metric("fixture_hits_total", "model", model)).Inc()
+	r.Counter(obs.Metric("fixture_hits_total", "model", model, "shard", shard)).Inc() // want "family \"fixture_hits_total\" labeled \\{model,shard\\} here but \\{model\\}"
+}
+
+// Forwarding a kv slice is opaque to constant folding and stays legal.
+func Forward(r *obs.Registry, kv []string) {
+	r.Counter(obs.Metric("fixture_fwd_total", kv...)).Inc()
+}

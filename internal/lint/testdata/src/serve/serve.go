@@ -1,0 +1,57 @@
+// Package serve is an errtaxonomy fixture: its package-path base
+// matches the serving package, so the handler rules apply.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// ErrBadInput is the fixture's taxonomy sentinel.
+var ErrBadInput = errors.New("bad input")
+
+// handleRaw writes error statuses by hand — both forms flagged.
+func handleRaw(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("q") == "" {
+		http.Error(w, "missing q", http.StatusBadRequest) // want "http.Error bypasses the errorCodes table"
+		return
+	}
+	w.WriteHeader(http.StatusInternalServerError) // want "WriteHeader\\(500\\) hard-codes an error status"
+}
+
+// handleTaxonomy is the blessed shape: wrap a sentinel, let the
+// errorCodes table pick the status. Success statuses and forwarded
+// variables stay legal.
+func handleTaxonomy(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("q") == "" {
+		writeError(w, fmt.Errorf("%w: missing q", ErrBadInput))
+		return
+	}
+	w.WriteHeader(http.StatusOK) // success status: not an error route
+}
+
+// forward mirrors statusRecorder.WriteHeader: a variable status is the
+// middleware's forwarding pattern, not a hand-mapped error.
+func forward(w http.ResponseWriter, code int) {
+	w.WriteHeader(code)
+}
+
+// lostSentinel formats the sentinel with %v, severing errors.Is.
+func lostSentinel(name string) error {
+	return fmt.Errorf("resolve %s: %v", name, ErrBadInput) // want "sentinel ErrBadInput formatted without %w"
+}
+
+// keptSentinel wraps properly.
+func keptSentinel(name string) error {
+	return fmt.Errorf("resolve %s: %w", name, ErrBadInput)
+}
+
+// writeError is the fixture's stand-in for the real taxonomy writer.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	if errors.Is(err, ErrBadInput) {
+		code = http.StatusBadRequest
+	}
+	http.Error(w, err.Error(), code) // want "http.Error bypasses the errorCodes table"
+}

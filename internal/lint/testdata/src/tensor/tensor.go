@@ -1,0 +1,100 @@
+// Package tensor is a bitident fixture: its package-path base matches
+// a fenced kernel package, so the analyzer applies.
+package tensor
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// SumMap accumulates floats in map iteration order — nondeterministic.
+func SumMap(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "float accumulation over map iteration order"
+	}
+	return sum
+}
+
+// SumMapRebind hides the accumulation behind a plain assignment.
+func SumMapRebind(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v // want "float accumulation over map iteration order"
+	}
+	return sum
+}
+
+// SumMapSorted is the blessed shape: iterate sorted keys.
+func SumMapSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // string append: no float state fed
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// CountMap feeds integer state from a map range — not a float hazard.
+func CountMap(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Fma uses the fused instruction, whose single rounding differs from
+// the two-rounding mul+add the fence specifies.
+func Fma(a, b, c float64) float64 {
+	return math.FMA(a, b, c) // want "math.FMA fuses the rounding step"
+}
+
+// MulAdd is the bit-specified form.
+func MulAdd(a, b, c float64) float64 {
+	return a*b + c
+}
+
+// ParallelSumShared races goroutines into one captured accumulator.
+func ParallelSumShared(xs []float64) float64 {
+	var sum float64
+	var wg sync.WaitGroup
+	half := len(xs) / 2
+	for _, band := range [][]float64{xs[:half], xs[half:]} {
+		wg.Add(1)
+		go func(band []float64) {
+			defer wg.Done()
+			for _, v := range band {
+				sum += v // want "goroutine writes captured float sum"
+			}
+		}(band)
+	}
+	wg.Wait()
+	return sum
+}
+
+// ParallelSumBands is the blessed row-band pattern: each goroutine owns
+// a disjoint slice element; the merge happens in fixed order after.
+func ParallelSumBands(xs []float64) float64 {
+	partial := make([]float64, 2)
+	var wg sync.WaitGroup
+	half := len(xs) / 2
+	for i, band := range [][]float64{xs[:half], xs[half:]} {
+		wg.Add(1)
+		go func(i int, band []float64) {
+			defer wg.Done()
+			var s float64
+			for _, v := range band {
+				s += v
+			}
+			partial[i] = s
+		}(i, band)
+	}
+	wg.Wait()
+	return partial[0] + partial[1]
+}

@@ -150,3 +150,69 @@ func TestRegistryConcurrency(t *testing.T) {
 		t.Fatalf("histogram count = %d", got)
 	}
 }
+
+func TestHistogramZeroObservations(t *testing.T) {
+	// A registered-but-never-observed histogram must still expose a
+	// complete series: every bucket, _sum, and _count at zero. Scrapers
+	// treat a missing series as a target change, not a zero.
+	r := NewRegistry()
+	r.Histogram("cold_seconds", []float64{0.1, 1})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE cold_seconds histogram\n",
+		`cold_seconds_bucket{le="0.1"} 0` + "\n",
+		`cold_seconds_bucket{le="1"} 0` + "\n",
+		`cold_seconds_bucket{le="+Inf"} 0` + "\n",
+		"cold_seconds_sum 0\n",
+		"cold_seconds_count 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("zero-observation exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestGaugeAndHistogramIdentity(t *testing.T) {
+	// Re-registering the same full name must return the same instrument
+	// (counters already have this covered; pin it for the other kinds).
+	r := NewRegistry()
+	g := r.Gauge(Metric("depth", "model", "m"))
+	g.Set(7)
+	if got := r.Gauge(Metric("depth", "model", "m")).Value(); got != 7 {
+		t.Fatalf("gauge identity broken: got %v, want 7", got)
+	}
+	h := r.Histogram(Metric("lat_seconds", "model", "m"), []float64{1})
+	h.Observe(0.5)
+	h2 := r.Histogram(Metric("lat_seconds", "model", "m"), []float64{1})
+	if h2 != h {
+		t.Fatal("histogram identity broken: second registration returned a new instrument")
+	}
+	if got := h2.Count(); got != 1 {
+		t.Fatalf("histogram identity broken: count %d, want 1", got)
+	}
+}
+
+func TestEscapedLabelRoundTrip(t *testing.T) {
+	// A label value containing every escapable character must survive
+	// Metric -> registry -> WritePrometheus with exposition escaping
+	// intact and appear exactly once.
+	r := NewRegistry()
+	raw := "a\"b\\c\nd"
+	r.Counter(Metric("esc_total", "path", raw)).Add(2)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `esc_total{path="a\"b\\c\nd"} 2` + "\n"
+	if !strings.Contains(out, want) {
+		t.Errorf("escaped label exposition missing %q in:\n%s", want, out)
+	}
+	if n := strings.Count(out, "esc_total{"); n != 1 {
+		t.Errorf("escaped label split into %d series, want 1:\n%s", n, out)
+	}
+}

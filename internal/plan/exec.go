@@ -96,6 +96,8 @@ func (s *State) Confidence() float64 { return LogitsConfidence(s.logits, s.probs
 
 // Argmax returns the index of the first maximum of a logits row,
 // matching multiexit.State.Predicted.
+//
+//ehlint:hotpath
 func Argmax(logits []float32) int {
 	best := 0
 	for i, v := range logits {
@@ -111,6 +113,8 @@ func Argmax(logits []float32) int {
 // least len(logits)). State.Confidence and the batched serving path
 // share this loop, so both reproduce multiexit.State.Confidence bit for
 // bit without allocating.
+//
+//ehlint:hotpath
 func LogitsConfidence(logits, probs []float32) float64 {
 	probs = probs[:len(logits)]
 	maxV := logits[0]
@@ -135,6 +139,8 @@ func LogitsConfidence(logits, probs []float32) float64 {
 // InferTo runs inference on a single image (CHW or 1CHW, matching the
 // plan's geometry) up to the given exit, filling dst with the suspended
 // state. dst must come from the same plan's NewState.
+//
+//ehlint:hotpath
 func (e *Exec) InferTo(dst *State, img *tensor.Tensor, exit int) {
 	p := e.p
 	if exit < 0 || exit >= len(p.segments) {
@@ -161,6 +167,8 @@ func (e *Exec) InferTo(dst *State, img *tensor.Tensor, exit int) {
 // Resume continues a suspended inference to a deeper exit, re-running
 // only trunk segments (state.Exit, exit] and branch exit. It panics if
 // exit does not exceed dst.Exit, like the layer walk.
+//
+//ehlint:hotpath
 func (e *Exec) Resume(dst *State, exit int) {
 	p := e.p
 	if exit <= dst.Exit || exit >= len(p.segments) {
@@ -182,6 +190,8 @@ func (e *Exec) Resume(dst *State, exit int) {
 }
 
 // checkpointFloat copies the trunk activation into the state.
+//
+//ehlint:hotpath
 func (e *Exec) checkpointFloat(dst *State, cur []float32, exit int) {
 	sh := e.p.trunkShapes[exit]
 	copy(dst.trunk[:sh.vol()], cur[:sh.vol()])
@@ -190,6 +200,8 @@ func (e *Exec) checkpointFloat(dst *State, cur []float32, exit int) {
 
 // other returns the slab that is not cur; when cur is external (the
 // input image or a state checkpoint), bufA is free by construction.
+//
+//ehlint:hotpath
 func (e *Exec) other(cur []float32) []float32 {
 	if len(cur) > 0 && len(e.bufA) > 0 && &cur[0] == &e.bufA[0] {
 		return e.bufB
@@ -201,6 +213,8 @@ func (e *Exec) other(cur []float32) []float32 {
 // owned reports whether cur is one of the executor's slabs (and may
 // therefore be mutated in place). The returned slice is the chain's
 // output activation, again flagged with ownership.
+//
+//ehlint:hotpath
 func (e *Exec) runFloat(ops []step, cur []float32, owned bool) ([]float32, bool) {
 	for si := range ops {
 		st := &ops[si]
@@ -288,6 +302,8 @@ func (e *Exec) runFloat(ops []step, cur []float32, owned bool) ([]float32, bool)
 }
 
 // maxPoolFloat mirrors nn.MaxPool2D.Forward's window walk exactly.
+//
+//ehlint:hotpath
 func maxPoolFloat(dst, src []float32, in shape, kernel, stride int, out shape) {
 	c, h, w := in.c, in.h, in.w
 	oh, ow := out.h, out.w

@@ -10,6 +10,8 @@ import "repro/internal/tensor"
 // backends.
 
 // inferToInt8 is InferTo for int8 plans.
+//
+//ehlint:hotpath
 func (e *Exec) inferToInt8(dst *State, img *tensor.Tensor, exit int) {
 	p := e.p
 	// Quantize the [0,1] input image to 8-bit codes (scale 1/255), like
@@ -34,6 +36,8 @@ func (e *Exec) inferToInt8(dst *State, img *tensor.Tensor, exit int) {
 }
 
 // resumeInt8 is Resume for int8 plans.
+//
+//ehlint:hotpath
 func (e *Exec) resumeInt8(dst *State, exit int) {
 	p := e.p
 	cur := dst.trunk8[:dst.trunkShape.vol()]
@@ -44,6 +48,8 @@ func (e *Exec) resumeInt8(dst *State, exit int) {
 	e.runBranchInt8(dst, cur, exit)
 }
 
+//
+//ehlint:hotpath
 func (e *Exec) checkpointInt8(dst *State, cur []uint8, exit int) {
 	sh := e.p.trunkShapes[exit]
 	copy(dst.trunk8[:sh.vol()], cur[:sh.vol()])
@@ -52,6 +58,8 @@ func (e *Exec) checkpointInt8(dst *State, cur []uint8, exit int) {
 
 // runBranchInt8 executes branch `exit` and lands the dequantized logits
 // in the state.
+//
+//ehlint:hotpath
 func (e *Exec) runBranchInt8(dst *State, cur []uint8, exit int) {
 	e.runInt8(e.p.branches[exit], cur)
 	dst.Exit = exit
@@ -60,6 +68,8 @@ func (e *Exec) runBranchInt8(dst *State, cur []uint8, exit int) {
 }
 
 // otherU8 mirrors other() for the integer slabs.
+//
+//ehlint:hotpath
 func (e *Exec) otherU8(cur []uint8) []uint8 {
 	if len(cur) > 0 && len(e.bufA8) > 0 && &cur[0] == &e.bufA8[0] {
 		return e.bufB8
@@ -69,6 +79,8 @@ func (e *Exec) otherU8(cur []uint8) []uint8 {
 
 // runInt8 executes one step chain on integer codes. Classifier heads
 // (deqScale > 0) emit float32 logits into e.logitsOut instead of codes.
+//
+//ehlint:hotpath
 func (e *Exec) runInt8(ops []step, cur []uint8) []uint8 {
 	for si := range ops {
 		st := &ops[si]
@@ -116,6 +128,8 @@ func (e *Exec) runInt8(ops []step, cur []uint8) []uint8 {
 
 // requantU8 fuses ReLU (accumulator clamp at zero) with requantization to
 // an 8-bit activation code.
+//
+//ehlint:hotpath
 func requantU8(a int32, mult float32) uint8 {
 	if a <= 0 {
 		return 0
@@ -128,6 +142,8 @@ func requantU8(a int32, mult float32) uint8 {
 }
 
 // dotInt8 is the dense-layer integer kernel: Σ w·x in int32.
+//
+//ehlint:hotpath
 func dotInt8(w []int8, x []uint8) int32 {
 	var s int32
 	for i, wv := range w {

@@ -239,7 +239,10 @@ func (sv *Server) dropInferLocked(key string) {
 	sv.wg.Add(1)
 	go func() {
 		defer sv.wg.Done()
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		// Detach from baseCtx's cancellation but keep its values: the
+		// drain must finish flushing in-flight requests even while
+		// Shutdown is tearing the server down.
+		ctx, cancel := context.WithTimeout(context.WithoutCancel(sv.baseCtx), 30*time.Second)
 		defer cancel()
 		_ = tgt.queue.Close(ctx)
 	}()

@@ -26,7 +26,7 @@ const (
 	mInferCanceled   = "ehserved_infer_canceled_total"
 	mInferErrored    = "ehserved_infer_errored_total"
 	mInferBatches    = "ehserved_infer_batches_total"
-	mInferBatchSize  = "ehserved_infer_batch_size"
+	mInferBatchSize  = "ehserved_infer_batch_size_requests"
 	mInferLatency    = "ehserved_infer_latency_seconds"
 	mInferQueueDepth = "ehserved_infer_queue_depth"
 	mExitTaken       = "ehserved_exit_taken_total"
@@ -92,16 +92,15 @@ func (sv *Server) queueMetrics(key string) *batch.Metrics {
 	if maxBatch <= 0 {
 		maxBatch = batch.DefaultMaxBatch
 	}
-	lbl := func(fam string) string { return obs.Metric(fam, "model", key) }
 	return &batch.Metrics{
-		Served:    sv.reg.Counter(lbl(mInferServed)),
-		Rejected:  sv.reg.Counter(lbl(mInferRejected)),
-		Canceled:  sv.reg.Counter(lbl(mInferCanceled)),
-		Errored:   sv.reg.Counter(lbl(mInferErrored)),
-		Batches:   sv.reg.Counter(lbl(mInferBatches)),
-		BatchSize: sv.reg.Histogram(lbl(mInferBatchSize), obs.LinearBuckets(1, 1, maxBatch)),
-		Latency:   sv.reg.Histogram(lbl(mInferLatency), obs.DefLatencyBuckets),
-		Depth:     sv.reg.Gauge(lbl(mInferQueueDepth)),
+		Served:    sv.reg.Counter(obs.Metric(mInferServed, "model", key)),
+		Rejected:  sv.reg.Counter(obs.Metric(mInferRejected, "model", key)),
+		Canceled:  sv.reg.Counter(obs.Metric(mInferCanceled, "model", key)),
+		Errored:   sv.reg.Counter(obs.Metric(mInferErrored, "model", key)),
+		Batches:   sv.reg.Counter(obs.Metric(mInferBatches, "model", key)),
+		BatchSize: sv.reg.Histogram(obs.Metric(mInferBatchSize, "model", key), obs.LinearBuckets(1, 1, maxBatch)),
+		Latency:   sv.reg.Histogram(obs.Metric(mInferLatency, "model", key), obs.DefLatencyBuckets),
+		Depth:     sv.reg.Gauge(obs.Metric(mInferQueueDepth, "model", key)),
 	}
 }
 

@@ -97,7 +97,7 @@ func withRoute(pattern string, h http.Handler) http.Handler {
 // routing — into a logged 500 instead of a dead connection. (The batch
 // queue worker has its own recover; this one guards the HTTP side.)
 func (sv *Server) recoverMW(next http.Handler) http.Handler {
-	panics := sv.reg.Counter("ehserved_panics_recovered_total")
+	panics := sv.reg.Counter(mPanics)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w}
 		meta := &reqMeta{rec: rec}
@@ -168,7 +168,7 @@ func (sv *Server) loggingMW(next http.Handler) http.Handler {
 // counted (as the 500 the recovery layer above will write) before the
 // panic is re-raised for recoverMW.
 func (sv *Server) metricsMW(next http.Handler) http.Handler {
-	inFlight := sv.reg.Gauge("ehserved_requests_in_flight")
+	inFlight := sv.reg.Gauge(mRequestsInRun)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		meta := metaFrom(r.Context())
 		inFlight.Add(1)
@@ -181,9 +181,9 @@ func (sv *Server) metricsMW(next http.Handler) http.Handler {
 				code = http.StatusInternalServerError
 			}
 			route := routeLabel(meta)
-			sv.reg.Counter(obs.Metric("ehserved_requests_total",
+			sv.reg.Counter(obs.Metric(mRequests,
 				"route", route, "code", strconv.Itoa(code))).Inc()
-			sv.reg.Histogram(obs.Metric("ehserved_request_duration_seconds", "route", route),
+			sv.reg.Histogram(obs.Metric(mRequestDuration, "route", route),
 				obs.DefLatencyBuckets).Observe(time.Since(start).Seconds())
 			if p != nil {
 				panic(p)

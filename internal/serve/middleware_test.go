@@ -209,7 +209,7 @@ func TestMetricsEndToEnd(t *testing.T) {
 		"ehserved_infer_canceled_total",
 		"ehserved_infer_errored_total",
 		"ehserved_infer_batches_total",
-		"ehserved_infer_batch_size",
+		"ehserved_infer_batch_size_requests",
 		"ehserved_infer_latency_seconds",
 		"ehserved_infer_queue_depth",
 		"ehserved_exit_taken_total",
@@ -239,9 +239,9 @@ func TestMetricsEndToEnd(t *testing.T) {
 	// Histogram exposition is well-formed: cumulative buckets plus
 	// _sum/_count for the per-model batch-size histogram.
 	for _, want := range []string{
-		fmt.Sprintf(`ehserved_infer_batch_size_bucket{model="%s",le="+Inf"}`, model),
-		fmt.Sprintf(`ehserved_infer_batch_size_count{model="%s"}`, model),
-		fmt.Sprintf(`ehserved_infer_batch_size_sum{model="%s"}`, model),
+		fmt.Sprintf(`ehserved_infer_batch_size_requests_bucket{model="%s",le="+Inf"}`, model),
+		fmt.Sprintf(`ehserved_infer_batch_size_requests_count{model="%s"}`, model),
+		fmt.Sprintf(`ehserved_infer_batch_size_requests_sum{model="%s"}`, model),
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing histogram series %q", want)

@@ -164,6 +164,7 @@ func WithPprof(enabled bool) Option {
 // session with default batching, no rate limit, a discarding logger,
 // and no pprof.
 func New(opts ...Option) *Server {
+	//ehlint:allow ctxbg — New is the server's lifecycle root; Shutdown cancels it
 	ctx, cancel := context.WithCancel(context.Background())
 	sv := &Server{
 		started:   time.Now(),

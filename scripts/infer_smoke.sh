@@ -1,14 +1,22 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # infer-smoke: boot the real ehserved daemon, upload the checked-in
 # golden artifact, POST one online inference, and assert a well-formed
 # prediction decodes. This is the CI gate proving the serving path works
 # end to end in the shipped binary, not just under httptest.
-set -eu
+set -euo pipefail
 
 PORT="${INFER_SMOKE_PORT:-18157}"
 BASE="http://127.0.0.1:$PORT"
 TMP="$(mktemp -d)"
-trap 'kill "$SERVER_PID" 2>/dev/null || true; wait "$SERVER_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+SERVER_PID=""
+cleanup() {
+    if [ -n "$SERVER_PID" ]; then
+        kill "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
 
 go build -o "$TMP/ehserved" ./cmd/ehserved
 "$TMP/ehserved" -addr "127.0.0.1:$PORT" >"$TMP/server.log" 2>&1 &
@@ -62,7 +70,7 @@ for fam in \
     ehserved_infer_served_total \
     ehserved_infer_rejected_total \
     ehserved_infer_batches_total \
-    ehserved_infer_batch_size \
+    ehserved_infer_batch_size_requests \
     ehserved_infer_latency_seconds \
     ehserved_infer_queue_depth \
     ehserved_exit_taken_total \
