@@ -13,7 +13,7 @@ BENCH_JSON ?= BENCH_pr7.json
 # breaks inference or the episode loop fails the build.
 SMOKEBENCH = ^Benchmark(InferToExit1|InferToExit3|InferToExit3Int8|IncrementalResume|FullSimulationEpisode)$$
 
-.PHONY: all build test race bench bench-smoke bench-json artifact-check infer-smoke fmt fmt-check lint ehlint shellcheck staticcheck clean
+.PHONY: all build test race bench bench-smoke bench-json artifact-check infer-smoke crash-smoke chaos-soak fmt fmt-check lint ehlint shellcheck staticcheck clean
 
 all: build
 
@@ -61,6 +61,19 @@ artifact-check:
 infer-smoke:
 	./scripts/infer_smoke.sh
 
+## crash-smoke: SIGKILL the real ehserved daemon mid-grid, restart it on
+## the same -data-dir, and assert the resumed job's final result
+## document is byte-identical to an uninterrupted run's — the
+## crash-recovery gate
+crash-smoke:
+	./scripts/crash_smoke.sh
+
+## chaos-soak: hammer a server armed with a seeded fault-injection spec
+## for 30 wall-clock seconds under the race detector; every response
+## must stay within the error taxonomy and the daemon must stay healthy
+chaos-soak:
+	CHAOS_SOAK_SECONDS=30 $(GO) test -race -run TestChaosSoak -v ./internal/serve
+
 ## fmt: rewrite sources with gofmt
 fmt:
 	gofmt -w .
@@ -96,7 +109,7 @@ staticcheck:
 	staticcheck ./...
 
 ## ci: everything the CI workflow gates on
-ci: fmt-check lint build race bench artifact-check infer-smoke
+ci: fmt-check lint build race bench artifact-check infer-smoke crash-smoke
 
 clean:
 	$(GO) clean ./...

@@ -38,20 +38,41 @@
 //
 // Operations: GET /metrics is the Prometheus scrape endpoint, /healthz
 // and /readyz the liveness/readiness probes (readiness flips 503 the
-// moment shutdown starts, before the listener closes). -rate/-burst
-// enable per-client token-bucket admission control on the /v1/ routes
-// (keyed by X-Client-ID, else remote host); -pprof mounts
-// /debug/pprof/. Every request gets an X-Request-ID and one structured
-// log line on stderr.
+// moment shutdown starts, before the listener closes, and reports why
+// in the body). -rate/-burst enable per-client token-bucket admission
+// control on the /v1/ routes (keyed by X-Client-ID, else remote host);
+// -pprof mounts /debug/pprof/. Every request gets an X-Request-ID and
+// one structured log line on stderr.
+//
+// Durability: -data-dir makes artifacts and grid jobs survive restarts.
+// Artifacts are written atomically (temp file + fsync + rename) under a
+// journaled manifest; corrupted files are quarantined at boot, never
+// served. Grid jobs checkpoint every completed point, so a daemon
+// killed mid-job resumes it on the next boot and produces the same
+// final result document an uninterrupted run would have — byte for
+// byte.
+//
+// Resilience: -request-timeout bounds each non-streaming /v1/ request;
+// -max-inflight and -shed-latency arm the overload gate (503 +
+// Retry-After); -breaker-threshold/-breaker-cooldown trip a per-model
+// circuit breaker after repeated inference execution failures.
+// -chaos-spec arms the deterministic fault injector ("seed=N;
+// kind:site:p=P[,d=DUR]", kinds latency/error/panic/shortwrite/drop,
+// sites like http./v1/infer, batch.dispatch, store.write) for crash
+// drills against a seeded, reproducible fault schedule.
 //
 // Usage:
 //
-//	ehserved [-addr :8080] [-workers N] [-seed N]
+//	ehserved [-addr :8080] [-workers N] [-seed N] [-data-dir DIR]
 //	         [-max-batch N] [-batch-window D] [-queue-cap N]
-//	         [-rate RPS] [-burst N] [-pprof] [-log-level LEVEL]
+//	         [-rate RPS] [-burst N] [-request-timeout D]
+//	         [-max-inflight N] [-shed-latency D]
+//	         [-breaker-threshold N] [-breaker-cooldown D]
+//	         [-chaos-spec SPEC] [-pprof] [-log-level LEVEL]
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -66,7 +87,9 @@ import (
 
 	ehinfer "repro"
 	"repro/internal/batch"
+	"repro/internal/chaos"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -81,6 +104,14 @@ func main() {
 		burst       = flag.Int("burst", 0, "per-client burst size when -rate is set (0 = ceil(rate))")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logLevel    = flag.String("log-level", "info", "request log level: debug, info, warn, error")
+
+		dataDir      = flag.String("data-dir", "", "durable data directory: artifacts persist and grid jobs resume across restarts (empty = in-memory only)")
+		chaosSpec    = flag.String("chaos-spec", "", `deterministic fault injection spec, e.g. "seed=7;error:http./v1/infer:p=0.01;latency:store:p=0.1,d=20ms"`)
+		reqTimeout   = flag.Duration("request-timeout", 0, "deadline per non-streaming /v1/ request (0 = none)")
+		maxInflight  = flag.Int("max-inflight", 0, "concurrent /v1/ requests before shedding 503 (0 = unlimited)")
+		shedLatency  = flag.Duration("shed-latency", 0, "EWMA request-latency watermark that sheds 503 (0 = disabled)")
+		brkThreshold = flag.Int("breaker-threshold", 5, "consecutive inference execution failures before a model's circuit opens (0 = disabled)")
+		brkCooldown  = flag.Duration("breaker-cooldown", 10*time.Second, "how long an open circuit denies requests before probing")
 	)
 	flag.Parse()
 
@@ -98,7 +129,18 @@ func main() {
 	if b <= 0 && *rate > 0 {
 		b = int(*rate + 0.999)
 	}
-	sv := serve.New(
+
+	var inj *chaos.Injector
+	if *chaosSpec != "" {
+		spec, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			fatal(err)
+		}
+		inj = chaos.New(spec)
+		logger.Warn("chaos armed", "spec", spec.String())
+	}
+
+	opts := []serve.Option{
 		serve.WithSession(session),
 		serve.WithBatchConfig(batch.Config{
 			MaxBatch: *maxBatch,
@@ -108,7 +150,37 @@ func main() {
 		serve.WithRateLimit(*rate, b),
 		serve.WithLogger(logger),
 		serve.WithPprof(*pprofOn),
-	)
+		serve.WithChaos(inj),
+		serve.WithRequestTimeout(*reqTimeout),
+		serve.WithLoadShed(*maxInflight, *shedLatency),
+		serve.WithBreaker(*brkThreshold, *brkCooldown),
+	}
+	if *dataDir != "" {
+		storeOpts := []store.Option{
+			store.WithLogger(logger),
+			// Strict decode at recovery: an artifact that no longer parses
+			// is quarantined, not served.
+			store.WithVerify(func(_ string, data []byte) error {
+				_, err := ehinfer.DecodeDeployed(bytes.NewReader(data))
+				return err
+			}),
+		}
+		if inj != nil {
+			// Chaos reaches the durability layer too: short writes, fsync
+			// failures, and rename faults at the store.* sites.
+			storeOpts = append(storeOpts, store.WithFS(chaos.FaultFS(store.OSFS{}, inj)))
+		}
+		st, err := store.Open(*dataDir, storeOpts...)
+		if err != nil {
+			fatal(fmt.Errorf("open data dir: %w", err))
+		}
+		rec := st.Recovery()
+		logger.Info("store opened", "dir", *dataDir,
+			"restored", rec.Restored, "quarantined", rec.Quarantined,
+			"orphans", rec.Orphans, "tornManifest", rec.TornManifest)
+		opts = append(opts, serve.WithStore(st))
+	}
+	sv := serve.New(opts...)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           sv,

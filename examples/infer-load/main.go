@@ -72,7 +72,11 @@ func main() {
 
 	// 3. The swarm: concurrent clients each post a stream of single-image
 	//    requests. Concurrency is what the micro-batcher feeds on — the
-	//    server coalesces requests that arrive within one window.
+	//    server coalesces requests that arrive within one window. Each
+	//    client retries transient sheds (429/503) through serve.Backoff —
+	//    capped exponential delays with per-client deterministic jitter,
+	//    honoring the server's Retry-After hints — so shed load re-offers
+	//    itself instead of being lost.
 	var served, shed atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -81,6 +85,12 @@ func main() {
 		go func(c int) {
 			defer wg.Done()
 			rng := ehinfer.NewRNG(uint64(c + 1))
+			retry := serve.Backoff{
+				Base:     2 * time.Millisecond,
+				Cap:      50 * time.Millisecond,
+				Attempts: 4,
+				Seed:     uint64(c + 1), // desynchronize the clients' retry storms
+			}
 			for i := 0; i < perClient; i++ {
 				input := make([]float32, inputValues)
 				for j := range input {
@@ -91,15 +101,21 @@ func main() {
 					"input":     input,
 					"threshold": 0.8, // anytime: answer at the first confident exit
 				})
-				resp, err := http.Post(ts.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+				resp, err := retry.Do(context.Background(), http.DefaultClient, func() (*http.Request, error) {
+					req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/infer", bytes.NewReader(body))
+					if err == nil {
+						req.Header.Set("Content-Type", "application/json")
+					}
+					return req, err
+				})
 				if err != nil {
 					log.Fatal(err)
 				}
 				switch resp.StatusCode {
 				case http.StatusOK:
 					served.Add(1)
-				case http.StatusTooManyRequests:
-					shed.Add(1) // backpressure: the queue bound is working
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					shed.Add(1) // still shed after the retry budget: backpressure held
 				default:
 					log.Fatalf("unexpected status %s", resp.Status)
 				}

@@ -372,3 +372,29 @@ func TestQueueSurvivesInfererPanic(t *testing.T) {
 		t.Fatalf("panicked batch accounting: %+v", st)
 	}
 }
+
+// TestQueueCloseIdempotentConcurrent: overlapping Close calls are safe
+// and all return success once the worker exits; submissions afterward
+// fail ErrClosed.
+func TestQueueCloseIdempotentConcurrent(t *testing.T) {
+	q := NewQueue(&stubInferer{}, Config{MaxBatch: 4, Window: time.Millisecond, QueueCap: 8})
+	if _, err := q.Submit(context.Background(), req(1)); err != nil {
+		t.Fatalf("warmup submit: %v", err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := q.Close(ctx); err != nil {
+				t.Errorf("concurrent close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if _, err := q.Submit(context.Background(), req(2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close submit: %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,258 @@
+// Package chaos is a deterministic, seed-driven fault injector for the
+// serving stack. An Injector evaluates named call sites ("http./v1/infer",
+// "store.fsync", "batch.dispatch", ...) against a declarative Spec of
+// rules and decides — reproducibly, from the spec seed and a per-rule
+// probe counter — whether the k-th probe at a site suffers a fault and
+// which kind: added latency, an injected error, a panic, a short write
+// with a failed flush, or a dropped connection.
+//
+// Determinism contract: for a fixed Spec (seed included), the decision
+// sequence of every rule is a pure function of its probe index. Two runs
+// that issue the same number of probes per site observe the same faults
+// in the same per-site order, regardless of goroutine scheduling — which
+// is what makes a 30-second chaos soak replayable from one seed.
+//
+// The injector is wired in, never ambient: code under test receives an
+// *Injector (or an FS wrapped by FaultFS) explicitly, and a nil Injector
+// injects nothing at zero cost.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is a fault category.
+type Kind string
+
+// The injectable fault kinds.
+const (
+	// KindLatency delays the operation by the rule's duration.
+	KindLatency Kind = "latency"
+	// KindError fails the operation with ErrInjected.
+	KindError Kind = "error"
+	// KindPanic panics at the site — exercising the recover guards
+	// (HTTP middleware, batch queue worker) that keep the daemon alive.
+	KindPanic Kind = "panic"
+	// KindShortWrite makes a write persist only a prefix and then fail —
+	// the torn-write crash model durable storage must survive.
+	KindShortWrite Kind = "shortwrite"
+	// KindDrop aborts the HTTP connection without a response.
+	KindDrop Kind = "drop"
+)
+
+// ErrInjected marks every chaos-injected failure, so tests and error
+// taxonomies can tell injected faults from organic ones with errors.Is.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Rule arms one fault kind at the sites matching a prefix.
+type Rule struct {
+	// Kind is the fault to inject.
+	Kind Kind `json:"kind"`
+	// Site is a call-site prefix ("" or "*" matches every site; "store"
+	// matches "store.write" and "store.fsync"; "http./v1/infer" matches
+	// exactly that route's probes).
+	Site string `json:"site"`
+	// Prob is the per-probe injection probability in [0, 1].
+	Prob float64 `json:"prob"`
+	// Latency is the injected delay for KindLatency rules.
+	Latency time.Duration `json:"latency,omitempty"`
+}
+
+// matches reports whether the rule arms the given site.
+func (r Rule) matches(site string) bool {
+	return r.Site == "" || r.Site == "*" || strings.HasPrefix(site, r.Site)
+}
+
+// Spec is a parsed chaos specification: a seed and an ordered rule list
+// (first matching rule wins per probe).
+type Spec struct {
+	Seed  uint64 `json:"seed"`
+	Rules []Rule `json:"rules"`
+}
+
+// ParseSpec parses the -chaos-spec flag syntax: semicolon-separated
+// entries, each either "seed=N" or "kind:site:p=P[,d=DUR]".
+//
+//	seed=7;latency:http:p=0.1,d=20ms;error:store.fsync:p=0.2;panic:batch.dispatch:p=0.02
+//
+// An empty string yields a nil Spec (chaos disabled).
+func ParseSpec(s string) (*Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	spec := &Spec{Seed: 1}
+	for _, entry := range strings.Split(s, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		if after, ok := strings.CutPrefix(entry, "seed="); ok {
+			seed, err := strconv.ParseUint(after, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad seed %q: %w", after, err)
+			}
+			spec.Seed = seed
+			continue
+		}
+		rule, err := parseRule(entry)
+		if err != nil {
+			return nil, err
+		}
+		spec.Rules = append(spec.Rules, rule)
+	}
+	if len(spec.Rules) == 0 {
+		return nil, fmt.Errorf("chaos: spec %q has no rules", s)
+	}
+	return spec, nil
+}
+
+// parseRule parses one "kind:site:p=P[,d=DUR]" entry.
+func parseRule(entry string) (Rule, error) {
+	parts := strings.SplitN(entry, ":", 3)
+	if len(parts) != 3 {
+		return Rule{}, fmt.Errorf("chaos: rule %q is not kind:site:p=P[,d=DUR]", entry)
+	}
+	r := Rule{Kind: Kind(parts[0]), Site: parts[1]}
+	switch r.Kind {
+	case KindLatency, KindError, KindPanic, KindShortWrite, KindDrop:
+	default:
+		return Rule{}, fmt.Errorf("chaos: unknown fault kind %q in rule %q", parts[0], entry)
+	}
+	for _, kv := range strings.Split(parts[2], ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Rule{}, fmt.Errorf("chaos: rule %q parameter %q is not key=value", entry, kv)
+		}
+		switch key {
+		case "p":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return Rule{}, fmt.Errorf("chaos: rule %q probability %q must be in [0,1]", entry, val)
+			}
+			r.Prob = p
+		case "d":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return Rule{}, fmt.Errorf("chaos: rule %q duration %q: must be a non-negative duration", entry, val)
+			}
+			r.Latency = d
+		default:
+			return Rule{}, fmt.Errorf("chaos: rule %q has unknown parameter %q", entry, key)
+		}
+	}
+	if r.Prob == 0 {
+		return Rule{}, fmt.Errorf("chaos: rule %q needs p=P with P > 0", entry)
+	}
+	if r.Kind == KindLatency && r.Latency == 0 {
+		return Rule{}, fmt.Errorf("chaos: latency rule %q needs d=DUR", entry)
+	}
+	return r, nil
+}
+
+// String renders the spec back into flag syntax.
+func (s *Spec) String() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", s.Seed)
+	for _, r := range s.Rules {
+		fmt.Fprintf(&b, ";%s:%s:p=%g", r.Kind, r.Site, r.Prob)
+		if r.Latency > 0 {
+			fmt.Fprintf(&b, ",d=%s", r.Latency)
+		}
+	}
+	return b.String()
+}
+
+// Fault is one injection decision. The zero value means "no fault".
+type Fault struct {
+	Kind Kind
+	// Sleep is the injected delay for KindLatency faults.
+	Sleep time.Duration
+	// Err carries ErrInjected (wrapped with the site) for KindError and
+	// KindShortWrite faults.
+	Err error
+}
+
+// Injected reports whether the decision carries a fault.
+func (f Fault) Injected() bool { return f.Kind != "" }
+
+// Injector evaluates sites against a Spec. Safe for concurrent use; a
+// nil *Injector evaluates everything to "no fault".
+type Injector struct {
+	spec *Spec
+	// probes[i] counts rule i's evaluation index — the deterministic
+	// input to its decision stream.
+	probes []atomic.Uint64
+	// OnFault, when set, observes every injected fault (metrics hook).
+	// Set it before the injector is shared; it must be safe for
+	// concurrent calls.
+	OnFault func(site string, kind Kind)
+}
+
+// New builds an injector for the spec. A nil spec yields a nil injector,
+// which is valid and injects nothing.
+func New(spec *Spec) *Injector {
+	if spec == nil {
+		return nil
+	}
+	return &Injector{spec: spec, probes: make([]atomic.Uint64, len(spec.Rules))}
+}
+
+// Eval decides the fault (if any) for one probe of site. The first rule
+// matching the site consumes the probe; its decision is a pure function
+// of (spec seed, rule index, probe index).
+func (in *Injector) Eval(site string) Fault {
+	if in == nil {
+		return Fault{}
+	}
+	for i, r := range in.spec.Rules {
+		if !r.matches(site) {
+			continue
+		}
+		n := in.probes[i].Add(1) - 1
+		if unit(in.spec.Seed, uint64(i), n) >= r.Prob {
+			return Fault{}
+		}
+		f := Fault{Kind: r.Kind}
+		switch r.Kind {
+		case KindLatency:
+			f.Sleep = r.Latency
+		case KindError, KindShortWrite:
+			f.Err = fmt.Errorf("%w: %s at %s", ErrInjected, r.Kind, site)
+		}
+		if in.OnFault != nil {
+			in.OnFault(site, r.Kind)
+		}
+		return f
+	}
+	return Fault{}
+}
+
+// Probes returns how many probes rule i has consumed — test telemetry.
+func (in *Injector) Probes(i int) uint64 {
+	if in == nil || i < 0 || i >= len(in.probes) {
+		return 0
+	}
+	return in.probes[i].Load()
+}
+
+// unit maps (seed, rule, probe) to a uniform float in [0, 1) through two
+// splitmix64 avalanche rounds — the same mixing discipline the experiment
+// engine uses for per-point seed derivation.
+func unit(seed, rule, probe uint64) float64 {
+	z := seed + 0x9e3779b97f4a7c15*(rule+1) + 0x632be59bd9b4e019*(probe+1)
+	for i := 0; i < 2; i++ {
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z = z ^ (z >> 31)
+	}
+	return float64(z>>11) / (1 << 53)
+}

@@ -1,0 +1,249 @@
+package chaos
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("seed=7;latency:http:p=0.1,d=20ms;error:store.fsync:p=0.2;panic:batch.dispatch:p=0.02")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if spec.Seed != 7 {
+		t.Fatalf("seed = %d, want 7", spec.Seed)
+	}
+	if len(spec.Rules) != 3 {
+		t.Fatalf("rules = %d, want 3", len(spec.Rules))
+	}
+	want := []Rule{
+		{Kind: KindLatency, Site: "http", Prob: 0.1, Latency: 20 * time.Millisecond},
+		{Kind: KindError, Site: "store.fsync", Prob: 0.2},
+		{Kind: KindPanic, Site: "batch.dispatch", Prob: 0.02},
+	}
+	for i, w := range want {
+		if spec.Rules[i] != w {
+			t.Errorf("rule %d = %+v, want %+v", i, spec.Rules[i], w)
+		}
+	}
+}
+
+func TestParseSpecEmpty(t *testing.T) {
+	spec, err := ParseSpec("  ")
+	if err != nil {
+		t.Fatalf("ParseSpec(blank): %v", err)
+	}
+	if spec != nil {
+		t.Fatalf("ParseSpec(blank) = %+v, want nil", spec)
+	}
+	if in := New(spec); in.Eval("anything").Injected() {
+		t.Fatal("nil injector injected a fault")
+	}
+}
+
+func TestParseSpecDefaultSeed(t *testing.T) {
+	spec, err := ParseSpec("drop:http:p=0.5")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if spec.Seed != 1 {
+		t.Fatalf("default seed = %d, want 1", spec.Seed)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"seed=x",                     // non-numeric seed
+		"seed=3",                     // seed but no rules
+		"latency:http",               // missing params
+		"latency:http:p=0.1",         // latency needs d=
+		"latency:http:d=5ms",         // missing p=
+		"flood:http:p=0.1",           // unknown kind
+		"error:http:p=1.5",           // probability out of range
+		"error:http:p=0.1,q=2",       // unknown param
+		"error:http:p=0.1,d=-5ms",    // negative duration
+		"latency:http:p=0.1,d=bogus", // unparsable duration
+	}
+	for _, s := range bad {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) = nil error, want failure", s)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	const in = "seed=42;latency:http:p=0.25,d=15ms;drop:http./v1/infer:p=0.05"
+	spec, err := ParseSpec(in)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if got := spec.String(); got != in {
+		t.Fatalf("String() = %q, want %q", got, in)
+	}
+	again, err := ParseSpec(spec.String())
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if again.String() != in {
+		t.Fatalf("round trip drifted: %q", again.String())
+	}
+}
+
+// TestEvalDeterministic is the determinism contract: two injectors built
+// from the same spec produce identical fault sequences probe by probe.
+func TestEvalDeterministic(t *testing.T) {
+	spec, err := ParseSpec("seed=9;error:store:p=0.3;latency:http:p=0.5,d=1ms")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	a, b := New(spec), New(spec)
+	sites := []string{"store.write", "store.fsync", "http./v1/infer", "batch.dispatch"}
+	for i := 0; i < 4000; i++ {
+		site := sites[i%len(sites)]
+		fa, fb := a.Eval(site), b.Eval(site)
+		if fa.Kind != fb.Kind || fa.Sleep != fb.Sleep || (fa.Err == nil) != (fb.Err == nil) {
+			t.Fatalf("probe %d at %s diverged: %+v vs %+v", i, site, fa, fb)
+		}
+	}
+}
+
+func TestEvalSeedChangesStream(t *testing.T) {
+	mk := func(seed string) *Injector {
+		spec, err := ParseSpec("seed=" + seed + ";error:store:p=0.5")
+		if err != nil {
+			t.Fatalf("ParseSpec: %v", err)
+		}
+		return New(spec)
+	}
+	a, b := mk("1"), mk("2")
+	same := true
+	for i := 0; i < 256; i++ {
+		if a.Eval("store.write").Injected() != b.Eval("store.write").Injected() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical 256-probe decision streams")
+	}
+}
+
+// TestEvalRate checks the injection frequency converges near the rule
+// probability — the mixer actually behaves uniformly.
+func TestEvalRate(t *testing.T) {
+	spec, err := ParseSpec("seed=5;error:store:p=0.2")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	in := New(spec)
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if in.Eval("store.write").Injected() {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.2) > 0.02 {
+		t.Fatalf("injection rate %.4f, want 0.2 ± 0.02", rate)
+	}
+	if got := in.Probes(0); got != n {
+		t.Fatalf("Probes(0) = %d, want %d", got, n)
+	}
+}
+
+func TestEvalFirstMatchWins(t *testing.T) {
+	spec, err := ParseSpec("seed=3;error:store.fsync:p=1;panic:store:p=1")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	in := New(spec)
+	if f := in.Eval("store.fsync"); f.Kind != KindError {
+		t.Fatalf("store.fsync matched %q, want error rule first", f.Kind)
+	}
+	if f := in.Eval("store.write"); f.Kind != KindPanic {
+		t.Fatalf("store.write matched %q, want fall-through panic rule", f.Kind)
+	}
+	if f := in.Eval("http./v1/infer"); f.Injected() {
+		t.Fatalf("unmatched site injected %q", f.Kind)
+	}
+}
+
+func TestEvalErrIsInjected(t *testing.T) {
+	spec, err := ParseSpec("seed=1;shortwrite:store.write:p=1")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	f := New(spec).Eval("store.write")
+	if f.Kind != KindShortWrite {
+		t.Fatalf("kind = %q, want shortwrite", f.Kind)
+	}
+	if !errors.Is(f.Err, ErrInjected) {
+		t.Fatalf("fault error %v does not wrap ErrInjected", f.Err)
+	}
+}
+
+func TestOnFaultHook(t *testing.T) {
+	spec, err := ParseSpec("seed=1;error:store:p=1")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	in := New(spec)
+	var mu sync.Mutex
+	calls := map[string]int{}
+	in.OnFault = func(site string, kind Kind) {
+		mu.Lock()
+		calls[site+"/"+string(kind)]++
+		mu.Unlock()
+	}
+	for i := 0; i < 3; i++ {
+		in.Eval("store.fsync")
+	}
+	if calls["store.fsync/error"] != 3 {
+		t.Fatalf("OnFault calls = %v, want 3 at store.fsync/error", calls)
+	}
+}
+
+// TestEvalConcurrent exercises the probe counters under the race
+// detector; total injections must equal what a serial replay of the same
+// probe count decides (order-insensitive because the decision for probe n
+// is independent of which goroutine drew it).
+func TestEvalConcurrent(t *testing.T) {
+	spec, err := ParseSpec("seed=11;error:store:p=0.3")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	in := New(spec)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	hits := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if in.Eval("store.write").Injected() {
+					hits[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, h := range hits {
+		total += h
+	}
+	serial := New(spec)
+	want := 0
+	for i := 0; i < workers*per; i++ {
+		if serial.Eval("store.write").Injected() {
+			want++
+		}
+	}
+	if total != want {
+		t.Fatalf("concurrent injections = %d, serial replay = %d", total, want)
+	}
+}

@@ -1,0 +1,107 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Fault sites the wrapped filesystem probes. Rules target them by
+// prefix: "store" arms all three, "store.fsync" only flush failures.
+const (
+	SiteStoreWrite  = "store.write"
+	SiteStoreFsync  = "store.fsync"
+	SiteStoreRename = "store.rename"
+)
+
+// FaultFS wraps a store filesystem so every write, fsync, and rename
+// probes the injector — short writes tear data files mid-append, fsync
+// failures hit exactly where the durability contract lives. A nil
+// injector returns fs unchanged.
+func FaultFS(fs store.FS, in *Injector) store.FS {
+	if in == nil {
+		return fs
+	}
+	return &faultFS{FS: fs, in: in}
+}
+
+type faultFS struct {
+	store.FS
+	in *Injector
+}
+
+func (f *faultFS) Create(path string) (store.File, error) {
+	file, err := f.FS.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, in: f.in}, nil
+}
+
+func (f *faultFS) OpenAppend(path string) (store.File, error) {
+	file, err := f.FS.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, in: f.in}, nil
+}
+
+func (f *faultFS) Rename(oldpath, newpath string) error {
+	if err := apply(f.in, SiteStoreRename); err != nil {
+		return err
+	}
+	return f.FS.Rename(oldpath, newpath)
+}
+
+type faultFile struct {
+	store.File
+	in *Injector
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	fault := f.in.Eval(SiteStoreWrite)
+	switch fault.Kind {
+	case KindLatency:
+		time.Sleep(fault.Sleep)
+	case KindPanic:
+		panic(fmt.Sprintf("chaos: injected panic at %s", SiteStoreWrite))
+	case KindError:
+		return 0, fault.Err
+	case KindDrop:
+		return 0, fmt.Errorf("%w: drop at %s", ErrInjected, SiteStoreWrite)
+	case KindShortWrite:
+		// Persist a prefix, then fail — the torn-write crash model.
+		n, err := f.File.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, fault.Err
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err := apply(f.in, SiteStoreFsync); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+// apply evaluates a probe where the only expressible faults are delay,
+// error, or panic; drop and shortwrite degrade to error.
+func apply(in *Injector, site string) error {
+	fault := in.Eval(site)
+	switch fault.Kind {
+	case KindLatency:
+		time.Sleep(fault.Sleep)
+	case KindPanic:
+		panic(fmt.Sprintf("chaos: injected panic at %s", site))
+	case KindError, KindShortWrite, KindDrop:
+		if fault.Err != nil {
+			return fault.Err
+		}
+		return fmt.Errorf("%w: %s at %s", ErrInjected, fault.Kind, site)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package chaos_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/store"
+)
+
+// TestFaultFSShortWrite proves the store's crash safety under injected
+// torn writes: a Put that fails mid-write leaves no trace after
+// recovery, and artifacts stored before the fault survive.
+func TestFaultFSShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Put("a1", "pre-fault", []byte("healthy artifact payload")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	spec, err := chaos.ParseSpec("seed=1;shortwrite:store.write:p=1")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	faulty, err := store.Open(dir, store.WithFS(chaos.FaultFS(store.OSFS{}, chaos.New(spec))))
+	if err != nil {
+		t.Fatalf("Open with faults: %v", err)
+	}
+	err = faulty.Put("a2", "doomed", []byte("this write is torn"))
+	if !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("Put under shortwrite = %v, want ErrInjected", err)
+	}
+
+	// A clean restart serves a1; the torn write left nothing behind (the
+	// failed Put already unlinked its temp file — a true crash leaving
+	// the temp on disk is covered by store's TestRecoveryOrphanTemp).
+	clean, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	arts, err := clean.Artifacts()
+	if err != nil {
+		t.Fatalf("Artifacts: %v", err)
+	}
+	if len(arts) != 1 || arts[0].ID != "a1" {
+		t.Fatalf("recovered %+v, want only a1", arts)
+	}
+	if st := clean.Recovery(); st.Quarantined != 0 || st.TornManifest != 0 {
+		t.Fatalf("recovery = %+v, want no corruption visible", st)
+	}
+}
+
+// TestFaultFSFsyncError: every fsync fails, so no Put can claim
+// durability — it must surface ErrInjected instead of acking a write
+// that would not survive power loss.
+func TestFaultFSFsyncError(t *testing.T) {
+	spec, err := chaos.ParseSpec("seed=1;error:store.fsync:p=1")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	s, err := store.Open(t.TempDir(), store.WithFS(chaos.FaultFS(store.OSFS{}, chaos.New(spec))))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Put("a1", "x", []byte("payload")); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("Put under fsync fault = %v, want ErrInjected", err)
+	}
+}

@@ -48,6 +48,13 @@ type Engine struct {
 	// Backend is the default empirical-mode inference backend for grids
 	// that do not name one themselves (zero value: the compiled plan).
 	Backend core.InferBackend
+	// Completed injects already-finished results by point index before
+	// the run starts: those slots are filled verbatim, never re-run, and
+	// never reported through OnResult. This is the resume path for a
+	// checkpointed grid — because every point derives its RNG from
+	// (BaseSeed, Index, Seed) alone, a run resumed this way produces a
+	// GridResult byte-identical to one that was never interrupted.
+	Completed map[int]Result
 }
 
 // NewEngine returns an engine with the given worker cap. Negative caps
@@ -101,6 +108,13 @@ func (e *Engine) RunContext(ctx context.Context, g *Grid) (*GridResult, error) {
 	points := g.Points()
 	results := make([]Result, len(points))
 	ran := make([]bool, len(points))
+	for i, r := range e.Completed {
+		if i < 0 || i >= len(points) {
+			return nil, fmt.Errorf("exper: completed index %d outside grid of %d points", i, len(points))
+		}
+		results[i] = r
+		ran[i] = true
+	}
 
 	// One registry lookup for the whole run: Validate vetted the name,
 	// and the write-once registries cannot lose it afterwards.
@@ -118,9 +132,22 @@ func (e *Engine) RunContext(ctx context.Context, g *Grid) (*GridResult, error) {
 	// safe and the paper-faithful semantics: one deployed model, many
 	// conditions. A failed build is recorded and charged to every point
 	// using that policy.
+	// A resumed run only needs deployments for policies that still have
+	// pending points; on a fresh run every policy is pending.
+	pending := make(map[string]bool, len(g.Policies))
+	npending := 0
+	for i, p := range points {
+		if !ran[i] {
+			pending[p.Policy.Name] = true
+			npending++
+		}
+	}
 	deps := make(map[string]*core.Deployed, len(g.Policies))
 	depErrs := make(map[string]string, len(g.Policies))
 	for i, ps := range g.Policies {
+		if !pending[ps.Name] {
+			continue
+		}
 		if ctx.Err() != nil {
 			// Canceled mid-build: the run has started, so keep the
 			// documented shape — every point skipped, error alongside.
@@ -134,8 +161,8 @@ func (e *Engine) RunContext(ctx context.Context, g *Grid) (*GridResult, error) {
 		deps[ps.Name] = d
 	}
 	nw := e.WorkerCount()
-	if nw > len(points) {
-		nw = len(points)
+	if nw > npending {
+		nw = npending
 	}
 
 	var notify func(Result)
@@ -180,6 +207,9 @@ func (e *Engine) RunContext(ctx context.Context, g *Grid) (*GridResult, error) {
 	// points from starting as soon as every in-flight point returns.
 feed:
 	for i := range points {
+		if ran[i] {
+			continue // restored from a checkpoint; never re-run
+		}
 		if ctx.Err() != nil {
 			break feed
 		}

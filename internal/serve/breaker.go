@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	ehinfer "repro"
+)
+
+// ErrCircuitOpen marks inference requests shed because the model's
+// circuit breaker is open after repeated execution failures. It maps to
+// 503 + Retry-After via the errorCodes table: unlike ErrInferenceFailed
+// itself (a permanent 500 for the poison request), a breaker denial is
+// transient — the probe may close the circuit again.
+var ErrCircuitOpen = errors.New("serve: circuit open")
+
+// Breaker states, also the values of the ehserved_circuit_state gauge.
+const (
+	circuitClosed   = "closed"
+	circuitOpen     = "open"
+	circuitHalfOpen = "half-open"
+)
+
+// breaker is a per-model circuit breaker over the inference path. It
+// opens after `threshold` consecutive ErrInferenceFailed results (each
+// one a recovered execution panic), denies requests for `cooldown`, then
+// half-opens: exactly one probe request is admitted, and its outcome
+// closes or re-opens the circuit. Context cancellations and queue sheds
+// are neutral — they say nothing about the model's health.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+	// onTransition observes state changes for metrics; called outside mu
+	// is not needed — keep calls short.
+	onTransition func(to string)
+
+	mu       sync.Mutex
+	state    string
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time, onTransition func(string)) *breaker {
+	if cooldown <= 0 {
+		cooldown = 10 * time.Second
+	}
+	return &breaker{
+		threshold:    threshold,
+		cooldown:     cooldown,
+		now:          now,
+		onTransition: onTransition,
+		state:        circuitClosed,
+	}
+}
+
+// Allow reports whether a request may proceed; when denied it returns
+// how long the client should wait before retrying.
+func (b *breaker) Allow() (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case circuitClosed:
+		return true, 0
+	case circuitOpen:
+		remaining := b.cooldown - b.now().Sub(b.openedAt)
+		if remaining > 0 {
+			return false, remaining
+		}
+		// Cooldown over: half-open and admit this request as the probe.
+		b.transitionLocked(circuitHalfOpen)
+		b.probing = true
+		return true, 0
+	default: // half-open
+		if b.probing {
+			// One probe at a time; everyone else backs off briefly.
+			return false, time.Second
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// Record feeds a request outcome back. nil closes a half-open circuit
+// (and resets the failure streak); ErrInferenceFailed extends the streak
+// or re-opens; any other error is neutral — it says nothing about the
+// model, but it still releases a half-open probe slot so the next
+// request can probe (an inconclusive probe must not latch the circuit).
+func (b *breaker) Record(err error) {
+	failure := errors.Is(err, ehinfer.ErrInferenceFailed)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == circuitHalfOpen {
+		b.probing = false
+		switch {
+		case failure:
+			b.openedAt = b.now()
+			b.transitionLocked(circuitOpen)
+		case err == nil:
+			b.fails = 0
+			b.transitionLocked(circuitClosed)
+		}
+		return
+	}
+	if err != nil && !failure {
+		return
+	}
+	if !failure {
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.state == circuitClosed && b.fails >= b.threshold {
+		b.openedAt = b.now()
+		b.transitionLocked(circuitOpen)
+	}
+}
+
+// State returns the current state name.
+func (b *breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// transitionLocked flips the state and notifies. Caller holds b.mu; the
+// hook must therefore be non-blocking (ours bumps atomic counters).
+func (b *breaker) transitionLocked(to string) {
+	if b.state == to {
+		return
+	}
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(to)
+	}
+}
+
+// stateValue maps a state name to the circuit-state gauge value.
+func stateValue(state string) float64 {
+	switch state {
+	case circuitOpen:
+		return 2
+	case circuitHalfOpen:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	ehinfer "repro"
+)
+
+// stepClock is a manually-advanced time source for breaker tests.
+type stepClock struct{ t time.Time }
+
+func (c *stepClock) now() time.Time             { return c.t }
+func (c *stepClock) advance(d time.Duration)    { c.t = c.t.Add(d) }
+func execFailure() error                        { return fmt.Errorf("%w: boom", ehinfer.ErrInferenceFailed) }
+func mustAllow(t *testing.T, b *breaker, i int) { t.Helper(); allowIs(t, b, true, i) }
+func mustDeny(t *testing.T, b *breaker, i int)  { t.Helper(); allowIs(t, b, false, i) }
+func allowIs(t *testing.T, b *breaker, want bool, i int) {
+	t.Helper()
+	if ok, _ := b.Allow(); ok != want {
+		t.Fatalf("step %d: Allow() = %v, want %v (state %s)", i, ok, want, b.State())
+	}
+}
+
+// TestBreakerOpensAfterThreshold: consecutive execution failures trip
+// the circuit; unrelated errors and successes reset the streak.
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	clk := &stepClock{t: time.Unix(1000, 0)}
+	var transitions []string
+	b := newBreaker(3, 10*time.Second, clk.now, func(to string) { transitions = append(transitions, to) })
+
+	for i := 0; i < 2; i++ {
+		mustAllow(t, b, i)
+		b.Record(execFailure())
+	}
+	// A success interrupts the streak.
+	mustAllow(t, b, 2)
+	b.Record(nil)
+	for i := 0; i < 2; i++ {
+		mustAllow(t, b, 3+i)
+		b.Record(execFailure())
+	}
+	// Neutral errors (client gone, bad input) must not count.
+	mustAllow(t, b, 5)
+	b.Record(errors.New("client went away"))
+	if b.State() != circuitClosed {
+		t.Fatalf("still closed expected, got %s", b.State())
+	}
+	mustAllow(t, b, 6)
+	b.Record(execFailure()) // third consecutive failure
+	if b.State() != circuitOpen {
+		t.Fatalf("state = %s, want open", b.State())
+	}
+	ok, wait := b.Allow()
+	if ok || wait <= 0 || wait > 10*time.Second {
+		t.Fatalf("open circuit Allow = (%v, %v)", ok, wait)
+	}
+	if len(transitions) != 1 || transitions[0] != circuitOpen {
+		t.Fatalf("transitions = %v", transitions)
+	}
+}
+
+// TestBreakerHalfOpenProbe: after the cooldown exactly one probe runs;
+// its success closes the circuit, its failure re-opens it.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := &stepClock{t: time.Unix(1000, 0)}
+	b := newBreaker(1, 10*time.Second, clk.now, nil)
+
+	mustAllow(t, b, 0)
+	b.Record(execFailure())
+	mustDeny(t, b, 1)
+
+	clk.advance(11 * time.Second)
+	mustAllow(t, b, 2) // the probe
+	if b.State() != circuitHalfOpen {
+		t.Fatalf("state = %s, want half-open", b.State())
+	}
+	mustDeny(t, b, 3) // single-flight: no second probe while one runs
+	b.Record(execFailure())
+	if b.State() != circuitOpen {
+		t.Fatalf("failed probe left state %s, want open", b.State())
+	}
+
+	clk.advance(11 * time.Second)
+	mustAllow(t, b, 4)
+	b.Record(nil)
+	if b.State() != circuitClosed {
+		t.Fatalf("successful probe left state %s, want closed", b.State())
+	}
+	mustAllow(t, b, 5)
+}
+
+// TestBreakerNeutralProbeReleased: a probe that ends inconclusively
+// (client canceled) must release the probe slot instead of latching the
+// circuit half-open forever.
+func TestBreakerNeutralProbeReleased(t *testing.T) {
+	clk := &stepClock{t: time.Unix(1000, 0)}
+	b := newBreaker(1, time.Second, clk.now, nil)
+	mustAllow(t, b, 0)
+	b.Record(execFailure())
+	clk.advance(2 * time.Second)
+	mustAllow(t, b, 1) // probe admitted
+	b.Record(errors.New("context canceled"))
+	if b.State() != circuitHalfOpen {
+		t.Fatalf("state = %s, want half-open", b.State())
+	}
+	mustAllow(t, b, 2) // slot released: next request probes
+	b.Record(nil)
+	if b.State() != circuitClosed {
+		t.Fatalf("state = %s, want closed", b.State())
+	}
+}

@@ -11,6 +11,7 @@ import (
 	ehinfer "repro"
 	"repro/internal/batch"
 	"repro/internal/exper"
+	"repro/internal/obs"
 )
 
 // Online-inference bounds: a request carries at most maxInferInputs
@@ -21,12 +22,14 @@ const (
 )
 
 // inferTarget is one served model: the resolved executor plus its
-// micro-batching queue. Targets are created lazily on first use and
-// keyed by the request's artifact/deployment reference.
+// micro-batching queue and (when armed) its circuit breaker. Targets
+// are created lazily on first use and keyed by the request's
+// artifact/deployment reference.
 type inferTarget struct {
 	key   string
 	model *batch.Model
 	queue *batch.Queue
+	brk   *breaker // nil unless WithBreaker armed one
 }
 
 // inferRequest is the POST /v1/infer wire form. Exactly one of
@@ -91,12 +94,33 @@ func (sv *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	if tgt.brk != nil {
+		if ok, wait := tgt.brk.Allow(); !ok {
+			w.Header().Set("Retry-After", retryAfter(wait))
+			writeError(w, fmt.Errorf("%w: model %s failing repeatedly; backing off", ErrCircuitOpen, tgt.key))
+			return
+		}
+	}
+	// From here on every exit path feeds the breaker: nil on success,
+	// the taxonomy error otherwise. Neutral errors (bad input, client
+	// gone) do not move the failure streak but do release a half-open
+	// probe slot.
+	var outcome error
+	defer func() {
+		if tgt.brk != nil {
+			tgt.brk.Record(outcome)
+		}
+	}()
+	fail := func(err error) {
+		outcome = err
+		writeError(w, err)
+	}
 
 	exit := -1
 	if req.Exit != nil {
 		exit = *req.Exit
 		if exit < 0 {
-			writeError(w, fmt.Errorf("%w: exit %d invalid: omit the field for the deepest exit",
+			fail(fmt.Errorf("%w: exit %d invalid: omit the field for the deepest exit",
 				ehinfer.ErrBadInput, exit))
 			return
 		}
@@ -105,7 +129,7 @@ func (sv *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	for i, in := range inputs {
 		reqs[i] = batch.Req{Input: in, Options: batch.Options{Exit: exit, Threshold: req.Threshold}}
 		if err := tgt.model.Validate(&reqs[i]); err != nil {
-			writeError(w, fmt.Errorf("input %d: %w", i, err))
+			fail(fmt.Errorf("input %d: %w", i, err))
 			return
 		}
 	}
@@ -119,7 +143,7 @@ func (sv *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			if errors.Is(err, batch.ErrQueueFull) {
 				err = fmt.Errorf("%w: inference queue for %s", err, tgt.key)
 			}
-			writeError(w, err)
+			fail(err)
 			return // abandoned tickets carry r.Context() and are skipped once it ends
 		}
 		tickets[i] = t
@@ -133,7 +157,7 @@ func (sv *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			// the client to retry the same poison request. Everything
 			// else here is the client leaving or shutdown racing the
 			// wait: transient, 503.
-			writeError(w, err)
+			fail(err)
 			return
 		}
 		preds[i] = p
@@ -220,9 +244,30 @@ func (sv *Server) inferTargetFor(req *inferRequest) (*inferTarget, error) {
 	}
 	cfg := sv.batchCfg
 	cfg.Metrics = sv.queueMetrics(key)
-	tgt := &inferTarget{key: key, model: model, queue: batch.NewQueue(model, cfg)}
+	// The chaos seam: dispatch goes through the injector when one is
+	// armed, so injected faults surface through the same recover →
+	// ErrInferenceFailed path as organic execution panics.
+	var inf batch.Inferer = model
+	if sv.inj != nil {
+		inf = chaosInferer{Inferer: model, in: sv.inj}
+	}
+	tgt := &inferTarget{key: key, model: model, queue: batch.NewQueue(inf, cfg)}
+	if sv.brkThreshold > 0 {
+		tgt.brk = newBreaker(sv.brkThreshold, sv.brkCooldown, sv.clock, sv.breakerHook(key))
+		sv.reg.Gauge(obs.Metric(mCircuitState, "model", key)).Set(stateValue(circuitClosed))
+	}
 	sv.infers[key] = tgt
 	return tgt, nil
+}
+
+// breakerHook observes one model's circuit transitions on the state
+// gauge and transition counter. Called under the breaker's lock, so it
+// only bumps registry instruments.
+func (sv *Server) breakerHook(key string) func(to string) {
+	return func(to string) {
+		sv.reg.Gauge(obs.Metric(mCircuitState, "model", key)).Set(stateValue(to))
+		sv.reg.Counter(obs.Metric(mCircuitTransitions, "model", key, "to", to)).Inc()
+	}
 }
 
 // dropInferLocked removes a target (artifact deleted, shutdown) and

@@ -3,15 +3,29 @@
 // on a shared ehinfer.Session, and exposes status, per-point NDJSON
 // streaming, and aggregated results. It is the layer cmd/ehserved wraps
 // in a daemon.
+//
+// The server is crash-safe when built with WithStore: artifacts live in
+// a durable atomic-write store and grid jobs checkpoint every completed
+// point to a journal, so a process killed mid-job resumes it on the
+// next boot and produces a final result document byte-identical to an
+// uninterrupted run's. WithRequestTimeout, WithLoadShed, and
+// WithBreaker add per-request deadlines, overload shedding, and a
+// per-model circuit breaker; WithChaos threads a deterministic fault
+// injector through the request path for drills. Backoff is the matching
+// retry client for the 429/503 + Retry-After responses those gates emit.
 package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	ehinfer "repro"
+	"repro/internal/store"
 )
 
 // JobState is a job's lifecycle phase.
@@ -28,30 +42,52 @@ const (
 // job is one submitted grid run. Workers append completed points under
 // mu and broadcast on cond; streaming handlers follow the results slice
 // like a tail.
+//
+// With a data directory configured, the job checkpoints every completed
+// point to its store journal before acknowledging it to streamers, and
+// retires the journal when the run ends: Finalize (durable final
+// document) on success, Abort on explicit cancel or failure, plain Close
+// on a shutdown mid-run — the journal stays, and the next boot resumes
+// the job with the checkpointed points restored verbatim.
 type job struct {
 	id     string
-	grid   *ehinfer.ExperimentGrid
+	name   string
+	grid   *ehinfer.ExperimentGrid // nil for jobs restored already-finished
 	total  int
 	cancel context.CancelFunc
+	log    *slog.Logger
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	state   JobState
-	results []ehinfer.ExperimentResult // completion order
-	final   *ehinfer.GridResult
-	errMsg  string
-	started time.Time
-	elapsed time.Duration
+	// Crash-safety wiring; all nil/empty for an in-memory-only job.
+	// journal is touched only by the run goroutine after construction.
+	journal   *store.JobJournal
+	restored  []ehinfer.ExperimentResult       // journal-order results to pre-stream
+	completed map[int]ehinfer.ExperimentResult // engine resume set, by point index
+	aborted   atomic.Bool                      // set by DELETE so retire aborts, not keeps
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	state     JobState
+	results   []ehinfer.ExperimentResult // completion order
+	final     *ehinfer.GridResult
+	finalJSON []byte // deterministic final document, once finished
+	pointErrs int    // only used when final is nil (restored finished jobs)
+	errMsg    string
+	started   time.Time
+	elapsed   time.Duration
 }
 
 func newJob(id string, grid *ehinfer.ExperimentGrid, cancel context.CancelFunc) *job {
 	j := &job{
 		id:      id,
 		grid:    grid,
-		total:   grid.Size(),
 		cancel:  cancel,
+		log:     slog.New(slog.DiscardHandler),
 		state:   StateRunning,
 		started: time.Now(),
+	}
+	if grid != nil {
+		j.name = grid.Name
+		j.total = grid.Size()
 	}
 	j.cond = sync.NewCond(&j.mu)
 	return j
@@ -60,8 +96,20 @@ func newJob(id string, grid *ehinfer.ExperimentGrid, cancel context.CancelFunc) 
 // run drives the grid to completion on the session, feeding the
 // streaming side as points finish. It blocks until the run ends.
 func (j *job) run(ctx context.Context, session *ehinfer.Session) {
-	gr := session.StartGrid(ctx, j.grid)
+	if len(j.restored) > 0 {
+		// Checkpointed points stream first, in their original completion
+		// order, so a follower attached across the restart sees the same
+		// sequence an uninterrupted run would have produced.
+		j.mu.Lock()
+		j.results = append(j.results, j.restored...)
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	}
+	gr := session.ResumeGrid(ctx, j.grid, j.completed) // nil completed == plain start
 	for res := range gr.Results() {
+		// Durability before acknowledgment: the point lands in the journal
+		// before any streamer (or a post-crash resume) can observe it.
+		j.checkpoint(ctx, res)
 		j.mu.Lock()
 		j.results = append(j.results, res)
 		j.cond.Broadcast()
@@ -69,12 +117,18 @@ func (j *job) run(ctx context.Context, session *ehinfer.Session) {
 	}
 	final, err := gr.Wait()
 
+	var finalJSON []byte
+	if err == nil && final != nil {
+		if data, jerr := final.JSON(); jerr == nil {
+			finalJSON = data
+		} else {
+			err = jerr
+		}
+	}
+
 	j.mu.Lock()
-	defer func() {
-		j.cond.Broadcast()
-		j.mu.Unlock()
-	}()
 	j.final = final
+	j.finalJSON = finalJSON
 	j.elapsed = time.Since(j.started)
 	switch {
 	case err == nil:
@@ -89,6 +143,62 @@ func (j *job) run(ctx context.Context, session *ehinfer.Session) {
 		j.state = StateFailed
 		j.errMsg = err.Error()
 	}
+	state := j.state
+	j.cond.Broadcast()
+	j.mu.Unlock()
+
+	j.retireJournal(state, finalJSON)
+}
+
+// checkpoint journals one completed point. A failing journal (disk
+// fault) degrades the job to in-memory-only: the run continues, the
+// failure is logged, and the stale journal is abandoned — at worst the
+// next boot re-runs points that had completed, which the determinism
+// contract makes harmless.
+//
+// Only results the determinism contract can reproduce are journaled:
+// skipped points, and error results produced while the run's context was
+// already dead (a point torn mid-flight by shutdown reports "context
+// canceled" — not the point's own outcome), must be re-run on resume,
+// not restored verbatim, or the resumed final document diverges from an
+// uninterrupted run's.
+func (j *job) checkpoint(ctx context.Context, res ehinfer.ExperimentResult) {
+	if j.journal == nil || res.Skipped || (res.Err != "" && ctx.Err() != nil) {
+		return
+	}
+	line, err := json.Marshal(res)
+	if err == nil {
+		err = j.journal.Append(line)
+	}
+	if err != nil {
+		j.log.Error("job checkpoint failed; continuing without durability", "job", j.id, "err", err)
+		_ = j.journal.Close()
+		j.journal = nil
+	}
+}
+
+// retireJournal resolves the journal against the run's outcome. Called
+// once, from the run goroutine, after the terminal state is visible.
+func (j *job) retireJournal(state JobState, finalJSON []byte) {
+	if j.journal == nil {
+		return
+	}
+	var err error
+	switch {
+	case state == StateDone && finalJSON != nil:
+		err = j.journal.Finalize(finalJSON)
+	case j.aborted.Load() || state == StateFailed:
+		// Explicit cancel or a real failure: resuming at next boot would
+		// re-run something the operator killed or a spec that fails.
+		err = j.journal.Abort()
+	default:
+		// Canceled by shutdown: keep the journal so the next boot resumes.
+		err = j.journal.Close()
+	}
+	if err != nil {
+		j.log.Error("retiring job journal failed", "job", j.id, "state", string(state), "err", err)
+	}
+	j.journal = nil
 }
 
 // snapshot returns the job's status under lock.
@@ -97,7 +207,7 @@ func (j *job) snapshot() JobStatus {
 	defer j.mu.Unlock()
 	st := JobStatus{
 		ID:        j.id,
-		Name:      j.grid.Name,
+		Name:      j.name,
 		State:     j.state,
 		Completed: len(j.results),
 		Total:     j.total,
@@ -110,6 +220,8 @@ func (j *job) snapshot() JobStatus {
 		if j.final != nil {
 			st.Workers = j.final.Workers
 			st.PointErrs = len(j.final.Errs())
+		} else {
+			st.PointErrs = j.pointErrs
 		}
 	}
 	return st
@@ -143,6 +255,15 @@ func (j *job) finalResult() (*ehinfer.GridResult, JobState) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.final, j.state
+}
+
+// finalBytes returns the finished run's deterministic JSON document, or
+// nil if the job has none (still running, or canceled/failed before one
+// was produced).
+func (j *job) finalBytes() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finalJSON
 }
 
 // JobStatus is the wire form of a job's state (GET /v1/grids/{id}).

@@ -10,6 +10,7 @@ import (
 
 	ehinfer "repro"
 	"repro/internal/batch"
+	"repro/internal/chaos"
 	"repro/internal/obs"
 )
 
@@ -35,6 +36,17 @@ const (
 	mArtifacts       = "ehserved_artifacts"
 	mStartTime       = "ehserved_start_time_seconds"
 	mReady           = "ehserved_ready"
+
+	// Robustness families: fault injection, overload shedding, circuit
+	// breaking, request deadlines, and crash recovery.
+	mChaosInjected      = "ehserved_chaos_injected_total"
+	mLoadShed           = "ehserved_load_shed_total"
+	mCircuitState       = "ehserved_circuit_state"
+	mCircuitTransitions = "ehserved_circuit_transitions_total"
+	mRequestTimeouts    = "ehserved_request_timeouts_total"
+	mArtifactRecovery   = "ehserved_artifact_recovery_total"
+	mJobsResumed        = "ehserved_jobs_resumed_total"
+	mJobPointsRestored  = "ehserved_job_points_restored_total"
 )
 
 // initMetrics registers help text and the process-level gauges. Per
@@ -59,6 +71,14 @@ func (sv *Server) initMetrics() {
 		{mArtifacts, "gauge", "Deployment artifacts in the store."},
 		{mStartTime, "gauge", "Unix time the server was constructed."},
 		{mReady, "gauge", "1 while the server admits work, 0 once draining."},
+		{mChaosInjected, "counter", "Faults injected by the chaos layer, by site and kind."},
+		{mLoadShed, "counter", "Requests shed 503 by the overload gate, by reason (inflight, latency)."},
+		{mCircuitState, "gauge", "Per-model circuit breaker state: 0 closed, 1 half-open, 2 open."},
+		{mCircuitTransitions, "counter", "Circuit breaker state transitions, by model and target state."},
+		{mRequestTimeouts, "counter", "Requests whose per-request deadline expired, by route."},
+		{mArtifactRecovery, "counter", "Artifact recovery outcomes at boot (restored, quarantined, orphaned, torn_manifest, undecodable)."},
+		{mJobsResumed, "counter", "Journaled grid jobs resumed at boot."},
+		{mJobPointsRestored, "counter", "Grid points restored from job journals instead of re-running."},
 	} {
 		sv.reg.SetHelp(m.name, m.kind, m.help)
 	}
@@ -132,6 +152,9 @@ var errorCodes = []struct {
 	{ehinfer.ErrModelNotFound, http.StatusNotFound},
 	{ehinfer.ErrQueueFull, http.StatusTooManyRequests},
 	{batch.ErrClosed, http.StatusServiceUnavailable},
+	{ErrCircuitOpen, http.StatusServiceUnavailable},
+	// Injected faults model a transient dependency failure: retryable.
+	{chaos.ErrInjected, http.StatusServiceUnavailable},
 	{ehinfer.ErrInferenceFailed, http.StatusInternalServerError},
 }
 
@@ -150,11 +173,15 @@ func errorCode(err error) int {
 	return http.StatusInternalServerError
 }
 
-// writeError answers with the taxonomy-mapped status; queue-full sheds
-// carry Retry-After so well-behaved clients back off.
+// writeError answers with the taxonomy-mapped status; every transient
+// shed — 429 queue-full and every 503 flavor (shutdown, open circuit,
+// deadline) — carries Retry-After so well-behaved clients back off
+// instead of hammering. Callers that know a better hint (the breaker's
+// remaining cooldown) set the header first; this only fills the default.
 func writeError(w http.ResponseWriter, err error) {
 	code := errorCode(err)
-	if code == http.StatusTooManyRequests {
+	if (code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable) &&
+		w.Header().Get("Retry-After") == "" {
 		w.Header().Set("Retry-After", "1")
 	}
 	writeErr(w, code, err)

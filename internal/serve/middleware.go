@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -104,6 +105,11 @@ func (sv *Server) recoverMW(next http.Handler) http.Handler {
 		r = r.WithContext(context.WithValue(r.Context(), metaKey{}, meta))
 		defer func() {
 			if p := recover(); p != nil {
+				if err, ok := p.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+					// A deliberate connection abort (chaos drop): let
+					// net/http tear the connection down silently.
+					panic(p)
+				}
 				panics.Inc()
 				sv.log.Error("panic recovered",
 					"panic", fmt.Sprint(p),

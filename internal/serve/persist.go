@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	ehinfer "repro"
+	"repro/internal/exper"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// recoverFromStore repopulates the server from its data directory at
+// construction: verified artifacts come back under their original IDs,
+// finished grid jobs serve their final documents again, and unfinished
+// jobs resume from their journals — restored points filled in verbatim,
+// only the remainder re-run. Called from New before the listener exists,
+// so it may touch server maps without contention (it still takes sv.mu
+// where the register/Shutdown protocol demands it).
+func (sv *Server) recoverFromStore() {
+	sv.recoverArtifacts()
+	sv.recoverJobs()
+}
+
+// artifactOutcome counts one artifact recovery outcome on the
+// ehserved_artifact_recovery_total family.
+func (sv *Server) artifactOutcome(outcome string, n int) {
+	if n > 0 {
+		sv.reg.Counter(obs.Metric(mArtifactRecovery, "outcome", outcome)).Add(int64(n))
+	}
+}
+
+func (sv *Server) recoverArtifacts() {
+	rec := sv.store.Recovery()
+	sv.artifactOutcome("quarantined", rec.Quarantined)
+	sv.artifactOutcome("torn_manifest", rec.TornManifest)
+	sv.artifactOutcome("orphaned", rec.Orphans)
+
+	arts, err := sv.store.Artifacts()
+	if err != nil {
+		sv.log.Error("recovery: reading artifacts failed; serving none", "err", err)
+		return
+	}
+	restored := 0
+	for _, a := range arts {
+		bundle, err := ehinfer.DecodeDeployed(bytes.NewReader(a.Data))
+		if err != nil {
+			// The store's verify hook already quarantines undecodable
+			// files when cmd wires it; this is the belt for embedders who
+			// opened the store without one.
+			sv.artifactOutcome("undecodable", 1)
+			sv.log.Error("recovery: artifact does not decode, not serving it", "id", a.ID, "err", err)
+			continue
+		}
+		art := &storedArtifact{id: a.ID, name: a.Name, data: a.Data, bundle: bundle}
+		if art.name == "" {
+			art.name = bundle.Name
+		}
+		sv.artifacts[a.ID] = art
+		sv.artOrder = append(sv.artOrder, a.ID)
+		restored++
+	}
+	sv.artifactOutcome("restored", restored)
+	if n := sv.store.MaxSeq("a"); n > sv.nextArtID {
+		sv.nextArtID = n
+	}
+	if restored > 0 || rec.Quarantined > 0 {
+		sv.log.Info("recovery: artifacts",
+			"restored", restored, "quarantined", rec.Quarantined,
+			"orphans", rec.Orphans, "tornManifest", rec.TornManifest)
+	}
+}
+
+// finalDoc is the slice of a final GridResult document recovery needs to
+// rebuild a finished job's status and streaming views.
+type finalDoc struct {
+	Grid struct {
+		Name string `json:"name"`
+	} `json:"grid"`
+	Results []ehinfer.ExperimentResult `json:"results"`
+}
+
+func (sv *Server) recoverJobs() {
+	unfinished, finished, err := sv.store.RecoverJobs()
+	if err != nil {
+		sv.log.Error("recovery: scanning jobs failed; resuming none", "err", err)
+		return
+	}
+	maxSeq := 0
+	note := func(id string) {
+		if rest, ok := strings.CutPrefix(id, "g"); ok {
+			if n, err := strconv.Atoi(rest); err == nil && n > maxSeq {
+				maxSeq = n
+			}
+		}
+	}
+
+	for _, f := range finished {
+		note(f.ID)
+		var doc finalDoc
+		if err := json.Unmarshal(f.Final, &doc); err != nil {
+			sv.log.Error("recovery: final document unreadable, dropping job", "job", f.ID, "err", err)
+			_ = sv.store.RemoveJob(f.ID)
+			continue
+		}
+		j := restoredDoneJob(f.ID, doc, f.Final)
+		sv.jobs[j.id] = j
+		sv.order = append(sv.order, j.id)
+	}
+
+	resumed := 0
+	for _, u := range unfinished {
+		note(u.ID)
+		points, err := sv.resumeJob(u)
+		if err != nil {
+			sv.log.Error("recovery: cannot resume job, dropping its journal", "job", u.ID, "err", err)
+			_ = sv.store.RemoveJob(u.ID)
+			continue
+		}
+		resumed++
+		sv.reg.Counter(mJobsResumed).Inc()
+		sv.reg.Counter(mJobPointsRestored).Add(int64(points))
+	}
+	if sv.nextID < maxSeq {
+		sv.nextID = maxSeq
+	}
+	if len(finished) > 0 || resumed > 0 {
+		sv.log.Info("recovery: jobs", "finished", len(finished), "resumed", resumed)
+	}
+}
+
+// resumeJob relaunches one journaled grid run: the spec header resolves
+// back to a grid (against the already-restored artifacts), journaled
+// point results become the engine's Completed set, and the job goes back
+// into the server's tables exactly as a fresh submission would — with
+// its journal reattached so further points keep checkpointing. Returns
+// the number of restored points.
+func (sv *Server) resumeJob(u store.UnfinishedJob) (int, error) {
+	var spec exper.GridSpec
+	if err := json.Unmarshal(u.Spec, &spec); err != nil {
+		return 0, fmt.Errorf("spec header: %w", err)
+	}
+	grid, err := spec.GridResolved(sv.artifactPolicy)
+	if err != nil {
+		return 0, fmt.Errorf("resolve grid: %w", err)
+	}
+	points := grid.Points()
+	completed := make(map[int]ehinfer.ExperimentResult, len(u.Lines))
+	restored := make([]ehinfer.ExperimentResult, 0, len(u.Lines))
+	for i, line := range u.Lines {
+		var res ehinfer.ExperimentResult
+		if err := json.Unmarshal(line, &res); err != nil {
+			return 0, fmt.Errorf("journal line %d: %w", i+1, err)
+		}
+		if res.Skipped {
+			// Journals never record skipped points (checkpoint filters
+			// them), but an old or hand-edited journal must not pin a
+			// never-ran point as completed.
+			continue
+		}
+		idx := res.Point.Index
+		if idx < 0 || idx >= len(points) {
+			return 0, fmt.Errorf("journal line %d: point index %d outside grid of %d", i+1, idx, len(points))
+		}
+		if points[idx].RunSeed != res.Point.RunSeed {
+			// The spec on disk no longer derives the journaled point (e.g.
+			// a registry changed under it): replaying would silently mix
+			// two different experiments.
+			return 0, fmt.Errorf("journal line %d: point %d run seed %d does not match grid's %d",
+				i+1, idx, res.Point.RunSeed, points[idx].RunSeed)
+		}
+		if _, dup := completed[idx]; !dup {
+			restored = append(restored, res)
+		}
+		completed[idx] = res
+	}
+	journal, err := sv.store.OpenJobJournal(u.ID)
+	if err != nil {
+		return 0, err
+	}
+
+	ctx, cancel := context.WithCancel(sv.baseCtx)
+	j := newJob(u.ID, grid, cancel)
+	j.log = sv.log
+	j.journal = journal
+	j.restored = restored
+	j.completed = completed
+
+	sv.mu.Lock()
+	sv.jobs[j.id] = j
+	sv.order = append(sv.order, j.id)
+	sv.wg.Add(1)
+	sv.mu.Unlock()
+	go func() {
+		defer sv.wg.Done()
+		defer cancel()
+		j.run(ctx, sv.session)
+	}()
+	return len(completed), nil
+}
+
+// restoredDoneJob rebuilds a finished job's serving state from its final
+// document: status, results streaming, and the byte-identical final JSON
+// all work again; only Workers/Elapsed telemetry is gone (it was never
+// serialized, by the determinism contract).
+func restoredDoneJob(id string, doc finalDoc, final []byte) *job {
+	j := newJob(id, nil, func() {})
+	j.name = doc.Grid.Name
+	j.total = len(doc.Results)
+	j.state = StateDone
+	j.results = doc.Results
+	j.finalJSON = final
+	for _, r := range doc.Results {
+		if r.Err != "" && !r.Skipped {
+			j.pointErrs++
+		}
+	}
+	return j
+}

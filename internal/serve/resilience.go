@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/chaos"
+	"repro/internal/obs"
+)
+
+// isStreaming reports whether the request holds its response open for
+// the lifetime of a run (NDJSON submit or follow). Streaming requests
+// are exempt from the per-request deadline and from the latency EWMA —
+// their duration measures the grid, not the server.
+func isStreaming(r *http.Request) bool {
+	q := r.URL.Query()
+	return q.Get("stream") != "" || q.Get("format") == "ndjson"
+}
+
+// deadlineMW bounds every non-streaming /v1/* request with the server's
+// request timeout: the context expires, handlers below unwind through
+// the usual cancellation paths (503 via the taxonomy table), and the
+// timeout is counted per route.
+func (sv *Server) deadlineMW(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if sv.reqTimeout <= 0 || !strings.HasPrefix(r.URL.Path, "/v1/") || isStreaming(r) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), sv.reqTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			sv.reg.Counter(obs.Metric(mRequestTimeouts,
+				"route", routeLabel(metaFrom(r.Context())))).Inc()
+		}
+	})
+}
+
+// shedder is the load-shedding admission gate: a hard cap on in-flight
+// /v1/* requests plus a latency watermark over an EWMA of recent
+// non-streaming request durations. Both knobs are optional; zero
+// disables each independently.
+type shedder struct {
+	maxInflight int64
+	watermark   time.Duration
+
+	inflight atomic.Int64
+	// ewmaNS is an exponentially-weighted moving average (α = 1/8) of
+	// request latency in nanoseconds, updated lock-free.
+	ewmaNS atomic.Int64
+}
+
+// admit reports whether a request may enter, or the shed reason
+// ("inflight" or "latency"). Admitted requests hold an in-flight slot
+// until release.
+func (sh *shedder) admit() (ok bool, reason string) {
+	if sh.maxInflight > 0 && sh.inflight.Add(1) > sh.maxInflight {
+		sh.inflight.Add(-1)
+		return false, "inflight"
+	}
+	if sh.watermark > 0 && time.Duration(sh.ewmaNS.Load()) > sh.watermark {
+		if sh.maxInflight > 0 {
+			sh.inflight.Add(-1)
+		}
+		// Decay the average on every latency shed so the gate reopens by
+		// itself instead of latching open forever once traffic stops.
+		for {
+			old := sh.ewmaNS.Load()
+			if old <= 0 || sh.ewmaNS.CompareAndSwap(old, old-old/16) {
+				break
+			}
+		}
+		return false, "latency"
+	}
+	return true, ""
+}
+
+// release returns the in-flight slot and, for requests that should feed
+// the latency signal, folds the observed duration into the EWMA.
+func (sh *shedder) release(d time.Duration, observe bool) {
+	if sh.maxInflight > 0 {
+		sh.inflight.Add(-1)
+	}
+	if !observe || sh.watermark <= 0 {
+		return
+	}
+	for {
+		old := sh.ewmaNS.Load()
+		nu := old - old/8 + int64(d)/8
+		if sh.ewmaNS.CompareAndSwap(old, nu) {
+			return
+		}
+	}
+}
+
+// shedMW rejects /v1/* requests with 503 + Retry-After once the server
+// is past its in-flight cap or latency watermark — answering cheaply
+// under overload instead of queueing toward collapse. Sheds are counted
+// by reason.
+func (sv *Server) shedMW(next http.Handler) http.Handler {
+	if sv.shed == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ok, reason := sv.shed.admit()
+		if !ok {
+			if m := metaFrom(r.Context()); m != nil {
+				m.route = "loadshed"
+			}
+			sv.reg.Counter(obs.Metric(mLoadShed, "reason", reason)).Inc()
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable,
+				fmt.Errorf("serve: overloaded (%s); retry later", reason))
+			return
+		}
+		start := time.Now()
+		streaming := isStreaming(r)
+		defer func() { sv.shed.release(time.Since(start), !streaming) }()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// chaosMW injects HTTP-layer faults at site "http.<path>" when the
+// server runs with a chaos spec. Drops panic with http.ErrAbortHandler
+// (the one panic recoverMW re-raises) so the client sees a torn
+// connection, not a tidy 500.
+func (sv *Server) chaosMW(next http.Handler) http.Handler {
+	if sv.inj == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f := sv.inj.Eval("http." + r.URL.Path)
+		switch f.Kind {
+		case chaos.KindLatency:
+			t := time.NewTimer(f.Sleep)
+			select {
+			case <-t.C:
+			case <-r.Context().Done():
+				t.Stop()
+			}
+		case chaos.KindError, chaos.KindShortWrite:
+			writeError(w, f.Err)
+			return
+		case chaos.KindPanic:
+			panic(fmt.Sprintf("chaos: injected panic at http.%s", r.URL.Path))
+		case chaos.KindDrop:
+			panic(http.ErrAbortHandler)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// chaosInferer wraps a model's batch executor so dispatch probes the
+// injector at "batch.dispatch". Latency faults slow the batch; every
+// other kind panics, which the queue worker's recover converts into
+// ErrInferenceFailed for each request in the batch — exactly the organic
+// failure mode, so the taxonomy, metrics, and circuit breaker all see
+// injected faults through the same path as real ones.
+type chaosInferer struct {
+	batch.Inferer
+	in *chaos.Injector
+}
+
+func (c chaosInferer) InferBatch(reqs []batch.Req) []batch.Prediction {
+	f := c.in.Eval("batch.dispatch")
+	switch f.Kind {
+	case chaos.KindLatency:
+		time.Sleep(f.Sleep)
+	case chaos.KindError, chaos.KindPanic, chaos.KindShortWrite, chaos.KindDrop:
+		panic(fmt.Sprintf("chaos: injected %s at batch.dispatch", f.Kind))
+	}
+	return c.Inferer.InferBatch(reqs)
+}
+
+// retryAfter renders a Retry-After header value: at least 1 second,
+// rounded up.
+func retryAfter(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}

@@ -1,0 +1,451 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	ehinfer "repro"
+	"repro/internal/chaos"
+)
+
+func mustSpec(t *testing.T, s string) *chaos.Injector {
+	t.Helper()
+	spec, err := chaos.ParseSpec(s)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", s, err)
+	}
+	return chaos.New(spec)
+}
+
+// TestRequestTimeout: a handler slower than the configured deadline
+// unwinds as a 503 through the taxonomy, and the timeout is counted.
+func TestRequestTimeout(t *testing.T) {
+	sv := New(
+		WithSession(ehinfer.NewSession(ehinfer.WithWorkers(1))),
+		WithRequestTimeout(30*time.Millisecond),
+	)
+	sv.mux.Handle("GET /v1/slow", withRoute("/v1/slow", http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			<-r.Context().Done()
+			writeError(w, r.Context().Err())
+		})))
+	ts := newHTTPServer(t, sv)
+
+	resp, err := http.Get(ts + "/v1/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("timeout 503 lacks Retry-After")
+	}
+	_, metrics := getBody(t, ts+"/metrics")
+	if !strings.Contains(metrics, mRequestTimeouts+`{route="/v1/slow"} 1`) {
+		t.Fatalf("timeout not counted per route:\n%s", grepMetrics(metrics, mRequestTimeouts))
+	}
+
+	// Non-/v1 routes are exempt: healthz never races a deadline.
+	if code, _ := getBody(t, ts+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+}
+
+// TestShedderInflight: the in-flight gate admits up to the cap and
+// reopens as slots release.
+func TestShedderInflight(t *testing.T) {
+	sh := &shedder{maxInflight: 2}
+	for i := 0; i < 2; i++ {
+		if ok, _ := sh.admit(); !ok {
+			t.Fatalf("admit %d refused under cap", i)
+		}
+	}
+	if ok, reason := sh.admit(); ok || reason != "inflight" {
+		t.Fatalf("over-cap admit = (%v, %q)", ok, reason)
+	}
+	sh.release(0, false)
+	if ok, _ := sh.admit(); !ok {
+		t.Fatal("released slot not reusable")
+	}
+}
+
+// TestShedderLatencyWatermark: sustained slow requests close the gate,
+// and the decay-on-shed reopens it without any further traffic.
+func TestShedderLatencyWatermark(t *testing.T) {
+	sh := &shedder{watermark: 10 * time.Millisecond}
+	// Feed the EWMA well past the watermark.
+	for i := 0; i < 40; i++ {
+		if ok, _ := sh.admit(); !ok {
+			break
+		}
+		sh.release(100*time.Millisecond, true)
+	}
+	ok, reason := sh.admit()
+	if ok || reason != "latency" {
+		t.Fatalf("slow traffic not shed: (%v, %q)", ok, reason)
+	}
+	// Each shed decays the average; the gate must reopen on its own.
+	reopened := false
+	for i := 0; i < 200; i++ {
+		if ok, _ := sh.admit(); ok {
+			sh.release(time.Millisecond, true)
+			reopened = true
+			break
+		}
+	}
+	if !reopened {
+		t.Fatal("latency gate latched shut despite decay")
+	}
+}
+
+// TestLoadShedHTTP: with a 1-request in-flight cap, a held streaming
+// request sheds the next /v1/* request 503 + Retry-After, counted by
+// reason; non-/v1 routes stay open.
+func TestLoadShedHTTP(t *testing.T) {
+	sv := New(
+		WithSession(ehinfer.NewSession(ehinfer.WithWorkers(1))),
+		WithLoadShed(1, 0),
+	)
+	release := make(chan struct{})
+	held := make(chan struct{})
+	sv.mux.Handle("GET /v1/hold", withRoute("/v1/hold", http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			close(held)
+			<-release
+			w.WriteHeader(http.StatusOK)
+		})))
+	ts := newHTTPServer(t, sv)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(ts + "/v1/hold")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-held
+
+	resp, err := http.Get(ts + "/v1/registry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 shed", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed 503 lacks Retry-After")
+	}
+	if code, _ := getBody(t, ts+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz shed too: %d", code)
+	}
+	close(release)
+	wg.Wait()
+
+	_, metrics := getBody(t, ts+"/metrics")
+	if !strings.Contains(metrics, mLoadShed+`{reason="inflight"} 1`) {
+		t.Fatalf("shed not counted:\n%s", grepMetrics(metrics, mLoadShed))
+	}
+	// The slot is free again.
+	if code, _ := getBody(t, ts+"/v1/registry"); code != http.StatusOK {
+		t.Fatalf("models after release = %d", code)
+	}
+}
+
+// TestChaosHTTPError: an armed error rule answers 503 through the
+// taxonomy (ErrInjected is transient), with Retry-After, and the
+// injection is counted by site and kind.
+func TestChaosHTTPError(t *testing.T) {
+	sv := New(
+		WithSession(ehinfer.NewSession(ehinfer.WithWorkers(1))),
+		WithChaos(mustSpec(t, "seed=7;error:http./v1/registry:p=1")),
+	)
+	ts := newHTTPServer(t, sv)
+
+	resp, err := http.Get(ts + "/v1/registry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("injected 503 lacks Retry-After")
+	}
+	if !strings.Contains(string(body), "injected") {
+		t.Fatalf("error body does not surface the injection: %s", body)
+	}
+	// The rule is site-scoped: other routes are untouched.
+	if code, _ := getBody(t, ts+"/healthz"); code != http.StatusOK {
+		t.Fatal("chaos leaked outside its site")
+	}
+	_, metrics := getBody(t, ts+"/metrics")
+	if !strings.Contains(metrics, mChaosInjected+`{site="http./v1/registry",kind="error"} 1`) {
+		t.Fatalf("injection not counted:\n%s", grepMetrics(metrics, mChaosInjected))
+	}
+}
+
+// TestChaosBatchDispatch: a panic rule at batch.dispatch surfaces as
+// ErrInferenceFailed (500) through the queue worker's recover — the
+// organic failure path — and the daemon keeps serving.
+func TestChaosBatchDispatch(t *testing.T) {
+	sv := New(
+		WithSession(ehinfer.NewSession(ehinfer.WithWorkers(1))),
+		WithChaos(mustSpec(t, "seed=3;panic:batch.dispatch:p=1")),
+	)
+	ts := newHTTPServer(t, sv)
+	id := uploadArtifact(t, ts, encodeTestArtifact(t, "chaos-dispatch"))
+
+	code, out := postInfer(t, ts, inferBody(id, 1))
+	if code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500 (out %v)", code, out)
+	}
+	if code, _ := getBody(t, ts+"/healthz"); code != http.StatusOK {
+		t.Fatal("daemon died on injected dispatch panic")
+	}
+}
+
+// TestBreakerHTTP: every dispatch panicking trips the model's circuit
+// after the threshold; subsequent requests shed 503 + Retry-After
+// without touching the queue, and the circuit metrics record it.
+func TestBreakerHTTP(t *testing.T) {
+	sv := New(
+		WithSession(ehinfer.NewSession(ehinfer.WithWorkers(1))),
+		WithChaos(mustSpec(t, "seed=3;panic:batch.dispatch:p=1")),
+		WithBreaker(3, time.Hour),
+	)
+	ts := newHTTPServer(t, sv)
+	id := uploadArtifact(t, ts, encodeTestArtifact(t, "breaker-http"))
+
+	for i := 0; i < 3; i++ {
+		if code, _ := postInfer(t, ts, inferBody(id, 1)); code != http.StatusInternalServerError {
+			t.Fatalf("request %d: status %d, want 500 while circuit closed", i, code)
+		}
+	}
+	resp, err := http.Post(ts+"/v1/infer", "application/json", strings.NewReader(inferBody(id, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("tripped circuit answered %d (body %s), want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("open-circuit 503 lacks Retry-After")
+	}
+	if !strings.Contains(string(body), "circuit") {
+		t.Fatalf("open-circuit body: %s", body)
+	}
+
+	_, metrics := getBody(t, ts+"/metrics")
+	model := artifactPrefix + id
+	if !strings.Contains(metrics, mCircuitState+`{model="`+model+`"} 2`) {
+		t.Fatalf("circuit state gauge:\n%s", grepMetrics(metrics, mCircuitState))
+	}
+	if !strings.Contains(metrics, mCircuitTransitions+`{model="`+model+`",to="open"} 1`) {
+		t.Fatalf("circuit transitions:\n%s", grepMetrics(metrics, mCircuitTransitions))
+	}
+}
+
+// grepMetrics filters an exposition dump to one family, for failure
+// messages that don't drown the log.
+func grepMetrics(dump, family string) string {
+	var out []string
+	for _, line := range strings.Split(dump, "\n") {
+		if strings.Contains(line, family) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestChaosSoak hammers a fully-armed server — low-probability faults on
+// every site, breaker, shed, deadline — with mixed traffic for
+// CHAOS_SOAK_SECONDS (default 2, CI runs 30) and asserts the failure
+// envelope: the daemon stays alive, every HTTP answer is a taxonomy
+// status, and transport errors only ever come from drop faults.
+func TestChaosSoak(t *testing.T) {
+	secs := 2
+	if s := os.Getenv("CHAOS_SOAK_SECONDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("CHAOS_SOAK_SECONDS=%q: %v", s, err)
+		}
+		secs = n
+	}
+	spec := "seed=2026;" +
+		"latency:http./v1/infer:p=0.05,d=5ms;" +
+		"error:http./v1/registry:p=0.1;" +
+		"drop:http./v1/artifacts:p=0.05;" +
+		"panic:batch.dispatch:p=0.1"
+	sv := New(
+		WithSession(ehinfer.NewSession(ehinfer.WithWorkers(2))),
+		WithChaos(mustSpec(t, spec)),
+		WithBreaker(5, 200*time.Millisecond),
+		WithLoadShed(64, 0),
+		WithRequestTimeout(5*time.Second),
+	)
+	ts := newHTTPServer(t, sv)
+	id := uploadArtifact(t, ts, encodeTestArtifact(t, "soak"))
+
+	allowed := map[int]bool{
+		http.StatusOK:                  true,
+		http.StatusBadRequest:          true,
+		http.StatusNotFound:            true,
+		http.StatusTooManyRequests:     true,
+		http.StatusInternalServerError: true,
+		http.StatusServiceUnavailable:  true,
+	}
+	deadline := time.Now().Add(time.Duration(secs) * time.Second)
+	var wg sync.WaitGroup
+	errCh := make(chan string, 64)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			client := &http.Client{Timeout: 10 * time.Second}
+			infer := inferBody(id, 1)
+			for time.Now().Before(deadline) {
+				var resp *http.Response
+				var err error
+				var droppable bool
+				switch rng.Intn(4) {
+				case 0:
+					resp, err = client.Post(ts+"/v1/infer", "application/json", strings.NewReader(infer))
+				case 1:
+					resp, err = client.Get(ts + "/v1/registry")
+				case 2:
+					resp, err = client.Get(ts + "/v1/artifacts")
+					droppable = true
+				default:
+					resp, err = client.Get(ts + "/metrics")
+				}
+				if err != nil {
+					// Torn connections are the contract for drop faults on
+					// the artifacts site; anywhere else they're a bug.
+					if !droppable {
+						select {
+						case errCh <- fmt.Sprintf("client %d: transport error off the drop site: %v", c, err):
+						default:
+						}
+					}
+					continue
+				}
+				if !allowed[resp.StatusCode] {
+					select {
+					case errCh <- fmt.Sprintf("client %d: status %d outside the taxonomy", c, resp.StatusCode):
+					default:
+					}
+				}
+				io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+				resp.Body.Close()
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for msg := range errCh {
+		t.Error(msg)
+	}
+
+	// The daemon survived and still does real work.
+	if code, _ := getBody(t, ts+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after soak = %d", code)
+	}
+	_, metrics := getBody(t, ts+"/metrics")
+	if !strings.Contains(metrics, mChaosInjected) {
+		t.Fatal("soak injected nothing — the spec is not armed")
+	}
+	// Context note for CI logs: how much chaos actually landed.
+	t.Logf("soak done (%ds):\n%s", secs, grepMetrics(metrics, mChaosInjected))
+}
+
+// TestStartDrainIdempotentConcurrent: any number of concurrent
+// StartDrain/Shutdown calls settle on one drain reason (first wins) and
+// /readyz keeps reporting it with Retry-After.
+func TestStartDrainIdempotentConcurrent(t *testing.T) {
+	sv := New(WithSession(ehinfer.NewSession(ehinfer.WithWorkers(1))))
+	ts := newHTTPServer(t, sv)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sv.StartDrain()
+		}()
+	}
+	wg.Wait()
+
+	resp, err := http.Get(ts + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after drain = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining readyz lacks Retry-After")
+	}
+	if !strings.Contains(string(body), `"status":"draining"`) ||
+		!strings.Contains(string(body), "drain requested") {
+		t.Fatalf("readyz body does not carry the drain reason: %s", body)
+	}
+
+	// A Shutdown after the explicit drain must not overwrite the reason.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	_, body2 := getBody(t, ts+"/readyz")
+	if !strings.Contains(body2, "drain requested") {
+		t.Fatalf("shutdown overwrote the drain reason: %s", body2)
+	}
+}
+
+// TestShutdownIdempotentConcurrent: overlapping Shutdown calls all
+// return cleanly; the daemon still answers liveness afterward.
+func TestShutdownIdempotentConcurrent(t *testing.T) {
+	sv := New(WithSession(ehinfer.NewSession(ehinfer.WithWorkers(1))))
+	ts := newHTTPServer(t, sv)
+	if code, _ := getBody(t, ts+"/healthz"); code != http.StatusOK {
+		t.Fatal("healthz before shutdown")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := sv.Shutdown(ctx); err != nil {
+				t.Errorf("concurrent shutdown: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if code, _ := getBody(t, ts+"/healthz"); code != http.StatusOK {
+		t.Fatal("liveness lost after shutdown")
+	}
+}

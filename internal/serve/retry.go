@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Backoff is a client-side retry policy for requests against an
+// ehserved: transport errors and 429/503 responses — the two statuses
+// the server's admission layers use for transient sheds — are retried
+// with capped exponential backoff plus deterministic jitter, honoring
+// any Retry-After the server sent. 4xx/5xx other than 429/503 are
+// returned to the caller: the taxonomy marks them permanent.
+type Backoff struct {
+	// Base is the first retry delay (default 100ms).
+	Base time.Duration
+	// Cap bounds the delay growth (default 5s).
+	Cap time.Duration
+	// Attempts is the total number of tries including the first
+	// (default 5).
+	Attempts int
+	// Seed drives the jitter stream, so a load generator's retry
+	// schedule is reproducible run to run.
+	Seed uint64
+}
+
+// Do issues the request built by newReq until it succeeds, fails
+// permanently, or attempts are exhausted. newReq is called per attempt —
+// bodies cannot be replayed, so the caller rebuilds the request each
+// time. The final response (possibly a retryable status whose budget ran
+// out) is returned with its body intact; intermediate retryable
+// responses are drained and closed here.
+func (b Backoff) Do(ctx context.Context, client *http.Client, newReq func() (*http.Request, error)) (*http.Response, error) {
+	attempts := b.Attempts
+	if attempts <= 0 {
+		attempts = 5
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+
+	var lastErr error
+	var lastWait time.Duration // the server's Retry-After hint, if any
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, b.delay(attempt, lastWait)); err != nil {
+				return nil, err
+			}
+		}
+		req, err := newReq()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req.WithContext(ctx))
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+			lastWait = 0
+			continue
+		}
+		if !retryableStatus(resp.StatusCode) || attempt == attempts-1 {
+			return resp, nil
+		}
+		lastErr = fmt.Errorf("serve: retryable status %d", resp.StatusCode)
+		lastWait = retryAfterHint(resp)
+		// Drain so the transport's connection is reusable for the retry.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+		resp.Body.Close()
+	}
+	return nil, fmt.Errorf("serve: %d attempts exhausted: %w", attempts, lastErr)
+}
+
+// delay computes the wait before the given attempt: the server's
+// Retry-After hint when present, otherwise capped exponential backoff
+// with ±25% deterministic jitter.
+func (b Backoff) delay(attempt int, hint time.Duration) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	capd := b.Cap
+	if capd <= 0 {
+		capd = 5 * time.Second
+	}
+	if hint > 0 {
+		if hint > capd {
+			hint = capd
+		}
+		return hint
+	}
+	d := base << (attempt - 1)
+	if d > capd || d <= 0 {
+		d = capd
+	}
+	// ±25% jitter from a splitmix64 stream over (seed, attempt): two
+	// clients with different seeds desynchronize their retry storms, and
+	// the same seed replays the same schedule.
+	z := b.Seed + 0x9e3779b97f4a7c15*uint64(attempt)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	frac := float64(z>>11) / (1 << 53) // [0,1)
+	return d - d/4 + time.Duration(frac*float64(d/2))
+}
+
+// retryableStatus reports the statuses the server taxonomy marks
+// transient.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// retryAfterHint parses a response's Retry-After seconds, 0 when absent
+// or unparsable.
+func retryAfterHint(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// sleepCtx sleeps for d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// retryServer answers from a scripted status sequence, repeating the
+// last entry once the script runs out.
+func retryServer(t *testing.T, statuses []int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(hits.Add(1)) - 1
+		if n >= len(statuses) {
+			n = len(statuses) - 1
+		}
+		code := statuses[n]
+		if code == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		w.WriteHeader(code)
+		_, _ = io.WriteString(w, http.StatusText(code))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func backoffForTest() Backoff {
+	return Backoff{Base: time.Millisecond, Cap: 5 * time.Millisecond, Attempts: 4, Seed: 42}
+}
+
+func doGet(t *testing.T, b Backoff, url string) *http.Response {
+	t.Helper()
+	resp, err := b.Do(context.Background(), http.DefaultClient, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, url, nil)
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestBackoffRetriesTransientStatuses: 503 then 429 then 200 succeeds
+// within the attempt budget, and the terminal body is readable.
+func TestBackoffRetriesTransientStatuses(t *testing.T) {
+	ts, hits := retryServer(t, []int{http.StatusServiceUnavailable, http.StatusTooManyRequests, http.StatusOK})
+	resp := doGet(t, backoffForTest(), ts.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || string(body) != "OK" {
+		t.Fatalf("body = %q, %v", body, err)
+	}
+}
+
+// TestBackoffDoesNotRetryClientErrors: a 400 is the caller's bug, not a
+// transient — one request, response returned as-is.
+func TestBackoffDoesNotRetryClientErrors(t *testing.T) {
+	ts, hits := retryServer(t, []int{http.StatusBadRequest})
+	resp := doGet(t, backoffForTest(), ts.URL)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
+	}
+}
+
+// TestBackoffExhaustsAttempts: a persistent 503 is retried exactly
+// Attempts times and the final response comes back with its body intact
+// so the caller can inspect the error payload.
+func TestBackoffExhaustsAttempts(t *testing.T) {
+	ts, hits := retryServer(t, []int{http.StatusServiceUnavailable})
+	b := backoffForTest()
+	b.Attempts = 2
+	resp := doGet(t, b, ts.URL)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || len(body) == 0 {
+		t.Fatalf("final body unreadable: %q, %v", body, err)
+	}
+}
+
+// TestBackoffRetriesTransportErrors: a refused connection retries until
+// the budget runs out, then surfaces the transport error.
+func TestBackoffRetriesTransportErrors(t *testing.T) {
+	ts, hits := retryServer(t, []int{http.StatusOK})
+	url := ts.URL
+	ts.Close() // nothing listening: every attempt fails at dial
+	b := backoffForTest()
+	b.Attempts = 2
+	_, err := b.Do(context.Background(), http.DefaultClient, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, url, nil)
+	})
+	if err == nil {
+		t.Fatal("want transport error, got nil")
+	}
+	if got := hits.Load(); got != 0 {
+		t.Fatalf("closed server saw %d requests", got)
+	}
+}
+
+// TestBackoffHonorsContext: a canceled context stops the loop promptly
+// instead of sleeping out the schedule.
+func TestBackoffHonorsContext(t *testing.T) {
+	ts, _ := retryServer(t, []int{http.StatusServiceUnavailable})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := Backoff{Base: time.Hour, Cap: time.Hour, Attempts: 5, Seed: 1}
+	_, err := b.Do(ctx, http.DefaultClient, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, ts.URL, nil)
+	})
+	if err == nil {
+		t.Fatal("want context error, got nil")
+	}
+}
+
+// TestBackoffDelayDeterministic: same seed, same schedule — the jitter
+// is reproducible, and delays stay within ±25% of the exponential base,
+// capped.
+func TestBackoffDelayDeterministic(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: time.Second, Attempts: 8, Seed: 7}
+	b2 := b
+	for attempt := 1; attempt < 8; attempt++ {
+		d1, d2 := b.delay(attempt, 0), b2.delay(attempt, 0)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: delays differ: %v vs %v", attempt, d1, d2)
+		}
+		base := b.Base << (attempt - 1)
+		if base > b.Cap {
+			base = b.Cap
+		}
+		lo, hi := base*3/4, base*5/4
+		if d1 < lo || d1 > hi {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d1, lo, hi)
+		}
+	}
+	// A server hint within the cap overrides the schedule.
+	if d := b.delay(1, 300*time.Millisecond); d != 300*time.Millisecond {
+		t.Fatalf("hinted delay = %v, want 300ms", d)
+	}
+}

@@ -18,8 +18,10 @@ import (
 
 	ehinfer "repro"
 	"repro/internal/batch"
+	"repro/internal/chaos"
 	"repro/internal/exper"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // maxSpecBytes bounds a submitted grid spec; real specs are a few KB.
@@ -84,6 +86,21 @@ type Server struct {
 	rateBurst int
 	pprofOn   bool
 	ready     atomic.Bool
+
+	// Robustness wiring (all optional): the durable artifact/job store, a
+	// deterministic fault injector, per-request deadlines, the overload
+	// shedder, and per-model circuit-breaker tuning.
+	store        *store.Store
+	inj          *chaos.Injector
+	reqTimeout   time.Duration
+	shed         *shedder
+	brkThreshold int
+	brkCooldown  time.Duration
+
+	// drainMu guards drainReason: the first caller to start a drain wins
+	// the reason string /readyz reports.
+	drainMu     sync.Mutex
+	drainReason string
 
 	// batchCfg tunes the per-model micro-batching queues behind
 	// /v1/infer; infers holds them, created lazily per referenced
@@ -160,6 +177,50 @@ func WithPprof(enabled bool) Option {
 	return func(sv *Server) { sv.pprofOn = enabled }
 }
 
+// WithStore attaches a durable store: artifacts persist across restarts
+// under their original IDs, grid jobs checkpoint every completed point,
+// and New replays the data directory — finished jobs serve their final
+// documents again, unfinished ones resume where the journal stops.
+func WithStore(st *store.Store) Option {
+	return func(sv *Server) { sv.store = st }
+}
+
+// WithChaos arms the deterministic fault injector on the HTTP layer
+// ("http.<path>" sites) and the batch dispatch path ("batch.dispatch").
+// A nil injector (the default) injects nothing at zero cost. Injected
+// faults are counted on ehserved_chaos_injected_total.
+func WithChaos(in *chaos.Injector) Option {
+	return func(sv *Server) { sv.inj = in }
+}
+
+// WithRequestTimeout bounds every non-streaming /v1/* request: past d
+// the request context expires and the handler unwinds through the usual
+// cancellation paths (503). d <= 0 (the default) disables it.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(sv *Server) { sv.reqTimeout = d }
+}
+
+// WithLoadShed enables the overload gate on /v1/* routes: more than
+// maxInflight concurrent requests, or an EWMA request latency above
+// watermark, answers 503 + Retry-After instead of queueing toward
+// collapse. Zero disables each knob independently.
+func WithLoadShed(maxInflight int, watermark time.Duration) Option {
+	return func(sv *Server) {
+		if maxInflight > 0 || watermark > 0 {
+			sv.shed = &shedder{maxInflight: int64(maxInflight), watermark: watermark}
+		}
+	}
+}
+
+// WithBreaker arms a per-model circuit breaker on /v1/infer: threshold
+// consecutive execution failures (ErrInferenceFailed) open the circuit
+// for cooldown, during which requests shed 503 + Retry-After; then one
+// probe request decides whether it closes again. threshold <= 0 (the
+// default) disables it; cooldown <= 0 defaults to 10s.
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(sv *Server) { sv.brkThreshold, sv.brkCooldown = threshold, cooldown }
+}
+
 // New builds the server. With no options it executes on a default
 // session with default batching, no rate limit, a discarding logger,
 // and no pprof.
@@ -186,8 +247,18 @@ func New(opts ...Option) *Server {
 	if sv.rateRPS > 0 {
 		sv.limiter = newLimiter(sv.rateRPS, sv.rateBurst, sv.clock)
 	}
+	if sv.inj != nil {
+		sv.inj.OnFault = func(site string, kind chaos.Kind) {
+			sv.reg.Counter(obs.Metric(mChaosInjected, "site", site, "kind", string(kind))).Inc()
+		}
+	}
 	sv.ready.Store(true)
 	sv.initMetrics()
+	if sv.store != nil {
+		// Replay the data directory before the listener exists: restored
+		// artifacts serve under their old IDs, journaled jobs resume.
+		sv.recoverFromStore()
+	}
 
 	sv.mux = http.NewServeMux()
 	for _, rt := range sv.routes() {
@@ -197,8 +268,11 @@ func New(opts ...Option) *Server {
 		sv.recoverMW,   // outermost: panics below become logged 500s
 		sv.requestIDMW, // id before logging so the log line carries it
 		sv.loggingMW,
-		sv.metricsMW,   // counts everything below, rate-limit sheds included
-		sv.rateLimitMW, // admission control just above routing
+		sv.metricsMW,   // counts everything below, sheds and timeouts included
+		sv.deadlineMW,  // per-request deadline on non-streaming /v1/*
+		sv.shedMW,      // overload gate: cheap 503s beat queueing collapse
+		sv.rateLimitMW, // per-client admission control just above routing
+		sv.chaosMW,     // innermost injection point: sheds are never chaos-faulted
 	)
 	return sv
 }
@@ -268,21 +342,46 @@ func (sv *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleReadyz is readiness: 200 while the server admits work, 503 the
-// moment draining starts — load balancers stop routing here while
-// in-flight requests finish.
+// handleReadyz is readiness: 200 while the server admits work, 503 +
+// Retry-After the moment draining starts — load balancers stop routing
+// here while in-flight requests finish. The 503 body names the drain
+// reason so an operator reading the probe knows why the instance left
+// rotation.
 func (sv *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if sv.ready.Load() {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 		return
 	}
-	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	sv.drainMu.Lock()
+	reason := sv.drainReason
+	sv.drainMu.Unlock()
+	if reason == "" {
+		reason = "draining"
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+		"status": "draining",
+		"reason": reason,
+	})
 }
 
 // StartDrain flips /readyz to 503 without refusing work — call it when
 // shutdown begins (before the listener closes) so load balancers drain
-// connections ahead of the hard stop. Idempotent.
-func (sv *Server) StartDrain() { sv.ready.Store(false) }
+// connections ahead of the hard stop. Idempotent: the first call's
+// reason sticks.
+func (sv *Server) StartDrain() { sv.startDrain("drain requested") }
+
+// startDrain records why the instance left rotation; first reason wins
+// so a Shutdown following an explicit StartDrain does not overwrite the
+// original cause. Safe to call any number of times.
+func (sv *Server) startDrain(reason string) {
+	sv.drainMu.Lock()
+	if sv.drainReason == "" {
+		sv.drainReason = reason
+	}
+	sv.drainMu.Unlock()
+	sv.ready.Store(false)
+}
 
 // ServeHTTP implements http.Handler through the middleware chain.
 func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { sv.handler.ServeHTTP(w, r) }
@@ -292,7 +391,7 @@ func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { sv.handler
 // for workers (or ctx to expire). Call it after the HTTP listener has
 // stopped accepting requests.
 func (sv *Server) Shutdown(ctx context.Context) error {
-	sv.StartDrain()
+	sv.startDrain("shutdown")
 	sv.mu.Lock()
 	sv.closed = true
 	for key := range sv.infers {
@@ -332,6 +431,7 @@ func (sv *Server) register(grid *ehinfer.ExperimentGrid, cancel context.CancelFu
 	}
 	sv.nextID++
 	j := newJob(fmt.Sprintf("g%d", sv.nextID), grid, cancel)
+	j.log = sv.log
 	sv.jobs[j.id] = j
 	sv.order = append(sv.order, j.id)
 	sv.pruneLocked()
@@ -353,6 +453,13 @@ func (sv *Server) pruneLocked() {
 			if _, state := j.finalResult(); state != StateRunning {
 				delete(sv.jobs, id)
 				excess--
+				if sv.store != nil {
+					// Retire the on-disk final document with the in-memory
+					// entry, so the data directory stays bounded too.
+					if err := sv.store.RemoveJob(id); err != nil {
+						sv.log.Error("pruning job's on-disk state failed", "job", id, "err", err)
+					}
+				}
 				continue
 			}
 		}
@@ -398,6 +505,19 @@ func (sv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		cancel()
 		writeErr(w, http.StatusServiceUnavailable, err)
 		return
+	}
+	if sv.store != nil {
+		// Journal the job before any point runs: the spec header alone is
+		// enough for a crashed boot to restart the run from zero. A
+		// failing journal degrades this job to in-memory-only.
+		if line, merr := json.Marshal(&spec); merr == nil {
+			if journal, jerr := sv.store.NewJobJournal(j.id, line); jerr == nil {
+				j.journal = journal
+			} else {
+				sv.log.Error("job journal creation failed; running without durability",
+					"job", j.id, "err", jerr)
+			}
+		}
 	}
 	go func() {
 		defer sv.wg.Done()
@@ -515,14 +635,20 @@ func (sv *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	if final == nil {
-		writeErr(w, http.StatusInternalServerError, fmt.Errorf("grid %s finished without results: %s", j.id, j.snapshot().Err))
-		return
-	}
-	data, err := final.JSON()
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
-		return
+	// Prefer the captured final document — it also serves jobs restored
+	// from a final file after a restart, whose in-memory GridResult is
+	// gone; both paths are byte-identical by the determinism contract.
+	data := j.finalBytes()
+	if data == nil {
+		if final == nil {
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("grid %s finished without results: %s", j.id, j.snapshot().Err))
+			return
+		}
+		var err error
+		if data, err = final.JSON(); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
@@ -646,6 +772,9 @@ func (sv *Server) handleArtifactUpload(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	// Allocate the id under the lock, persist outside it (fsync is too
+	// slow to stall every other endpoint), then publish under the lock
+	// again. A shutdown racing the persist step rolls the write back.
 	sv.mu.Lock()
 	if code, err := sv.admitArtifactLocked(); err != nil {
 		sv.mu.Unlock()
@@ -658,6 +787,24 @@ func (sv *Server) handleArtifactUpload(w http.ResponseWriter, r *http.Request) {
 		name:   bundle.Name,
 		data:   data,
 		bundle: bundle,
+	}
+	sv.mu.Unlock()
+
+	if sv.store != nil {
+		if err := sv.store.Put(art.id, art.name, data); err != nil {
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("persist artifact: %w", err))
+			return
+		}
+	}
+
+	sv.mu.Lock()
+	if code, err := sv.admitArtifactLocked(); err != nil {
+		sv.mu.Unlock()
+		if sv.store != nil {
+			_ = sv.store.Delete(art.id)
+		}
+		writeErr(w, code, err)
+		return
 	}
 	sv.artifacts[art.id] = art
 	sv.artOrder = append(sv.artOrder, art.id)
@@ -726,6 +873,22 @@ func (sv *Server) handleArtifactDownload(w http.ResponseWriter, r *http.Request)
 func (sv *Server) handleArtifactDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sv.mu.Lock()
+	exists := sv.artifacts[id] != nil
+	sv.mu.Unlock()
+	if !exists {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown artifact %q", id))
+		return
+	}
+	// Durable tombstone first: if the disk refuses, keep serving the
+	// artifact and report the failure rather than let a restart
+	// resurrect something the client believes deleted.
+	if sv.store != nil {
+		if err := sv.store.Delete(id); err != nil {
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("delete artifact: %w", err))
+			return
+		}
+	}
+	sv.mu.Lock()
 	art := sv.artifacts[id]
 	if art != nil {
 		delete(sv.artifacts, id)
@@ -739,10 +902,6 @@ func (sv *Server) handleArtifactDelete(w http.ResponseWriter, r *http.Request) {
 		sv.artOrder = kept
 	}
 	sv.mu.Unlock()
-	if art == nil {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown artifact %q", id))
-		return
-	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 }
 
@@ -752,6 +911,9 @@ func (sv *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown grid %q", r.PathValue("id")))
 		return
 	}
+	// An explicit cancel aborts the journal too: the operator killed the
+	// run on purpose, so the next boot must not resurrect it.
+	j.aborted.Store(true)
 	j.cancel()
 	writeJSON(w, http.StatusAccepted, j.snapshot())
 }

@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# crash-smoke: the crash-recovery gate for the shipped ehserved binary.
+#
+# Phase 1 (reference): run a grid to completion on a fresh data dir and
+# keep the final result document.
+# Phase 2 (crash): start the same grid on a second data dir, SIGKILL the
+# daemon mid-job — no drain, no journal retirement — restart it on the
+# same dir, and wait for the resumed job to finish.
+# The recovered final document must be byte-identical to the reference,
+# and the artifact uploaded before the kill must download byte-identical
+# after the restart.
+set -euo pipefail
+
+PORT="${CRASH_SMOKE_PORT:-18163}"
+BASE="http://127.0.0.1:$PORT"
+TMP="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    if [ -n "$SERVER_PID" ]; then
+        kill "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/ehserved" ./cmd/ehserved
+
+start_server() { # $1 = data dir
+    "$TMP/ehserved" -addr "127.0.0.1:$PORT" -workers 1 -data-dir "$1" >>"$TMP/server.log" 2>&1 &
+    SERVER_PID=$!
+    for _ in $(seq 1 100); do
+        if curl -sf "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "crash-smoke: server never became healthy" >&2
+    cat "$TMP/server.log" >&2
+    exit 1
+}
+
+stop_server() {
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
+}
+
+# A grid slow enough to be caught mid-run on a 1-worker session but
+# quick enough for CI: 16 points with hundreds of warm-up episodes each.
+SPEC='{"name":"crash-smoke","events":200,"traces":[{"name":"s","kind":"solar","seconds":86400,"peakPower":0.05}],"exits":[{"name":"q","mode":0,"warmup":200}],"seeds":[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16]}'
+
+wait_done() { # $1 = job id; prints nothing, fails if the job errs
+    for _ in $(seq 1 600); do
+        state="$(curl -sf "$BASE/v1/grids/$1" | grep -o '"state":"[a-z]*"')"
+        case "$state" in
+            '"state":"done"') return 0 ;;
+            '"state":"failed"'|'"state":"canceled"')
+                echo "crash-smoke: job $1 ended $state" >&2
+                curl -sf "$BASE/v1/grids/$1" >&2 || true
+                exit 1 ;;
+        esac
+        sleep 0.2
+    done
+    echo "crash-smoke: job $1 never finished" >&2
+    exit 1
+}
+
+# ---- Phase 1: uninterrupted reference run -------------------------------
+start_server "$TMP/data-ref"
+curl -sf --data-binary @testdata/golden_two_exit.ehar "$BASE/v1/artifacts" >/dev/null
+REF_ID="$(curl -sf -X POST -d "$SPEC" "$BASE/v1/grids" | grep -o '"id":"g[0-9]*"' | cut -d'"' -f4)"
+wait_done "$REF_ID"
+curl -sf "$BASE/v1/grids/$REF_ID/results" >"$TMP/reference.json"
+stop_server
+
+# ---- Phase 2: SIGKILL mid-job, restart, resume --------------------------
+# The kill must land while the job is running. If the grid outruns us
+# (fast machine), retry the whole phase on a fresh dir a few times.
+killed=0
+for attempt in 1 2 3; do
+    DATA="$TMP/data-crash-$attempt"
+    start_server "$DATA"
+    curl -sf --data-binary @testdata/golden_two_exit.ehar "$BASE/v1/artifacts" >"$TMP/upload.json"
+    grep -q '"id":"a1"' "$TMP/upload.json" || { echo "crash-smoke: unexpected upload:"; cat "$TMP/upload.json"; exit 1; }
+    JOB_ID="$(curl -sf -X POST -d "$SPEC" "$BASE/v1/grids" | grep -o '"id":"g[0-9]*"' | cut -d'"' -f4)"
+
+    # Wait for at least one checkpointed point, then SIGKILL — no drain,
+    # no deferred cleanup, exactly the crash the journal exists for.
+    for _ in $(seq 1 300); do
+        status="$(curl -sf "$BASE/v1/grids/$JOB_ID")"
+        completed="$(echo "$status" | grep -o '"completed":[0-9]*' | cut -d: -f2)"
+        if echo "$status" | grep -q '"state":"running"' && [ "${completed:-0}" -ge 1 ]; then
+            kill -9 "$SERVER_PID"
+            wait "$SERVER_PID" 2>/dev/null || true
+            SERVER_PID=""
+            killed=1
+            break
+        fi
+        if echo "$status" | grep -q '"state":"done"'; then break; fi
+        sleep 0.05
+    done
+    if [ "$killed" = 1 ]; then break; fi
+    echo "crash-smoke: attempt $attempt finished before the kill landed; retrying" >&2
+    stop_server
+done
+if [ "$killed" != 1 ]; then
+    echo "crash-smoke: could never SIGKILL mid-job (grid too fast?)" >&2
+    exit 1
+fi
+
+# Restart on the same data dir: the job must resume and finish.
+start_server "$DATA"
+wait_done "$JOB_ID"
+
+# The resumed run's final document is byte-identical to the reference.
+curl -sf "$BASE/v1/grids/$JOB_ID/results" >"$TMP/resumed.json"
+if ! cmp -s "$TMP/reference.json" "$TMP/resumed.json"; then
+    echo "crash-smoke: resumed results differ from the uninterrupted reference" >&2
+    diff <(head -c 2000 "$TMP/reference.json") <(head -c 2000 "$TMP/resumed.json") >&2 || true
+    exit 1
+fi
+
+# The artifact survived the SIGKILL byte-identically.
+curl -sf "$BASE/v1/artifacts/a1" >"$TMP/roundtrip.ehar"
+cmp -s testdata/golden_two_exit.ehar "$TMP/roundtrip.ehar" \
+    || { echo "crash-smoke: artifact bytes changed across the crash" >&2; exit 1; }
+
+# Recovery telemetry is on /metrics.
+curl -sf "$BASE/metrics" >"$TMP/metrics.txt"
+grep -q 'ehserved_jobs_resumed_total 1' "$TMP/metrics.txt" \
+    || { echo "crash-smoke: resume not counted" >&2; grep ehserved_jobs "$TMP/metrics.txt" >&2 || true; exit 1; }
+grep -Eq 'ehserved_artifact_recovery_total\{outcome="restored"\} 1' "$TMP/metrics.txt" \
+    || { echo "crash-smoke: artifact restore not counted" >&2; grep ehserved_artifact "$TMP/metrics.txt" >&2 || true; exit 1; }
+stop_server
+
+echo "crash-smoke: OK (job $JOB_ID resumed after SIGKILL; results byte-identical)"

@@ -162,6 +162,20 @@ func (s *Session) RunGrid(ctx context.Context, g *ExperimentGrid) (*GridResult, 
 // incremental reporting while the grid is still running. Always drain
 // Results (or call Wait) to observe completion.
 func (s *Session) StartGrid(ctx context.Context, g *ExperimentGrid) *GridRun {
+	return s.startGrid(ctx, g, nil)
+}
+
+// ResumeGrid is StartGrid for a checkpointed run: completed maps point
+// index to its already-finished result. Restored points are filled into
+// the final GridResult verbatim and never re-run or re-streamed; only
+// the remaining points execute. Because each point's RNG derives from
+// (BaseSeed, Index, Seed) alone, the final result is byte-identical to
+// an uninterrupted run's.
+func (s *Session) ResumeGrid(ctx context.Context, g *ExperimentGrid, completed map[int]ExperimentResult) *GridRun {
+	return s.startGrid(ctx, g, completed)
+}
+
+func (s *Session) startGrid(ctx context.Context, g *ExperimentGrid, completed map[int]ExperimentResult) *GridRun {
 	if g == nil {
 		r := &GridRun{ch: make(chan ExperimentResult), done: make(chan struct{})}
 		r.err = errNilGrid
@@ -173,6 +187,7 @@ func (s *Session) StartGrid(ctx context.Context, g *ExperimentGrid) *GridRun {
 	// consumer abandons the stream after Wait.
 	r := &GridRun{ch: make(chan ExperimentResult, g.Size()), done: make(chan struct{})}
 	e := s.engine()
+	e.Completed = completed
 	progress := s.progress
 	e.OnResult = func(res ExperimentResult) {
 		if progress != nil {

@@ -198,3 +198,45 @@ func TestSessionWithBackend(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSessionResumeGridByteIdentical(t *testing.T) {
+	g := sessionTestGrid()
+	full, err := NewSession(WithWorkers(2)).RunGrid(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := full.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore the first half of the points and resume the rest; streamed
+	// results must cover only the remainder, and the final document must
+	// match the uninterrupted run byte for byte.
+	completed := map[int]ExperimentResult{}
+	for i := 0; i < len(full.Results)/2; i++ {
+		completed[i] = full.Results[i]
+	}
+	run := NewSession(WithWorkers(3)).ResumeGrid(context.Background(), g, completed)
+	streamed := 0
+	for r := range run.Results() {
+		if _, restored := completed[r.Point.Index]; restored {
+			t.Fatalf("restored point %d was re-streamed", r.Point.Index)
+		}
+		streamed++
+	}
+	final, err := run.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed != len(full.Results)-len(completed) {
+		t.Fatalf("streamed %d points, want %d", streamed, len(full.Results)-len(completed))
+	}
+	got, err := final.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("resumed session run serialized differently from uninterrupted run")
+	}
+}
