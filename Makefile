@@ -6,14 +6,14 @@ GO ?= go
 # The root-package micro benchmark set (micro_bench_test.go +
 # serve_bench_test.go); bench-json archives exactly these so the perf
 # trajectory is comparable PR to PR.
-MICROBENCH = ^Benchmark(InferToExit1|InferToExit3|InferToExit3Int8|InferBatched1|InferBatched4|InferBatched16|ServerInferThroughput|LegacyInferToExit3|IncrementalResume|LegacyIncrementalResume|PlanCompile|TrainStep|ApplyCompressionPolicy|QuantizeWeights8bit|QTableUpdate|SolarTraceGeneration|SynthCIFARSample|EngineRunToCompletion|FullSimulationEpisode)$$
-BENCH_JSON ?= BENCH_pr7.json
+MICROBENCH = ^Benchmark(InferToExit1|InferToExit3|InferToExit3Int8|InferBatched1|InferBatched4|InferBatched16|ServerInferThroughput|LegacyInferToExit3|IncrementalResume|LegacyIncrementalResume|PlanCompile|TrainStep|ApplyCompressionPolicy|QuantizeWeights8bit|QTableUpdate|SolarTraceGeneration|SynthCIFARSample|EngineRunToCompletion|FullSimulationEpisode|FleetStep|FleetShard)$$
+BENCH_JSON ?= BENCH_pr9.json
 
 # The hot-path subset bench-smoke gates in CI: a kernel regression that
 # breaks inference or the episode loop fails the build.
 SMOKEBENCH = ^Benchmark(InferToExit1|InferToExit3|InferToExit3Int8|IncrementalResume|FullSimulationEpisode)$$
 
-.PHONY: all build test race bench bench-smoke bench-json artifact-check infer-smoke crash-smoke chaos-soak fmt fmt-check lint ehlint shellcheck staticcheck clean
+.PHONY: all build test race bench bench-smoke bench-json artifact-check infer-smoke crash-smoke fleet-smoke chaos-soak fmt fmt-check lint ehlint shellcheck staticcheck clean
 
 all: build
 
@@ -68,6 +68,13 @@ infer-smoke:
 crash-smoke:
 	./scripts/crash_smoke.sh
 
+## fleet-smoke: SIGKILL the real ehserved daemon mid-fleet-job, restart
+## it on the same -data-dir, and assert the resumed fleet's final result
+## document is byte-identical to an uninterrupted run's — the fleet
+## crash-recovery gate
+fleet-smoke:
+	./scripts/fleet_smoke.sh
+
 ## chaos-soak: hammer a server armed with a seeded fault-injection spec
 ## for 30 wall-clock seconds under the race detector; every response
 ## must stay within the error taxonomy and the daemon must stay healthy
@@ -109,7 +116,7 @@ staticcheck:
 	staticcheck ./...
 
 ## ci: everything the CI workflow gates on
-ci: fmt-check lint build race bench artifact-check infer-smoke crash-smoke
+ci: fmt-check lint build race bench artifact-check infer-smoke crash-smoke fleet-smoke
 
 clean:
 	$(GO) clean ./...

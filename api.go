@@ -12,6 +12,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/exper"
 	"repro/internal/fixed"
+	"repro/internal/fleet"
 	"repro/internal/mcu"
 	"repro/internal/metrics"
 	"repro/internal/multiexit"
@@ -127,6 +128,27 @@ type (
 	// GridSpec is the fully-declarative (JSON-serializable) grid used by
 	// the ehserved HTTP API; device and policy axes are registry names.
 	GridSpec = exper.GridSpec
+)
+
+// Fleet-simulator re-exports: populations of 10⁴–10⁶ simulated
+// intermittent devices sharded across workers with packed per-device RL
+// state (see internal/fleet for the arena/determinism contract).
+type (
+	// FleetSpec is the declarative (JSON-serializable) description of a
+	// fleet run, the fleet twin of GridSpec.
+	FleetSpec = fleet.Spec
+	// FleetPopulation describes one homogeneous device population.
+	FleetPopulation = fleet.PopulationSpec
+	// FleetChurn is one deterministic churn/failure-injection rule.
+	FleetChurn = fleet.ChurnSpec
+	// Fleet is a compiled, runnable fleet.
+	Fleet = fleet.Fleet
+	// FleetSnapshot is one periodic aggregate of a running fleet.
+	FleetSnapshot = fleet.Snapshot
+	// FleetPopSnapshot is one population's slice of a snapshot.
+	FleetPopSnapshot = fleet.PopSnapshot
+	// FleetResult is a completed fleet run.
+	FleetResult = fleet.Result
 )
 
 // NewExperimentEngine returns an engine with the given worker cap

@@ -29,7 +29,11 @@ type Benchmark struct {
 	// NsPerImage carries the batched-inference benchmarks' custom
 	// per-image metric (b.ReportMetric(..., "ns/img")), which is what
 	// makes batch-size scaling comparable across BenchmarkInferBatched*.
-	NsPerImage  float64 `json:"nsPerImage,omitempty"`
+	NsPerImage float64 `json:"nsPerImage,omitempty"`
+	// DevicesPerS carries the fleet benchmarks' throughput metric
+	// (b.ReportMetric(..., "devices/sec")): simulated device-epochs per
+	// wall-clock second, the headline number for BenchmarkFleet*.
+	DevicesPerS float64 `json:"devicesPerS,omitempty"`
 	BytesPerOp  int64   `json:"bytesPerOp,omitempty"`
 	AllocsPerOp int64   `json:"allocsPerOp,omitempty"`
 }
@@ -107,6 +111,8 @@ func parseLine(line string) (Benchmark, bool) {
 			b.MBPerS, _ = strconv.ParseFloat(val, 64)
 		case "ns/img":
 			b.NsPerImage, _ = strconv.ParseFloat(val, 64)
+		case "devices/sec":
+			b.DevicesPerS, _ = strconv.ParseFloat(val, 64)
 		case "B/op":
 			b.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
 		case "allocs/op":

@@ -36,6 +36,19 @@
 //	    -d '{"artifact":"a1","input":[0.1, ...],"threshold":0.8}'
 //	curl -s localhost:8080/metrics    # Prometheus text: queues, latencies, exits
 //
+// Fleet simulation (see internal/fleet) runs the same intermittent
+// runtime across thousands-to-millions of simulated devices as one
+// sharded job. POST a fleet spec and follow its epoch snapshots; fleet
+// jobs checkpoint every snapshot under -data-dir and resume bit-
+// identically after a kill, and GET /v1/jobs lists grid and fleet jobs
+// together:
+//
+//	curl -s -X POST localhost:8080/v1/fleets \
+//	    -d '{"name":"swarm","epochs":8,"populations":[{"name":"p","count":100000}]}'
+//	curl -sN localhost:8080/v1/fleets/f1/results?format=ndjson  # follow snapshots
+//	curl -s localhost:8080/v1/fleets/f1/results                 # final deterministic JSON
+//	curl -s localhost:8080/v1/jobs                              # unified job listing
+//
 // Operations: GET /metrics is the Prometheus scrape endpoint, /healthz
 // and /readyz the liveness/readiness probes (readiness flips 503 the
 // moment shutdown starts, before the listener closes, and reports why

@@ -1,0 +1,54 @@
+package ehinfer
+
+// Fleet-simulation benchmarks: BenchmarkFleetStep measures the fused
+// per-device episode loop on one worker (the devices/sec a single shard
+// sustains); BenchmarkFleetShard measures the sharded engine across all
+// cores, which is the number the million-device projection in
+// examples/fleet-million scales from. Both report devices/sec — one
+// device-epoch is one simulated device-day of intermittent operation.
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+func benchFleet(b *testing.B, devices, workers int) {
+	b.Helper()
+	spec := &fleet.Spec{
+		Name:     "bench",
+		BaseSeed: 9,
+		Epochs:   1,
+		Events:   40,
+		Populations: []fleet.PopulationSpec{
+			{Name: "pop", Count: devices, TraceVariants: 16},
+		},
+	}
+	f, err := spec.Fleet()
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := fleet.Engine{Workers: workers}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := e.Run(ctx, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(devices)*float64(b.N)/b.Elapsed().Seconds(), "devices/sec")
+}
+
+// BenchmarkFleetStep: one worker, one shard — the per-core simulation
+// rate of the fused episode loop over the packed arena.
+func BenchmarkFleetStep(b *testing.B) {
+	benchFleet(b, 256, 1)
+}
+
+// BenchmarkFleetShard: the full engine sharded across every core.
+func BenchmarkFleetShard(b *testing.B) {
+	benchFleet(b, 4096, runtime.NumCPU())
+}

@@ -1,0 +1,71 @@
+package fleet
+
+import "repro/internal/exper"
+
+// Churn is deterministic failure injection in the internal/chaos mold:
+// whether a rule touches a (device, epoch) pair is a pure function of
+// the fleet seed, the rule's identity, and the device's global index —
+// never of worker scheduling or wall clock. That keeps churned fleets
+// bit-identical across worker counts and checkpoint/resume boundaries,
+// and lets resumed runs replay the exact device availability history of
+// the run they continue.
+
+// churnUnit maps a (seed, a, b) triple to a uniform value in [0, 1),
+// using the same 53-bit mantissa construction as tensor.RNG.Float64 so
+// probabilities are unbiased.
+func churnUnit(seed, a, b uint64) float64 {
+	return float64(exper.DeriveSeed(seed, a, b)>>11) / float64(1<<53)
+}
+
+// churnRuleSeed identifies one rule of one population within the fleet's
+// churn stream family.
+func churnRuleSeed(baseSeed uint64, popIndex, ruleIndex int) uint64 {
+	return exper.DeriveSeed(baseSeed, uint64(popIndex)<<16|uint64(ruleIndex), saltChurn)
+}
+
+// churnAt evaluates every churn rule of the population for one device
+// and epoch: whether the device is offline this epoch, and the factor
+// its capacitor capacity is degraded by (1 when untouched; the minimum
+// across degrade rules, floored by each rule's MinFrac).
+//
+//ehlint:hotpath
+func churnAt(baseSeed uint64, p *Population, gidx uint64, epoch, epochs int) (offline bool, capFactor float64) {
+	capFactor = 1
+	for ri := range p.Churn {
+		c := &p.Churn[ri]
+		seed := churnRuleSeed(baseSeed, p.Index, ri)
+		switch c.Kind {
+		case ChurnLeave:
+			// Epoch-keyed draw: each epoch the device independently sits
+			// out with probability Prob. epoch+1 keeps the stream off the
+			// join/degrade rules' selection draw at b=0.
+			if churnUnit(seed, gidx, uint64(epoch)+1) < c.Prob {
+				offline = true
+			}
+		case ChurnJoin:
+			// Device-keyed selection; joiners are offline until their
+			// seed-derived join epoch.
+			if churnUnit(seed, gidx, 0) < c.Prob {
+				join := int(exper.DeriveSeed(seed, gidx, 1) % uint64(epochs))
+				if epoch < join {
+					offline = true
+				}
+			}
+		case ChurnDegrade:
+			if churnUnit(seed, gidx, 0) < c.Prob {
+				f := 1 - c.Rate*float64(epoch)
+				min := c.MinFrac
+				if min == 0 {
+					min = 0.2
+				}
+				if f < min {
+					f = min
+				}
+				if f < capFactor {
+					capFactor = f
+				}
+			}
+		}
+	}
+	return offline, capFactor
+}

@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// PopSnapshot aggregates one population over one snapshot interval (the
+// epochs since the previous snapshot), plus the cumulative learning-
+// curve fields. Every value is reduced from per-device accumulators in
+// device-index order, so the same fleet produces byte-identical
+// snapshots at any worker count.
+type PopSnapshot struct {
+	Name string `json:"name"`
+	// Devices is the population size; Offline counts device-epochs the
+	// churn rules kept out of this interval.
+	Devices int   `json:"devices"`
+	Offline int64 `json:"offline,omitempty"`
+	// Events/Processed/Correct/Missed count schedule events over the
+	// interval (offline device-epochs contribute no events).
+	Events    int64 `json:"events"`
+	Processed int64 `json:"processed"`
+	Correct   int64 `json:"correct"`
+	Missed    int64 `json:"missed"`
+	// ExitHist[i] counts processed events whose final exit was i.
+	ExitHist []int64 `json:"exitHist"`
+	// EnergyMJ is inference energy spent; HarvestedMJ the energy the
+	// fleet's capacitors took in over the interval.
+	EnergyMJ    float64 `json:"energyMJ"`
+	HarvestedMJ float64 `json:"harvestedMJ"`
+	// AccuracyAll is correct/events (missed events count as wrong —
+	// the paper's fleet-level quality metric); AccuracyProcessed is
+	// correct/processed; BrownoutRate is missed/events.
+	AccuracyAll       float64 `json:"accuracyAll"`
+	AccuracyProcessed float64 `json:"accuracyProcessed"`
+	BrownoutRate      float64 `json:"brownoutRate"`
+	// IEpmJ is the interval's energy-normalized quality: correct
+	// inferences per harvested millijoule.
+	IEpmJ float64 `json:"iepmJ"`
+	// CumEvents/CumCorrect/CumAccuracy accumulate from epoch 0 — the
+	// per-population learning curve across snapshots.
+	CumEvents   int64   `json:"cumEvents"`
+	CumCorrect  int64   `json:"cumCorrect"`
+	CumAccuracy float64 `json:"cumAccuracy"`
+}
+
+// rates fills the derived ratio fields from the count fields.
+func (p *PopSnapshot) rates() {
+	if p.Events > 0 {
+		p.AccuracyAll = float64(p.Correct) / float64(p.Events)
+		p.BrownoutRate = float64(p.Missed) / float64(p.Events)
+	}
+	if p.Processed > 0 {
+		p.AccuracyProcessed = float64(p.Correct) / float64(p.Processed)
+	}
+	if p.HarvestedMJ > 0 {
+		p.IEpmJ = float64(p.Correct) / p.HarvestedMJ
+	}
+	if p.CumEvents > 0 {
+		p.CumAccuracy = float64(p.CumCorrect) / float64(p.CumEvents)
+	}
+}
+
+// accumulate folds an interval snapshot into a running total.
+func (p *PopSnapshot) accumulate(s *PopSnapshot) {
+	p.Offline += s.Offline
+	p.Events += s.Events
+	p.Processed += s.Processed
+	p.Correct += s.Correct
+	p.Missed += s.Missed
+	for i, v := range s.ExitHist {
+		p.ExitHist[i] += v
+	}
+	p.EnergyMJ += s.EnergyMJ
+	p.HarvestedMJ += s.HarvestedMJ
+	p.CumEvents = s.CumEvents
+	p.CumCorrect = s.CumCorrect
+}
+
+// Snapshot is one periodic aggregate of the whole fleet, emitted at
+// epoch barriers (every SnapshotEvery epochs and at the final epoch).
+// It is the unit ehserved streams as NDJSON and journals for resume.
+type Snapshot struct {
+	// Epoch is the last completed epoch this snapshot covers.
+	Epoch int `json:"epoch"`
+	// Devices is the fleet's total device count.
+	Devices     int           `json:"devices"`
+	Populations []PopSnapshot `json:"populations"`
+}
+
+// Result is a completed (or cancelled-partway) fleet run.
+type Result struct {
+	Name    string `json:"name"`
+	Devices int    `json:"devices"`
+	Epochs  int    `json:"epochs"`
+	// Events is the per-device-epoch schedule length.
+	Events int `json:"events"`
+	// Workers records how the run was sharded. It is excluded from the
+	// serialized document: worker count must never influence (or appear
+	// to influence) fleet results.
+	Workers int `json:"-"`
+	// Snapshots holds every snapshot of the run, including ones before
+	// a resumed run's StartEpoch — the full document is identical to an
+	// uninterrupted run's.
+	Snapshots []Snapshot `json:"snapshots"`
+	// Totals aggregates each population over all epochs.
+	Totals []PopSnapshot `json:"totals"`
+}
+
+// JSON renders the result as a stable, deterministic document (no
+// wall-clock or host-dependent fields) — the byte-identity anchor the
+// determinism tests and the crash-resume smoke compare.
+func (r *Result) JSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

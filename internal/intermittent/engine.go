@@ -75,6 +75,25 @@ func New(dev *mcu.Device, store *energy.Storage, trace *energy.Trace) (*Engine, 
 	}, nil
 }
 
+// Reset re-points the engine at a device/store/trace triple and rewinds
+// it to t=0 with a zeroed ledger and the store at its turn-on level —
+// the same state New leaves a fresh engine in, minus the validation.
+// It exists for arena-style callers (the fleet simulator) that run one
+// engine value through millions of episodes: the caller validates the
+// device, storage template, and traces once per population and Reset
+// itself stays allocation-free.
+//
+//ehlint:hotpath
+func (e *Engine) Reset(dev *mcu.Device, store *energy.Storage, trace *energy.Trace) {
+	e.Device = dev
+	e.Store = store
+	e.Trace = trace
+	e.now = 0
+	e.stats = Stats{}
+	e.slice = 0.1
+	store.SetLevel(store.TurnOnMJ)
+}
+
 // Now returns the current simulation time (seconds).
 func (e *Engine) Now() float64 { return e.now }
 

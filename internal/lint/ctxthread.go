@@ -14,6 +14,7 @@ var ctxFirstPkgs = map[string]bool{
 	"core":   true,
 	"search": true,
 	"batch":  true,
+	"fleet":  true,
 }
 
 // CtxThread enforces context threading: exported APIs in the blocking
@@ -22,7 +23,7 @@ var ctxFirstPkgs = map[string]bool{
 // reserved for main functions, tests, and the deprecated façade.
 var CtxThread = &analysis.Analyzer{
 	Name: "ctxthread",
-	Doc: "exported APIs in internal/{exper,core,search,batch} must accept " +
+	Doc: "exported APIs in internal/{exper,core,search,batch,fleet} must accept " +
 		"context.Context as their first parameter; context.Background() and " +
 		"context.TODO() are flagged in library code unless the enclosing " +
 		"function is marked Deprecated: or the call carries an " +

@@ -41,6 +41,20 @@ func NewTable(states, actions int, alpha, gamma, epsilon float64) *Table {
 	}
 }
 
+// Bind points the table at an externally owned backing slice of exactly
+// NumStates×NumActions values. It is how the fleet simulator keeps one
+// Table header per worker while the Q-values of millions of devices live
+// in a packed arena: re-binding is a slice assignment, so switching the
+// learner from one device to the next costs nothing and allocates
+// nothing. All reads and updates go through the bound slice; the caller
+// owns its lifetime.
+func (t *Table) Bind(q []float64) {
+	if len(q) != t.NumStates*t.NumActions {
+		panic(fmt.Sprintf("qlearn: Bind with %d values for a %d×%d table", len(q), t.NumStates, t.NumActions))
+	}
+	t.q = q
+}
+
 // Q returns Q(s, a).
 func (t *Table) Q(s, a int) float64 { return t.q[s*t.NumActions+a] }
 

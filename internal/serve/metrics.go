@@ -47,6 +47,16 @@ const (
 	mArtifactRecovery   = "ehserved_artifact_recovery_total"
 	mJobsResumed        = "ehserved_jobs_resumed_total"
 	mJobPointsRestored  = "ehserved_job_points_restored_total"
+
+	// Fleet families: the fleet-job gauge plus per-fleet series labeled
+	// by job id, and the boot-time resume counters.
+	mFleetJobs              = "ehserved_fleet_jobs"
+	mFleetDevices           = "ehserved_fleet_devices"
+	mFleetSnapshots         = "ehserved_fleet_snapshots_total"
+	mFleetEvents            = "ehserved_fleet_events_total"
+	mFleetBrownouts         = "ehserved_fleet_brownouts_total"
+	mFleetsResumed          = "ehserved_fleets_resumed_total"
+	mFleetSnapshotsRestored = "ehserved_fleet_snapshots_restored_total"
 )
 
 // initMetrics registers help text and the process-level gauges. Per
@@ -79,6 +89,13 @@ func (sv *Server) initMetrics() {
 		{mArtifactRecovery, "counter", "Artifact recovery outcomes at boot (restored, quarantined, orphaned, torn_manifest, undecodable)."},
 		{mJobsResumed, "counter", "Journaled grid jobs resumed at boot."},
 		{mJobPointsRestored, "counter", "Grid points restored from job journals instead of re-running."},
+		{mFleetJobs, "gauge", "Fleet jobs currently retained (running and finished)."},
+		{mFleetDevices, "gauge", "Simulated devices in a fleet, by fleet job id."},
+		{mFleetSnapshots, "counter", "Epoch snapshots emitted, by fleet job id."},
+		{mFleetEvents, "counter", "Inference events simulated across all devices, by fleet job id."},
+		{mFleetBrownouts, "counter", "Events missed to power loss or energy starvation, by fleet job id."},
+		{mFleetsResumed, "counter", "Journaled fleet jobs resumed at boot."},
+		{mFleetSnapshotsRestored, "counter", "Fleet snapshots restored from journals instead of re-simulating."},
 	} {
 		sv.reg.SetHelp(m.name, m.kind, m.help)
 	}
@@ -87,6 +104,11 @@ func (sv *Server) initMetrics() {
 		sv.mu.Lock()
 		defer sv.mu.Unlock()
 		return float64(len(sv.jobs))
+	})
+	sv.reg.GaugeFunc(mFleetJobs, func() float64 {
+		sv.mu.Lock()
+		defer sv.mu.Unlock()
+		return float64(len(sv.fleets))
 	})
 	sv.reg.GaugeFunc(mArtifacts, func() float64 {
 		sv.mu.Lock()

@@ -90,17 +90,28 @@ func (sv *Server) recoverJobs() {
 		sv.log.Error("recovery: scanning jobs failed; resuming none", "err", err)
 		return
 	}
-	maxSeq := 0
+	// Grid and fleet journals share the store; the id prefix ("g"/"f")
+	// decides which spec shape and resume path a journal gets — a fleet
+	// spec would otherwise silently unmarshal into a zero GridSpec.
+	maxSeq, maxFleetSeq := 0, 0
 	note := func(id string) {
 		if rest, ok := strings.CutPrefix(id, "g"); ok {
 			if n, err := strconv.Atoi(rest); err == nil && n > maxSeq {
 				maxSeq = n
+			}
+		} else if rest, ok := strings.CutPrefix(id, "f"); ok {
+			if n, err := strconv.Atoi(rest); err == nil && n > maxFleetSeq {
+				maxFleetSeq = n
 			}
 		}
 	}
 
 	for _, f := range finished {
 		note(f.ID)
+		if strings.HasPrefix(f.ID, "f") {
+			sv.recoverFinishedFleet(f)
+			continue
+		}
 		var doc finalDoc
 		if err := json.Unmarshal(f.Final, &doc); err != nil {
 			sv.log.Error("recovery: final document unreadable, dropping job", "job", f.ID, "err", err)
@@ -115,6 +126,18 @@ func (sv *Server) recoverJobs() {
 	resumed := 0
 	for _, u := range unfinished {
 		note(u.ID)
+		if strings.HasPrefix(u.ID, "f") {
+			snaps, err := sv.resumeFleetJob(u)
+			if err != nil {
+				sv.log.Error("recovery: cannot resume fleet, dropping its journal", "fleet", u.ID, "err", err)
+				_ = sv.store.RemoveJob(u.ID)
+				continue
+			}
+			resumed++
+			sv.reg.Counter(mFleetsResumed).Inc()
+			sv.reg.Counter(mFleetSnapshotsRestored).Add(int64(snaps))
+			continue
+		}
 		points, err := sv.resumeJob(u)
 		if err != nil {
 			sv.log.Error("recovery: cannot resume job, dropping its journal", "job", u.ID, "err", err)
@@ -128,9 +151,107 @@ func (sv *Server) recoverJobs() {
 	if sv.nextID < maxSeq {
 		sv.nextID = maxSeq
 	}
+	if sv.nextFleetID < maxFleetSeq {
+		sv.nextFleetID = maxFleetSeq
+	}
 	if len(finished) > 0 || resumed > 0 {
 		sv.log.Info("recovery: jobs", "finished", len(finished), "resumed", resumed)
 	}
+}
+
+// fleetFinalDoc is the slice of a final fleet Result document recovery
+// needs to rebuild a finished fleet job's status and streaming views.
+type fleetFinalDoc struct {
+	Name      string                  `json:"name"`
+	Snapshots []ehinfer.FleetSnapshot `json:"snapshots"`
+}
+
+// recoverFinishedFleet rebuilds a finished fleet job from its final
+// document so status, snapshot streaming, and the byte-identical final
+// JSON all serve again after a restart.
+func (sv *Server) recoverFinishedFleet(f store.FinishedJob) {
+	var doc fleetFinalDoc
+	if err := json.Unmarshal(f.Final, &doc); err != nil {
+		sv.log.Error("recovery: fleet final document unreadable, dropping job", "fleet", f.ID, "err", err)
+		_ = sv.store.RemoveJob(f.ID)
+		return
+	}
+	fj := newFleetJob(f.ID, nil, func() {})
+	fj.name = doc.Name
+	fj.total = len(doc.Snapshots)
+	fj.state = StateDone
+	fj.results = doc.Snapshots
+	fj.finalJSON = f.Final
+	sv.fleets[fj.id] = fj
+	sv.fleetOrder = append(sv.fleetOrder, fj.id)
+}
+
+// resumeFleetJob relaunches one journaled fleet run: the spec header
+// resolves back to a fleet (against the already-restored artifacts),
+// journaled epoch snapshots are validated against the spec's shape, and
+// the engine fast-forwards deterministically to the epoch after the last
+// journaled one — the determinism contract makes the resumed final
+// document byte-identical to an uninterrupted run's. Returns the number
+// of restored snapshots.
+func (sv *Server) resumeFleetJob(u store.UnfinishedJob) (int, error) {
+	var spec ehinfer.FleetSpec
+	if err := json.Unmarshal(u.Spec, &spec); err != nil {
+		return 0, fmt.Errorf("spec header: %w", err)
+	}
+	f, err := spec.Resolve(sv.artifactPolicy)
+	if err != nil {
+		return 0, fmt.Errorf("resolve fleet: %w", err)
+	}
+	restored := make([]ehinfer.FleetSnapshot, 0, len(u.Lines))
+	last := -1
+	for i, line := range u.Lines {
+		var snap ehinfer.FleetSnapshot
+		if err := json.Unmarshal(line, &snap); err != nil {
+			return 0, fmt.Errorf("journal line %d: %w", i+1, err)
+		}
+		// The journal must describe the same fleet the spec resolves to
+		// now; a registry change under the spec would otherwise splice two
+		// different simulations together.
+		if snap.Devices != f.Devices || len(snap.Populations) != len(f.Pops) {
+			return 0, fmt.Errorf("journal line %d: snapshot shape does not match the spec", i+1)
+		}
+		for pi, ps := range snap.Populations {
+			if ps.Name != f.Pops[pi].Name {
+				return 0, fmt.Errorf("journal line %d: population %d is %q, spec says %q",
+					i+1, pi, ps.Name, f.Pops[pi].Name)
+			}
+		}
+		if snap.Epoch <= last || snap.Epoch >= f.Epochs {
+			return 0, fmt.Errorf("journal line %d: epoch %d out of order (previous %d, fleet has %d)",
+				i+1, snap.Epoch, last, f.Epochs)
+		}
+		last = snap.Epoch
+		restored = append(restored, snap)
+	}
+	journal, err := sv.store.OpenJobJournal(u.ID)
+	if err != nil {
+		return 0, err
+	}
+
+	ctx, cancel := context.WithCancel(sv.baseCtx)
+	fj := newFleetJob(u.ID, f, cancel)
+	fj.log = sv.log
+	fj.journal = journal
+	fj.restored = restored
+	fj.startEpoch = last + 1
+
+	sv.mu.Lock()
+	sv.bindFleetMetrics(fj)
+	sv.fleets[fj.id] = fj
+	sv.fleetOrder = append(sv.fleetOrder, fj.id)
+	sv.wg.Add(1)
+	sv.mu.Unlock()
+	go func() {
+		defer sv.wg.Done()
+		defer cancel()
+		fj.run(ctx, sv.session)
+	}()
+	return len(restored), nil
 }
 
 // resumeJob relaunches one journaled grid run: the spec header resolves

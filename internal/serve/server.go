@@ -47,8 +47,9 @@ type storedArtifact struct {
 	bundle *ehinfer.DeploymentBundle
 }
 
-// Server is the HTTP/JSON serving daemon: grid execution, artifact
-// storage, and micro-batched online inference, behind one middleware
+// Server is the HTTP/JSON serving daemon: grid execution, fleet
+// simulation, artifact storage, and micro-batched online inference,
+// behind one middleware
 // chain (panic recovery → request id → structured logging → metrics →
 // per-client rate limiting → routing). All grids run on one shared
 // Session, so they share its worker cap and deployment cache.
@@ -64,6 +65,14 @@ type storedArtifact struct {
 //	GET    /v1/grids/{id}/results            final aggregated JSON
 //	GET    /v1/grids/{id}/results?format=ndjson  follow per-point results
 //	DELETE /v1/grids/{id}       cancel a running job
+//	POST   /v1/fleets           submit a fleet.Spec; 202 + job id
+//	POST   /v1/fleets?stream=1  submit and stream NDJSON epoch snapshots
+//	GET    /v1/fleets           list fleet jobs
+//	GET    /v1/fleets/{id}      status + progress
+//	GET    /v1/fleets/{id}/results           final aggregated JSON
+//	GET    /v1/fleets/{id}/results?format=ndjson  follow snapshots live
+//	DELETE /v1/fleets/{id}      cancel a running fleet
+//	GET    /v1/jobs             unified grid+fleet job listing
 //	POST   /v1/infer            online inference against an artifact or
 //	                            registered deployment (micro-batched)
 //	GET    /v1/stats            deprecated JSON stats view (see /metrics)
@@ -119,6 +128,12 @@ type Server struct {
 	order  []string // submission order, for listing
 	nextID int
 	closed bool
+
+	// Fleet jobs live beside grids with their own id space ("f<N>") and
+	// retention budget, sharing the WaitGroup/closed admission protocol.
+	fleets      map[string]*fleetJob
+	fleetOrder  []string // submission order, for listing
+	nextFleetID int
 
 	artifacts map[string]*storedArtifact
 	artOrder  []string // upload order, for listing
@@ -235,6 +250,7 @@ func New(opts ...Option) *Server {
 		baseCtx:   ctx,
 		stop:      cancel,
 		jobs:      make(map[string]*job),
+		fleets:    make(map[string]*fleetJob),
 		artifacts: make(map[string]*storedArtifact),
 		infers:    make(map[string]*inferTarget),
 	}
@@ -293,6 +309,12 @@ func (sv *Server) routes() []route {
 		{"GET", "/v1/grids/{id}", sv.handleStatus},
 		{"GET", "/v1/grids/{id}/results", sv.handleResults},
 		{"DELETE", "/v1/grids/{id}", sv.handleCancel},
+		{"POST", "/v1/fleets", sv.handleFleetSubmit},
+		{"GET", "/v1/fleets", sv.handleFleetList},
+		{"GET", "/v1/fleets/{id}", sv.handleFleetStatus},
+		{"GET", "/v1/fleets/{id}/results", sv.handleFleetResults},
+		{"DELETE", "/v1/fleets/{id}", sv.handleFleetCancel},
+		{"GET", "/v1/jobs", sv.handleJobs},
 		{"POST", "/v1/infer", sv.handleInfer},
 		{"GET", "/v1/stats", sv.handleStats},
 		{"POST", "/v1/artifacts", sv.handleArtifactUpload},

@@ -23,6 +23,20 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// Reseed rewinds the generator to the start of the stream for seed,
+// exactly as NewRNG(seed) would, but in place — arena-style callers (the
+// fleet simulator's per-device schedule streams) reuse one generator
+// value instead of allocating a fresh RNG per episode. Seed 0 is
+// remapped like NewRNG's.
+func (r *RNG) Reseed(seed uint64) {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	r.state = seed
+	r.hasSpare = false
+	r.spare = 0
+}
+
 // Uint64 returns the next 64 random bits (splitmix64).
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

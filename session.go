@@ -7,11 +7,15 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exper"
+	"repro/internal/fleet"
 	"repro/internal/search"
 	"repro/internal/tensor"
 )
 
-var errNilGrid = errors.New("ehinfer: nil grid")
+var (
+	errNilGrid  = errors.New("ehinfer: nil grid")
+	errNilFleet = errors.New("ehinfer: nil fleet")
+)
 
 // Session is the stateful entry point of the public API: it owns the
 // shared state that every long-running caller used to re-plumb by hand —
@@ -231,6 +235,87 @@ func (r *GridRun) Results() iter.Seq[ExperimentResult] {
 // enumeration order — the same value a direct RunGrid call would have
 // returned, streaming notwithstanding.
 func (r *GridRun) Wait() (*GridResult, error) {
+	<-r.done
+	return r.res, r.err
+}
+
+// RunFleet runs a compiled fleet to completion on the session's worker
+// cap and returns its result. Fleet results are bit-identical at any
+// worker count; on cancellation the snapshots completed so far are
+// returned alongside ctx.Err().
+func (s *Session) RunFleet(ctx context.Context, f *Fleet) (*FleetResult, error) {
+	if f == nil {
+		return nil, errNilFleet
+	}
+	e := fleet.Engine{Workers: s.workers}
+	return e.Run(ctx, f)
+}
+
+// StartFleet launches the fleet without waiting for it: the returned
+// FleetRun streams aggregate snapshots as epochs complete. Always drain
+// Snapshots (or call Wait) to observe completion.
+func (s *Session) StartFleet(ctx context.Context, f *Fleet) *FleetRun {
+	return s.startFleet(ctx, f, 0)
+}
+
+// ResumeFleet is StartFleet for a checkpointed run: the engine fast-
+// forwards deterministically through the epochs before fromEpoch and
+// streams only the snapshots from it on. The final result still holds
+// every snapshot — byte-identical to an uninterrupted run's.
+func (s *Session) ResumeFleet(ctx context.Context, f *Fleet, fromEpoch int) *FleetRun {
+	return s.startFleet(ctx, f, fromEpoch)
+}
+
+func (s *Session) startFleet(ctx context.Context, f *Fleet, fromEpoch int) *FleetRun {
+	if f == nil {
+		r := &FleetRun{ch: make(chan FleetSnapshot), done: make(chan struct{})}
+		r.err = errNilFleet
+		close(r.ch)
+		close(r.done)
+		return r
+	}
+	// Buffering to the snapshot count lets the engine finish even if the
+	// consumer abandons the stream after Wait.
+	r := &FleetRun{ch: make(chan FleetSnapshot, f.SnapshotCount()), done: make(chan struct{})}
+	e := fleet.Engine{
+		Workers:    s.workers,
+		StartEpoch: fromEpoch,
+		OnSnapshot: func(snap FleetSnapshot) { r.ch <- snap },
+	}
+	go func() {
+		defer close(r.done)
+		defer close(r.ch)
+		r.res, r.err = e.Run(ctx, f)
+	}()
+	return r
+}
+
+// FleetRun is an in-flight fleet launched by Session.StartFleet: a
+// stream of epoch-ordered aggregate snapshots plus the final result.
+// One consumer should range over Snapshots; any number may call Wait.
+type FleetRun struct {
+	ch   chan FleetSnapshot
+	done chan struct{}
+	res  *FleetResult
+	err  error
+}
+
+// Snapshots returns a single-use iterator over the run's snapshots in
+// epoch order. The sequence ends when the run finishes or is canceled;
+// breaking out early is safe and does not block the run.
+func (r *FleetRun) Snapshots() iter.Seq[FleetSnapshot] {
+	return func(yield func(FleetSnapshot) bool) {
+		for snap := range r.ch {
+			if !yield(snap) {
+				return
+			}
+		}
+	}
+}
+
+// Wait blocks until the run finishes and returns the final FleetResult —
+// the same value a direct RunFleet call would have returned.
+func (r *FleetRun) Wait() (*FleetResult, error) {
 	<-r.done
 	return r.res, r.err
 }
