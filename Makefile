@@ -6,12 +6,12 @@ GO ?= go
 # The root-package micro benchmark set (micro_bench_test.go +
 # serve_bench_test.go); bench-json archives exactly these so the perf
 # trajectory is comparable PR to PR.
-MICROBENCH = ^Benchmark(InferToExit1|InferToExit3|InferToExit3Int8|InferBatched1|InferBatched4|InferBatched16|ServerInferThroughput|LegacyInferToExit3|IncrementalResume|LegacyIncrementalResume|PlanCompile|TrainStep|ApplyCompressionPolicy|QuantizeWeights8bit|QTableUpdate|SolarTraceGeneration|SynthCIFARSample|EngineRunToCompletion|FullSimulationEpisode|FleetStep|FleetShard)$$
-BENCH_JSON ?= BENCH_pr9.json
+MICROBENCH = ^Benchmark(InferToExit1|InferToExit3|InferToExit3Int8|InferToExit3Int8Fast|InferBatched1|InferBatched4|InferBatched16|InferBatched1Int8Fast|InferBatched4Int8Fast|InferBatched16Int8Fast|ServerInferThroughput|LegacyInferToExit3|IncrementalResume|LegacyIncrementalResume|PlanCompile|PlanCompileInt8Fast|TrainStep|ApplyCompressionPolicy|QuantizeWeights8bit|QTableUpdate|SolarTraceGeneration|SynthCIFARSample|EngineRunToCompletion|FullSimulationEpisode|FleetStep|FleetShard)$$
+BENCH_JSON ?= BENCH_pr10.json
 
 # The hot-path subset bench-smoke gates in CI: a kernel regression that
 # breaks inference or the episode loop fails the build.
-SMOKEBENCH = ^Benchmark(InferToExit1|InferToExit3|InferToExit3Int8|IncrementalResume|FullSimulationEpisode)$$
+SMOKEBENCH = ^Benchmark(InferToExit1|InferToExit3|InferToExit3Int8|InferToExit3Int8Fast|IncrementalResume|FullSimulationEpisode)$$
 
 .PHONY: all build test race bench bench-smoke bench-json artifact-check infer-smoke crash-smoke fleet-smoke chaos-soak fmt fmt-check lint ehlint shellcheck staticcheck clean
 

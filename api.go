@@ -193,16 +193,19 @@ const (
 // layer walk. BackendInt8 runs the fixed-point pipeline (int8 weights,
 // uint8 activations, int32 accumulators) — faster on integer hardware
 // and numerically closer to the deployed MCU, at the cost of exactness;
-// BackendLegacy is the original layer walk.
+// BackendInt8Fast runs the packed-weight integer pipeline, the fastest
+// backend, holding statistical (per-exit accuracy) rather than bitwise
+// parity with the float plan; BackendLegacy is the original layer walk.
 const (
-	BackendDefault = core.BackendDefault
-	BackendPlan    = core.BackendPlan
-	BackendLegacy  = core.BackendLegacy
-	BackendInt8    = core.BackendInt8
+	BackendDefault  = core.BackendDefault
+	BackendPlan     = core.BackendPlan
+	BackendLegacy   = core.BackendLegacy
+	BackendInt8     = core.BackendInt8
+	BackendInt8Fast = core.BackendInt8Fast
 )
 
 // ParseBackend resolves a backend name ("plan"/"float32", "legacy",
-// "int8"); "" yields BackendDefault.
+// "int8", "int8fast"); "" yields BackendDefault.
 func ParseBackend(name string) (InferBackend, error) { return core.ParseBackend(name) }
 
 // BackendNames lists the canonical inference-backend names.

@@ -178,6 +178,59 @@ func TestSaveLoadRunParity(t *testing.T) {
 	}
 }
 
+// TestInt8FastPinnedScalesRoundTrip: calibration scales pinned before
+// SaveDeployed must travel through the .ehar into the restored
+// deployment's packed-weight fast plan. With identical scales the
+// integer pipeline is deterministic, so the restored plan's logits must
+// match the in-process plan bit for bit — the fast backend's
+// "compress once, flash once" contract.
+func TestInt8FastPinnedScalesRoundTrip(t *testing.T) {
+	sc, d := parityScenario(t)
+	var calib []*Tensor
+	for i := 0; i < 6; i++ {
+		calib = append(calib, sc.TestSet.Samples[i].Image)
+	}
+	d.BindInt8Calibration(calib)
+
+	path := filepath.Join(t.TempDir(), "fastpin.ehar")
+	if err := SaveDeployed(path, d, WithArtifactName("fastpin")); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewSession().Deploy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Int8Calibration == nil {
+		t.Fatal("pinned calibration scales did not survive the artifact round-trip")
+	}
+
+	orig, err := d.Int8FastPlanPinned()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, err := restored.Int8FastPlanPinned()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig.Int8Fast() || !rest.Int8Fast() {
+		t.Fatal("pinned fast plans must carry the int8-fast flag")
+	}
+	oex, ost := orig.NewExec(), orig.NewState()
+	rex, rst := rest.NewExec(), rest.NewState()
+	last := d.Net.NumExits() - 1
+	for i := 0; i < 8; i++ {
+		img := sc.TestSet.Samples[i+10].Image
+		oex.InferTo(ost, img, last)
+		rex.InferTo(rst, img, last)
+		for j, v := range ost.Logits() {
+			if rst.Logits()[j] != v {
+				t.Fatalf("image %d logit[%d]: restored %v vs in-process %v — pinned scales drifted",
+					i, j, rst.Logits()[j], v)
+			}
+		}
+	}
+}
+
 // TestArtifactDefaultBackendApplies: a config that names no backend runs
 // the artifact's own default; naming one overrides it.
 func TestArtifactDefaultBackendApplies(t *testing.T) {

@@ -30,10 +30,15 @@
 // predicted class, the exit taken, and the per-exit confidence profile
 // back. Requests are micro-batched per model — held up to -batch-window
 // for company, dispatched at -max-batch — with bounded queues that shed
-// load as 429 once -queue-cap requests are waiting:
+// load as 429 once -queue-cap requests are waiting. A request may name
+// its inference backend ("plan", "legacy", "int8", or the packed-weight
+// "int8fast" fast path); each (model, backend) pair is served as its
+// own target with its own compiled plan, queue, breaker, and metrics:
 //
 //	curl -s -X POST localhost:8080/v1/infer \
 //	    -d '{"artifact":"a1","input":[0.1, ...],"threshold":0.8}'
+//	curl -s -X POST localhost:8080/v1/infer \
+//	    -d '{"artifact":"a1","backend":"int8fast","input":[0.1, ...]}'
 //	curl -s localhost:8080/metrics    # Prometheus text: queues, latencies, exits
 //
 // Fleet simulation (see internal/fleet) runs the same intermittent

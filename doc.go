@@ -39,11 +39,16 @@
 //     program — precomputed shapes and conv geometry, a reusable
 //     double-buffered activation arena, fused conv+bias+ReLU steps over
 //     register-blocked kernels — with float32 output bit-identical to
-//     the layer walk, plus an int8 fixed-point backend (int8 weights,
-//     uint8 activations, int32 accumulators) selectable via
-//     Session.WithBackend, RuntimeConfig.Backend, or a GridSpec's
-//     "backend" field; float plans are cached per deployment alongside
-//     the experiment engine's deployment cache;
+//     the layer walk, plus two integer backends selectable via
+//     Session.WithBackend, RuntimeConfig.Backend, a GridSpec's
+//     "backend" field, or a /v1/infer request's "backend" field: the
+//     bit-exact int8 reference (int8 weights, uint8 activations, int32
+//     accumulators, frozen requantization) and the packed-weight
+//     int8-fast pipeline (dual-lane uint64 weight panels packed at
+//     compile time, fused fixed-point requantization, batched serving
+//     lanes) that outruns the float32 plan under a statistical
+//     per-exit-accuracy parity gate; plans are cached per deployment
+//     alongside the experiment engine's deployment cache;
 //
 //   - the HTTP serving layer (internal/serve, cmd/ehserved): submit
 //     declarative GridSpecs, poll progress, stream per-point results as

@@ -61,9 +61,10 @@ type Prediction struct {
 	Backend string `json:"backend"`
 }
 
-// Model is a deployed network bound to a serving backend: the compiled
-// batched float32 plan (default), per-image int8 plan executors, or the
-// legacy layer walk for architectures the plan compiler rejects. All
+// Model is a deployed network bound to a serving backend: a compiled
+// batched plan (float32 by default, or the packed-weight int8-fast
+// pipeline), per-image executors for the bit-exact int8 reference, or
+// the legacy layer walk for architectures the plan compiler rejects. All
 // methods are safe for concurrent use; execution state is pooled (plan
 // backends) or serialized (the layer walk mutates network internals).
 type Model struct {
@@ -72,10 +73,10 @@ type Model struct {
 	geom     plan.Geometry
 	maxBatch int
 
-	fplan *plan.Plan // float backends (nil on int8 and legacy)
-	iplan *plan.Plan // int8 backend
+	bplan *plan.Plan // batched backends: float32 or int8-fast (nil on bit-exact int8 and legacy)
+	iplan *plan.Plan // bit-exact int8 backend
 
-	execs sync.Pool  // *batchLane (float) or *int8Lane (int8)
+	execs sync.Pool  // *batchLane (batched plans) or *int8Lane (bit-exact int8)
 	mu    sync.Mutex // serializes legacy layer-walk execution
 
 	// legacyScratch is the layer walk's softmax scratch; the walk is
@@ -134,6 +135,13 @@ func NewModel(d *core.Deployed, backend core.InferBackend, maxBatch int) (*Model
 		if err != nil {
 			return nil, fmt.Errorf("batch: int8 lowering failed: %w", err)
 		}
+	case core.BackendInt8Fast:
+		// The packed-weight integer pipeline batches like float32: its
+		// plan runs through the lane-banded BatchExec below.
+		m.bplan, err = d.Int8FastPlanPinned()
+		if err != nil {
+			return nil, fmt.Errorf("batch: int8-fast lowering failed: %w", err)
+		}
 	case core.BackendLegacy:
 		// Explicit layer-walk request: don't compile (and cache) a float
 		// plan that would never run.
@@ -142,8 +150,8 @@ func NewModel(d *core.Deployed, backend core.InferBackend, maxBatch int) (*Model
 		// BackendPlan serves from the compiled float plan when it
 		// compiles; otherwise the layer walk keeps unsupported-but-valid
 		// architectures servable.
-		if m.fplan, err = d.FloatPlan(); err != nil {
-			m.fplan = nil
+		if m.bplan, err = d.FloatPlan(); err != nil {
+			m.bplan = nil
 			m.backend = core.BackendLegacy
 			m.legacyScratch = make([]float32, d.Net.Classes)
 		}
@@ -230,8 +238,8 @@ func (m *Model) inferChunk(reqs []Req, preds []Prediction) {
 		}
 	}
 	switch {
-	case m.fplan != nil:
-		m.inferFloat(reqs, preds, maxExit)
+	case m.bplan != nil:
+		m.inferBatched(reqs, preds, maxExit)
 	case m.iplan != nil:
 		m.inferInt8(reqs, preds)
 	default:
@@ -263,16 +271,17 @@ func record(p *Prediction, scratch, logits []float32) {
 	p.ExitConfidences = append(p.ExitConfidences, plan.LogitsConfidence(logits, scratch))
 }
 
-// inferFloat runs the chunk through a pooled batched executor, scanning
-// every exit up to the chunk bound in one pass.
-func (m *Model) inferFloat(reqs []Req, preds []Prediction, maxExit int) {
+// inferBatched runs the chunk through a pooled batched executor
+// (float32 or int8-fast plan), scanning every exit up to the chunk
+// bound in one pass.
+func (m *Model) inferBatched(reqs []Req, preds []Prediction, maxExit int) {
 	var ln *batchLane
 	if v := m.execs.Get(); v != nil {
 		ln = v.(*batchLane)
 	} else {
-		be, err := m.fplan.NewBatchExec(m.maxBatch)
+		be, err := m.bplan.NewBatchExec(m.maxBatch)
 		if err != nil {
-			// Unreachable: fplan is float by construction.
+			// Unreachable: bplan is batchable by construction.
 			panic(err)
 		}
 		ln = &batchLane{be: be, scratch: make([][]float32, m.maxBatch)}
@@ -293,7 +302,7 @@ func (m *Model) inferFloat(reqs []Req, preds []Prediction, maxExit int) {
 }
 
 // inferInt8 runs the chunk image by image on pooled int8 executors (the
-// integer pipeline is not batched; see BatchExec).
+// bit-exact integer reference is not batched; see BatchExec).
 func (m *Model) inferInt8(reqs []Req, preds []Prediction) {
 	var ln *int8Lane
 	if v := m.execs.Get(); v != nil {

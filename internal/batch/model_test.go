@@ -152,6 +152,41 @@ func TestModelInt8AndLegacy(t *testing.T) {
 	}
 }
 
+// TestModelInt8Fast checks the packed-weight fast backend serves
+// through the batched lane path and agrees bit-for-bit with its own
+// single-image executor — batching composition must not change any
+// image's answer.
+func TestModelInt8Fast(t *testing.T) {
+	d := testDeployed(t, core.BackendDefault)
+	m, err := NewModel(d, core.BackendInt8Fast, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Backend() != core.BackendInt8Fast {
+		t.Fatalf("backend = %v, want int8fast", m.Backend())
+	}
+	fp, err := d.Int8FastPlanPinned()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, st := fp.NewExec(), fp.NewState()
+	reqs := make([]Req, 6)
+	for i := range reqs {
+		reqs[i] = Req{Input: testInput(uint64(i), m.InputLen()), Options: Options{Exit: -1}}
+	}
+	preds := m.InferBatch(reqs)
+	for i, pred := range preds {
+		if pred.Backend != "int8fast" {
+			t.Fatalf("req %d: backend label %q", i, pred.Backend)
+		}
+		ex.InferTo(st, tensor.FromSlice(reqs[i].Input, len(reqs[i].Input)), m.NumExits()-1)
+		if pred.Class != st.Predicted() || pred.Confidence != st.Confidence() {
+			t.Fatalf("req %d: batched (%d, %v), want (%d, %v)",
+				i, pred.Class, pred.Confidence, st.Predicted(), st.Confidence())
+		}
+	}
+}
+
 // TestModelValidate is the serving-boundary bad-input table: every
 // malformed request must come back as an error naming the problem,
 // never reach a panic in the nn layers.

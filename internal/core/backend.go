@@ -31,6 +31,13 @@ const (
 	// activations, int32 accumulators. Faster and closer to what a real
 	// MCU executes, but an approximation of the float result.
 	BackendInt8
+	// BackendInt8Fast runs the packed-weight integer pipeline
+	// (plan.CompileInt8Fast): pre-packed dual-lane weights, fused
+	// integer requantization, batched serving lanes. It holds a
+	// *statistical* parity contract with the float backend (per-exit
+	// accuracy within ε) rather than BackendInt8's bit-exact one, and in
+	// exchange is the fastest backend on a scalar host.
+	BackendInt8Fast
 )
 
 func (b InferBackend) String() string {
@@ -43,6 +50,8 @@ func (b InferBackend) String() string {
 		return "legacy"
 	case BackendInt8:
 		return "int8"
+	case BackendInt8Fast:
+		return "int8fast"
 	default:
 		return fmt.Sprintf("InferBackend(%d)", int(b))
 	}
@@ -58,7 +67,8 @@ func (b InferBackend) Resolve() InferBackend {
 }
 
 // ParseBackend resolves a backend name: "" → BackendDefault, "plan" (or
-// its alias "float32") → BackendPlan, plus "legacy" and "int8".
+// its alias "float32") → BackendPlan, plus "legacy", "int8", and
+// "int8fast".
 func ParseBackend(name string) (InferBackend, error) {
 	switch name {
 	case "":
@@ -69,6 +79,8 @@ func ParseBackend(name string) (InferBackend, error) {
 		return BackendLegacy, nil
 	case "int8":
 		return BackendInt8, nil
+	case "int8fast":
+		return BackendInt8Fast, nil
 	default:
 		return 0, fmt.Errorf("core: unknown inference backend %q (known: %v)", name, BackendNames())
 	}
@@ -76,7 +88,7 @@ func ParseBackend(name string) (InferBackend, error) {
 
 // BackendNames lists the canonical backend names a declarative spec may
 // use.
-func BackendNames() []string { return []string{"int8", "legacy", "plan"} }
+func BackendNames() []string { return []string{"int8", "int8fast", "legacy", "plan"} }
 
 // planCache lazily compiles the deployment's float32 inference plan.
 // It lives on the Deployed, which the experiment engine's DeployCache
@@ -115,16 +127,27 @@ func (d *Deployed) FloatPlan() (*plan.Plan, error) {
 // as packaged.
 func (d *Deployed) Int8PlanPinned() (*plan.Plan, error) {
 	d.planc8.once.Do(func() {
-		d.planc8.p, d.planc8.err = d.int8Plan(nil)
+		d.planc8.p, d.planc8.err = d.int8Plan(nil, false)
 	})
 	return d.planc8.p, d.planc8.err
 }
 
-// int8Plan compiles the deployment's int8 plan. Explicit calibration
-// images win; otherwise scales pinned by BindInt8Calibration (or an
-// artifact load) apply; with neither, the lowering uses its static
-// default ceiling.
-func (d *Deployed) int8Plan(calibration []*tensor.Tensor) (*plan.Plan, error) {
+// Int8FastPlanPinned is Int8PlanPinned's counterpart for the
+// packed-weight fast backend: the same pinned-scale contract, lowered
+// through plan.CompileInt8Fast. The fast and bit-exact plans are cached
+// independently — a server may route some requests through each.
+func (d *Deployed) Int8FastPlanPinned() (*plan.Plan, error) {
+	d.planc8f.once.Do(func() {
+		d.planc8f.p, d.planc8f.err = d.int8Plan(nil, true)
+	})
+	return d.planc8f.p, d.planc8f.err
+}
+
+// int8Plan compiles the deployment's int8 plan, packed-weight fast or
+// bit-exact. Explicit calibration images win; otherwise scales pinned
+// by BindInt8Calibration (or an artifact load) apply; with neither, the
+// lowering uses its static default ceiling.
+func (d *Deployed) int8Plan(calibration []*tensor.Tensor, fast bool) (*plan.Plan, error) {
 	geom, err := plan.InferGeometry(d.Net)
 	if err != nil {
 		return nil, err
@@ -132,6 +155,9 @@ func (d *Deployed) int8Plan(calibration []*tensor.Tensor) (*plan.Plan, error) {
 	cfg := plan.Int8Config{Calibration: calibration}
 	if len(calibration) == 0 {
 		cfg.Scales = d.Int8Calibration
+	}
+	if fast {
+		return plan.CompileInt8Fast(d.Net, geom, cfg)
 	}
 	return plan.CompileInt8(d.Net, geom, cfg)
 }

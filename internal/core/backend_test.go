@@ -2,19 +2,21 @@ package core
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/dataset"
 	"repro/internal/metrics"
 	"repro/internal/multiexit"
 	"repro/internal/nn"
+	"repro/internal/plan"
 	"repro/internal/tensor"
 )
 
 func TestParseBackend(t *testing.T) {
 	cases := map[string]InferBackend{
 		"": BackendDefault, "plan": BackendPlan, "float32": BackendPlan,
-		"legacy": BackendLegacy, "int8": BackendInt8,
+		"legacy": BackendLegacy, "int8": BackendInt8, "int8fast": BackendInt8Fast,
 	}
 	for name, want := range cases {
 		got, err := ParseBackend(name)
@@ -25,7 +27,8 @@ func TestParseBackend(t *testing.T) {
 	if _, err := ParseBackend("cuda"); err == nil {
 		t.Fatal("expected error for unknown backend")
 	}
-	if BackendPlan.String() != "plan" || BackendLegacy.String() != "legacy" || BackendInt8.String() != "int8" {
+	if BackendPlan.String() != "plan" || BackendLegacy.String() != "legacy" ||
+		BackendInt8.String() != "int8" || BackendInt8Fast.String() != "int8fast" {
 		t.Fatal("backend names drifted from the registry")
 	}
 	if BackendDefault.Resolve() != BackendPlan || BackendInt8.Resolve() != BackendInt8 {
@@ -149,6 +152,63 @@ func TestBackendInt8Runs(t *testing.T) {
 	}
 	if rep.ProcessedCount() == 0 {
 		t.Fatal("int8 episode processed nothing")
+	}
+}
+
+// TestBackendInt8FastRuns checks the packed-weight fast backend
+// completes an empirical episode and produces a structurally sane
+// report.
+func TestBackendInt8FastRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("empirical test skipped in -short")
+	}
+	d, sc, test := empiricalSetup(t, 53)
+	rt, rep := runEmpirical(t, d, sc, test, BackendInt8Fast)
+	if rt.Backend() != BackendInt8Fast {
+		t.Fatalf("int8-fast runtime fell back to %v", rt.Backend())
+	}
+	if rep.ProcessedCount() == 0 {
+		t.Fatal("int8-fast episode processed nothing")
+	}
+}
+
+// TestPinnedPlansConcurrentFirstUse hammers the deployment's lazy plan
+// caches from many goroutines at once — the serving layer's access
+// pattern when a burst of first requests race target creation. Run
+// under -race this pins the once-guarded compile; every caller must see
+// the same compiled plan.
+func TestPinnedPlansConcurrentFirstUse(t *testing.T) {
+	d := testDeployed(t, 7)
+	const g = 16
+	var wg sync.WaitGroup
+	slow := make([]*plan.Plan, g)
+	fast := make([]*plan.Plan, g)
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p8, err := d.Int8PlanPinned()
+			if err != nil {
+				t.Errorf("Int8PlanPinned: %v", err)
+			}
+			pf, err := d.Int8FastPlanPinned()
+			if err != nil {
+				t.Errorf("Int8FastPlanPinned: %v", err)
+			}
+			slow[i], fast[i] = p8, pf
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < g; i++ {
+		if slow[i] != slow[0] || fast[i] != fast[0] {
+			t.Fatal("pinned plan caches handed out different plans across racing first uses")
+		}
+	}
+	if slow[0] == fast[0] {
+		t.Fatal("fast and bit-exact pinned plans must be cached independently")
+	}
+	if !fast[0].Int8Fast() || slow[0].Int8Fast() {
+		t.Fatal("pinned plan flags wrong")
 	}
 }
 

@@ -101,3 +101,42 @@ func (s *Scratch) GoodHot(xs []float64) float64 {
 	}
 	return sum
 }
+
+// Packed is a pre-packed weight matrix, the int8-fast kernel shape:
+// panels are laid out at compile time so the kernel never allocates.
+type Packed struct {
+	panels []uint64
+}
+
+// BadPackPerCall repacks weights inside the kernel — the exact
+// per-call allocation the packed-weight pipeline moved to plan compile
+// time.
+//
+//ehlint:hotpath
+func BadPackPerCall(w []int8, k int) *Packed {
+	panels := make([]uint64, len(w)/2) // want "make allocates in a //ehlint:hotpath function"
+	for i := range panels {
+		lo := uint64(uint8(w[2*i]) + 128)
+		hi := uint64(uint8(w[2*i+1]) + 128)
+		panels[i] = lo | hi<<32
+	}
+	return &Packed{panels: panels} // want "&composite literal escapes"
+}
+
+// GoodPackedKernel is the blessed dual-lane inner loop: bounds-check
+// eliminating re-slices, fixed-size array-pointer copies, and SWAR
+// word loads are all allocation-free.
+//
+//ehlint:hotpath
+func (w *Packed) GoodPackedKernel(dst []uint8, col []uint8, patch []uint8) uint64 {
+	// Fixed-size copy through a slice-to-array-pointer conversion.
+	*(*[5]uint8)(dst) = *(*[5]uint8)(patch)
+	// Re-slice so the ranged loop proves the panel access in bounds.
+	wp := w.panels[:len(col)]
+	var a0, a1 uint64
+	for p, v := range col {
+		a0 += wp[p] * uint64(v)
+		a1 += uint64(v)
+	}
+	return a0 - a1<<7
+}

@@ -98,3 +98,32 @@ func ParallelSumBands(xs []float64) float64 {
 	wg.Wait()
 	return partial[0] + partial[1]
 }
+
+// PackedDeqBands is the int8-fast head epilogue shape: integer
+// accumulation (exact at any order) with a single float scaling per
+// output, each goroutine writing a disjoint dst band — blessed.
+func PackedDeqBands(dst []float32, acc []int32, scale float32) {
+	var wg sync.WaitGroup
+	half := len(acc) / 2
+	for _, b := range [][2]int{{0, half}, {half, len(acc)}} {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				dst[i] = float32(acc[i]) * scale
+			}
+		}(b[0], b[1])
+	}
+	wg.Wait()
+}
+
+// CalibrateFromMap folds per-layer activation ceilings out of a map —
+// the quantization-scale hazard the fence exists for: scales would
+// depend on iteration order, and with them every packed weight.
+func CalibrateFromMap(ceilings map[string]float64) float64 {
+	scale := 1.0
+	for _, c := range ceilings {
+		scale = scale * (c / 255) // want "float accumulation over map iteration order"
+	}
+	return scale
+}

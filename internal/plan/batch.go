@@ -33,10 +33,13 @@ import (
 // code, and band boundaries only decide which goroutine runs it.
 //
 // A BatchExec is reusable for any number of batches but serves one
-// batch at a time; the serving layer pools them. The int8 backend is
-// deliberately not batched — its hot loop is already pure integer
-// arithmetic with statically bound scales, so the serving layer runs it
-// per image through ordinary Execs.
+// batch at a time; the serving layer pools them. The packed-weight
+// int8-fast backend batches exactly like float32 — each lane's executor
+// runs the fused integer kernels, so a multi-core host divides
+// quantized per-image wall time by the lane count. The bit-exact int8
+// reference backend is deliberately not batched: it exists as a
+// semantic anchor, and the serving layer runs it per image through
+// ordinary Execs.
 type BatchExec struct {
 	p     *Plan
 	maxN  int
@@ -54,10 +57,11 @@ type blane struct {
 
 // NewBatchExec builds a batched executor able to run up to maxBatch
 // images at once, with one lane per tensor worker available at
-// construction time. Only float32 plans support batching.
+// construction time. Float32 and int8-fast plans support batching; the
+// bit-exact int8 reference path does not.
 func (p *Plan) NewBatchExec(maxBatch int) (*BatchExec, error) {
-	if p.int8 {
-		return nil, fmt.Errorf("plan: batched execution supports the float32 backend only")
+	if p.int8 && !p.fast {
+		return nil, fmt.Errorf("plan: batched execution supports the float32 and int8-fast backends only")
 	}
 	if maxBatch < 1 {
 		maxBatch = 1

@@ -35,7 +35,11 @@ func (p *Plan) NewExec() *Exec {
 		e.bufA8 = make([]uint8, p.maxVol)
 		e.bufB8 = make([]uint8, p.maxVol)
 		e.col8 = make([]uint8, p.maxColVol)
-		e.acc = make([]int32, p.maxAccVol)
+		if !p.fast {
+			// The fast path requantizes straight out of GEMM registers;
+			// only the bit-exact path stages an int32 accumulator slab.
+			e.acc = make([]int32, p.maxAccVol)
+		}
 		e.logitsOut = make([]float32, p.classes)
 	} else {
 		e.bufA = make([]float32, p.maxVol)

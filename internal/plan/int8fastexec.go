@@ -1,0 +1,54 @@
+package plan
+
+import "repro/internal/tensor"
+
+// Int8-fast execution: the packed-weight integer pipeline behind
+// CompileInt8Fast. Activations still flow as uint8 codes between steps,
+// but every weighted layer runs the fused dual-lane GEMM
+// (tensor.GemmInt8PackedReq) against weights repacked at compile time:
+// im2col writes directly in the transposed panel order the kernel
+// consumes, accumulators live in registers for the whole dot product,
+// and requantize+ReLU happens in the GEMM epilogue through the layer's
+// fixed-point (multiplier, shift) pair — no int32 accumulator slab, no
+// float round-trips until the classifier head dequantizes logits.
+//
+// Output is NOT bit-exact against the reference int8 path (the fused
+// epilogue single-rounds where the reference triple-rounds through
+// float32); its contract is statistical parity with the float backend,
+// pinned by TestInt8FastStatisticalParity.
+
+// runInt8Fast executes one step chain through the packed kernels.
+// Classifier heads (deqScale > 0) emit float32 logits into e.logitsOut
+// instead of codes.
+//
+//ehlint:hotpath
+func (e *Exec) runInt8Fast(ops []step, cur []uint8) []uint8 {
+	for si := range ops {
+		st := &ops[si]
+		switch st.kind {
+		case opConv:
+			out := e.otherU8(cur)
+			tensor.Im2ColU8Packed(e.col8, cur[:st.inShape.vol()], st.geom)
+			tensor.GemmInt8PackedReq(out, st.wpk, e.col8, st.biasAcc, st.colCols, st.mulFix, st.shiftFix)
+			cur = out
+
+		case opDense:
+			// The flattened activation vector IS one k-deep column, so
+			// dense layers are the n=1 case of the packed GEMM.
+			x := cur[:st.in]
+			if st.deqScale > 0 {
+				tensor.GemmInt8PackedDeq(e.logitsOut, st.wpk, x, st.biasAcc, 1, st.deqScale)
+				return cur
+			}
+			out := e.otherU8(cur)
+			tensor.GemmInt8PackedReq(out, st.wpk, x, st.biasAcc, 1, st.mulFix, st.shiftFix)
+			cur = out
+
+		case opPool:
+			out := e.otherU8(cur)
+			tensor.MaxPool2U8Into(out, cur, st.inShape.c, st.inShape.h, st.inShape.w, st.kernel, st.stride, st.outShape.h, st.outShape.w)
+			cur = out
+		}
+	}
+	return cur
+}

@@ -133,6 +133,19 @@ type step struct {
 	biasAcc     []int32
 	requantMult float32 // accumulator → uint8 activation codes
 	deqScale    float32 // accumulator → float32 logits (classifier heads)
+
+	// Integer requantization, bound at compile time. The bit-exact
+	// backend carries the float multiplier's 24-bit mantissa and
+	// exponent (requantM, requantE), which requantU8 uses to reproduce
+	// the float-rounding reference in pure integer arithmetic. The fast
+	// backend carries a single-rounding 31-bit fixed-point pair
+	// (mulFix, shiftFix) fused into the packed-GEMM epilogue, plus the
+	// weights repacked once into the dual-lane panel layout.
+	requantM int64
+	requantE int
+	mulFix   int32
+	shiftFix uint
+	wpk      *tensor.PackedInt8
 }
 
 // Plan is a compiled inference program: the immutable part shared by all
@@ -143,6 +156,7 @@ type Plan struct {
 	classes  int
 	geom     Geometry
 	int8     bool
+	fast     bool // int8 with packed-weight kernels (CompileInt8Fast)
 
 	// Arena sizing, computed during compilation.
 	maxVol      int // largest activation volume any step touches
@@ -158,8 +172,13 @@ func (p *Plan) NumExits() int { return len(p.segments) }
 // Geometry returns the input geometry the plan was compiled for.
 func (p *Plan) Geometry() Geometry { return p.geom }
 
-// Int8 reports whether the plan is the int8 lowering.
+// Int8 reports whether the plan is an int8 lowering (bit-exact or fast).
 func (p *Plan) Int8() bool { return p.int8 }
+
+// Int8Fast reports whether the plan is the packed-weight int8 lowering
+// (CompileInt8Fast) — statistically gated against the float backend
+// rather than bit-exact against the fixed-point walk.
+func (p *Plan) Int8Fast() bool { return p.fast }
 
 // Int8Config parameterizes the int8 lowering.
 type Int8Config struct {
@@ -238,7 +257,7 @@ func (c *Calibration) calMap() map[calKey][]float64 {
 // (unsupported layer, shape mismatch) means the caller should keep using
 // the layer walk.
 func Compile(net *multiexit.Network, geom Geometry) (*Plan, error) {
-	return compile(net, geom, false, Int8Config{})
+	return compile(net, geom, false, false, Int8Config{})
 }
 
 // CompileInt8 builds the int8 program for the network at the given input
@@ -249,17 +268,36 @@ func CompileInt8(net *multiexit.Network, geom Geometry, cfg Int8Config) (*Plan, 
 	if cfg.ActMax <= 0 {
 		cfg.ActMax = 4
 	}
-	return compile(net, geom, true, cfg)
+	return compile(net, geom, true, false, cfg)
 }
 
-func compile(net *multiexit.Network, geom Geometry, toInt8 bool, cfg Int8Config) (*Plan, error) {
+// CompileInt8Fast builds the packed-weight integer program: the same
+// quantization chain as CompileInt8 (so a pinned Calibration reproduces
+// identical scales on either), but lowered for throughput. Weights are
+// repacked once, here, into the dual-lane panel layout
+// (tensor.PackInt8Panels); requantize+ReLU is fused into the GEMM
+// epilogue through a 31-bit fixed-point (multiplier, shift) pair bound
+// per layer; activations flow in transposed im2col order; and float
+// arithmetic survives only at the classifier-head dequantize. Unlike
+// CompileInt8, the result is NOT bit-exact against the fixed-point layer
+// walk — its accuracy contract is statistical (per-exit accuracy within
+// ε of the float backend), which is what licenses the kernel
+// restructuring.
+func CompileInt8Fast(net *multiexit.Network, geom Geometry, cfg Int8Config) (*Plan, error) {
+	if cfg.ActMax <= 0 {
+		cfg.ActMax = 4
+	}
+	return compile(net, geom, true, true, cfg)
+}
+
+func compile(net *multiexit.Network, geom Geometry, toInt8, fast bool, cfg Int8Config) (*Plan, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
 	if geom.C <= 0 || geom.H <= 0 || geom.W <= 0 {
 		return nil, fmt.Errorf("plan: invalid input geometry %+v", geom)
 	}
-	p := &Plan{classes: net.Classes, geom: geom, int8: toInt8, maxVol: geom.Vol()}
+	p := &Plan{classes: net.Classes, geom: geom, int8: toInt8, fast: fast, maxVol: geom.Vol()}
 	var calib map[calKey][]float64
 	if toInt8 {
 		if cfg.Scales != nil {
@@ -391,7 +429,7 @@ func (p *Plan) compileSequential(seq *nn.Sequential, cur shape, toInt8 bool, cfg
 				inShape:   cur, outShape: out,
 			}
 			if toInt8 {
-				if err := st.lowerInt8(l.W.Value.Data, l.B.Value.Data, l.WeightBitsPerValue, false, nextActMax(), inScale); err != nil {
+				if err := st.lowerInt8(l.W.Value.Data, l.B.Value.Data, l.WeightBitsPerValue, false, nextActMax(), inScale, p.fast); err != nil {
 					return nil, cur, fmt.Errorf("conv %q: %w", l.Name(), err)
 				}
 				// ReLU is fused into requantization; drop an adjacent one.
@@ -430,7 +468,7 @@ func (p *Plan) compileSequential(seq *nn.Sequential, cur shape, toInt8 bool, cfg
 				st.quantBits = 0 // classifier heads skip activation quantization
 			}
 			if toInt8 {
-				if err := st.lowerInt8(l.W.Value.Data, l.B.Value.Data, l.WeightBitsPerValue, l.Final, nextActMax(), inScale); err != nil {
+				if err := st.lowerInt8(l.W.Value.Data, l.B.Value.Data, l.WeightBitsPerValue, l.Final, nextActMax(), inScale, p.fast); err != nil {
 					return nil, cur, fmt.Errorf("dense %q: %w", l.Name(), err)
 				}
 				if i+1 < len(layers) {
@@ -503,8 +541,11 @@ func clampActBits(bits int) int {
 }
 
 // lowerInt8 quantizes one weighted layer for the int8 backend and binds
-// its scales into the step. actMax is the layer's requantization ceiling.
-func (st *step) lowerInt8(w []float32, bias []float32, layerBits int, final bool, actMax float64, inScale *float64) error {
+// its scales into the step. actMax is the layer's requantization
+// ceiling. With fast set it additionally repacks the quantized weights
+// into the dual-lane panel layout and binds the fixed-point requant
+// pair the fused kernels consume.
+func (st *step) lowerInt8(w []float32, bias []float32, layerBits int, final bool, actMax float64, inScale *float64, fast bool) error {
 	bits := 8
 	if layerBits > 0 && layerBits < 8 {
 		bits = layerBits
@@ -531,12 +572,56 @@ func (st *step) lowerInt8(w []float32, bias []float32, layerBits int, final bool
 	for i, b := range bias {
 		st.biasAcc[i] = int32(math.Round(float64(b) / accScale))
 	}
+	if fast {
+		rows, cols := st.out, st.in
+		if st.kind == opConv {
+			rows, cols = st.outC, st.colRows
+		}
+		if cols > tensor.MaxInt8FastK {
+			return fmt.Errorf("reduction depth %d exceeds the int8-fast lane-safe bound %d", cols, tensor.MaxInt8FastK)
+		}
+		st.wpk = tensor.PackInt8Panels(st.wq, rows, cols)
+	}
 	if final {
 		st.deqScale = float32(accScale)
 		return nil
 	}
 	outScale := actMax / 255
 	st.requantMult = float32(accScale / outScale)
+	st.requantM, st.requantE = requantFixExact(st.requantMult)
+	if fast {
+		mul, shift, err := requantFix31(st.requantMult)
+		if err != nil {
+			return err
+		}
+		st.mulFix, st.shiftFix = mul, shift
+	}
 	*inScale = outScale
 	return nil
+}
+
+// requantFixExact decomposes a float32 requantization multiplier into
+// its exact 24-bit mantissa and binary exponent (mult = m·2^e, m in
+// [2^23, 2^24)), the compile-time half of requantU8's pure-integer
+// emulation of the float-rounding reference.
+func requantFixExact(mult float32) (m int64, e int) {
+	frac, exp := math.Frexp(float64(mult))
+	return int64(frac * (1 << 24)), exp - 24
+}
+
+// requantFix31 derives the fast backend's single-rounding fixed-point
+// requantization pair: mult ≈ mul·2^-shift with a 31-bit multiplier, the
+// form tensor.GemmInt8PackedReq fuses into its epilogue.
+func requantFix31(mult float32) (int32, uint, error) {
+	frac, exp := math.Frexp(float64(mult))
+	m := int64(math.Round(frac * (1 << 31)))
+	if m == 1<<31 {
+		m >>= 1
+		exp++
+	}
+	shift := 31 - exp
+	if mult <= 0 || shift < 1 || shift > 62 {
+		return 0, 0, fmt.Errorf("requant multiplier %g outside the 31-bit fixed-point range", mult)
+	}
+	return int32(m), uint(shift), nil
 }

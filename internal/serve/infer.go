@@ -47,6 +47,11 @@ type inferRequest struct {
 	// enables anytime early exit (see batch.Options).
 	Exit      *int    `json:"exit,omitempty"`
 	Threshold float64 `json:"threshold,omitempty"`
+	// Backend, when set, selects the inference backend for this request
+	// ("plan"/"float32", "legacy", "int8", "int8fast"); unset uses the
+	// server session's default. Each (model, backend) pair is its own
+	// served target with its own queue, breaker, and metrics.
+	Backend string `json:"backend,omitempty"`
 }
 
 // inferResponse is the POST /v1/infer reply.
@@ -187,9 +192,26 @@ func (sv *Server) inferTargetFor(req *inferRequest) (*inferTarget, error) {
 			ehinfer.ErrBadInput)
 	}
 
+	// The request's backend choice (session default when unset) is part
+	// of the target identity: the same artifact served on two backends is
+	// two targets, each with its own compiled plan, queue, and breaker.
+	backend := sv.session.Backend()
+	if req.Backend != "" {
+		b, err := ehinfer.ParseBackend(req.Backend)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ehinfer.ErrBadInput, err)
+		}
+		backend = b
+	}
+
 	key := "deployment:" + req.Deployment
 	if req.Artifact != "" {
 		key = artifactPrefix + req.Artifact
+	}
+	if req.Backend != "" {
+		// Canonical name, so "float32" and "plan" share one target; the
+		// no-backend key stays unchanged for existing dashboards.
+		key += "@" + backend.Resolve().String()
 	}
 
 	// Resolve the deployment under the server lock, but build the model
@@ -222,7 +244,7 @@ func (sv *Server) inferTargetFor(req *inferRequest) (*inferTarget, error) {
 		}
 		d = dep
 	}
-	model, err := batch.NewModel(d, sv.session.Backend(), sv.batchCfg.MaxBatch)
+	model, err := batch.NewModel(d, backend, sv.batchCfg.MaxBatch)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ehinfer.ErrBadInput, err)
 	}

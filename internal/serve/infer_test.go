@@ -152,6 +152,52 @@ func TestServeInferDeterministic(t *testing.T) {
 	}
 }
 
+// TestServeInferBackendSelection: a request naming a backend is served
+// on that backend — its own target, keyed by (model, backend) — and the
+// response echoes the canonical backend name. The packed-weight
+// int8fast path answers with the same response shape as the default
+// plan backend.
+func TestServeInferBackendSelection(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	id := uploadArtifact(t, ts.URL, encodeTestArtifact(t, "infer-backend"))
+
+	withBackend := func(body, backend string) string {
+		return strings.Replace(body, `{"artifact"`, `{"backend":"`+backend+`","artifact"`, 1)
+	}
+	for _, backend := range []string{"int8fast", "int8"} {
+		code, out := postInfer(t, ts.URL, withBackend(inferBody(id, 2), backend))
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d: %v", backend, code, out)
+		}
+		if out["backend"] != backend {
+			t.Fatalf("%s request answered by backend %v", backend, out["backend"])
+		}
+		if out["model"] != "artifact:"+id+"@"+backend {
+			t.Fatalf("%s target key = %v", backend, out["model"])
+		}
+		preds := out["predictions"].([]any)
+		if len(preds) != 2 {
+			t.Fatalf("%s: predictions = %v", backend, out["predictions"])
+		}
+		p := preds[0].(map[string]any)
+		if p["backend"] != backend {
+			t.Fatalf("%s: prediction backend = %v", backend, p["backend"])
+		}
+		if cls := int(p["class"].(float64)); cls < 0 || cls >= 10 {
+			t.Fatalf("%s: class %d out of range", backend, cls)
+		}
+	}
+	// The float32 alias resolves to the canonical "plan" target.
+	code, out := postInfer(t, ts.URL, withBackend(inferBody(id, 1), "float32"))
+	if code != http.StatusOK || out["backend"] != "plan" || out["model"] != "artifact:"+id+"@plan" {
+		t.Fatalf("float32 alias: status %d, backend %v, model %v", code, out["backend"], out["model"])
+	}
+	// Unknown backends are client errors.
+	if code, _ := postInfer(t, ts.URL, withBackend(inferBody(id, 1), "cuda")); code != http.StatusBadRequest {
+		t.Fatalf("unknown backend: status %d, want 400", code)
+	}
+}
+
 // TestServeInferBadRequests is the satellite's table: every malformed
 // payload must come back 400/404 with a JSON error — never a panic, a
 // hang, or a 500.

@@ -1,0 +1,225 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refRequant mirrors requantFix for the reference GEMM path.
+func refRequant(a, mul int32, shift uint) uint8 {
+	if a <= 0 {
+		return 0
+	}
+	q := (int64(a)*int64(mul) + int64(1)<<(shift-1)) >> shift
+	if q > 255 {
+		return 255
+	}
+	return uint8(q)
+}
+
+func randInt8(r *rand.Rand, n int) []int8 {
+	out := make([]int8, n)
+	for i := range out {
+		out[i] = int8(r.Intn(256) - 128)
+	}
+	return out
+}
+
+func randUint8(r *rand.Rand, n int) []uint8 {
+	out := make([]uint8, n)
+	for i := range out {
+		out[i] = uint8(r.Intn(256))
+	}
+	return out
+}
+
+// transposeU8 converts a row-major k×n matrix into the n×k column-panel
+// layout the packed GEMM consumes.
+func transposeU8(b []uint8, k, n int) []uint8 {
+	bt := make([]uint8, k*n)
+	for p := 0; p < k; p++ {
+		for j := 0; j < n; j++ {
+			bt[j*k+p] = b[p*n+j]
+		}
+	}
+	return bt
+}
+
+func TestPackInt8PanelsRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, dims := range [][2]int{{1, 7}, {3, 5}, {4, 9}, {6, 75}, {17, 33}, {36, 150}} {
+		m, k := dims[0], dims[1]
+		w := randInt8(r, m*k)
+		p := PackInt8Panels(w, m, k)
+		if p.Rows() != m || p.Cols() != k {
+			t.Fatalf("pack dims %dx%d, want %dx%d", p.Rows(), p.Cols(), m, k)
+		}
+		// Unpack: full panels are K-major dual-lane uint64s (rows
+		// rebiased to unsigned), the odd tail row plain int8.
+		got := make([]int8, m*k)
+		for pr := 0; pr < m/2; pr++ {
+			for q := 0; q < k; q++ {
+				v := p.panels[pr*k+q]
+				got[(2*pr)*k+q] = int8(int16(uint8(v)) - 128)
+				got[(2*pr+1)*k+q] = int8(int16(uint8(v>>32)) - 128)
+			}
+		}
+		if m%2 == 1 {
+			copy(got[(m-1)*k:m*k], p.tail)
+		}
+		for idx := range w {
+			if got[idx] != w[idx] {
+				t.Fatalf("%dx%d: unpacked[%d] = %d, want %d", m, k, idx, got[idx], w[idx])
+			}
+		}
+	}
+}
+
+func TestPackInt8PanelsOverflowGuard(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PackInt8Panels accepted an int32-unsafe reduction depth")
+		}
+	}()
+	k := MaxInt8FastK + 1
+	PackInt8Panels(make([]int8, k), 1, k)
+}
+
+func TestIm2ColU8PackedMatchesTranspose(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	geoms := []ConvGeom{
+		{InC: 3, InH: 32, InW: 32, KH: 5, KW: 5, StrideH: 1, StrideW: 1},
+		{InC: 6, InH: 14, InW: 14, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		{InC: 2, InH: 9, InW: 7, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1},
+	}
+	for _, g := range geoms {
+		src := randUint8(r, g.InC*g.InH*g.InW)
+		rows := g.InC * g.KH * g.KW
+		cols := g.OutH() * g.OutW()
+		plain := make([]uint8, rows*cols)
+		Im2ColU8(plain, src, g)
+		want := transposeU8(plain, rows, cols)
+		got := make([]uint8, rows*cols)
+		Im2ColU8Packed(got, src, g)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("geom %+v: packed[%d] = %d, want %d", g, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGemmInt8PackedReq pins the fused kernel against the reference
+// pipeline (MatMulInt8Into + bias + requant) across row counts covering
+// every panel/tail combination and both column parities.
+func TestGemmInt8PackedReq(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	const mul, shift = 123456789, 33
+	for _, m := range []int{1, 2, 3, 4, 5, 7, 8, 36} {
+		for _, n := range []int{1, 2, 5, 25, 100} {
+			k := 37
+			w := randInt8(r, m*k)
+			b := randUint8(r, k*n)
+			bias := make([]int32, m)
+			for i := range bias {
+				bias[i] = int32(r.Intn(20001) - 10000)
+			}
+			acc := make([]int32, m*n)
+			MatMulInt8Into(acc, w, b, m, k, n)
+			want := make([]uint8, m*n)
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					want[i*n+j] = refRequant(acc[i*n+j]+bias[i], mul, shift)
+				}
+			}
+			got := make([]uint8, m*n)
+			GemmInt8PackedReq(got, PackInt8Panels(w, m, k), transposeU8(b, k, n), bias, n, mul, shift)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("m=%d n=%d: fused[%d] = %d, want %d", m, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestGemmInt8PackedDeq(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	const scale = 0.00125
+	for _, m := range []int{1, 4, 5, 10} {
+		k, n := 96, 1
+		w := randInt8(r, m*k)
+		b := randUint8(r, k*n)
+		bias := make([]int32, m)
+		for i := range bias {
+			bias[i] = int32(r.Intn(2001) - 1000)
+		}
+		acc := make([]int32, m*n)
+		MatMulInt8Into(acc, w, b, m, k, n)
+		got := make([]float32, m*n)
+		GemmInt8PackedDeq(got, PackInt8Panels(w, m, k), transposeU8(b, k, n), bias, n, scale)
+		for i := 0; i < m; i++ {
+			want := float32(acc[i]+bias[i]) * scale
+			if got[i] != want {
+				t.Fatalf("m=%d: logit[%d] = %v, want %v", m, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestMaxPool2U8IntoMatchesMaxPool2U8(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	c, h, w := 6, 28, 28
+	src := randUint8(r, c*h*w)
+	want := make([]uint8, c*14*14)
+	oh, ow := MaxPool2U8(want, src, c, h, w, 2, 2)
+	got := make([]uint8, c*oh*ow)
+	MaxPool2U8Into(got, src, c, h, w, 2, 2, oh, ow)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pool[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// Benchmarks comparing the fused packed kernel against the reference
+// int8 pipeline on the repo's conv shapes (LeNet-EE conv1 and conv2).
+func BenchmarkGemmInt8PackedConv1(b *testing.B) { benchPackedGemm(b, 6, 75, 784) }
+func BenchmarkGemmInt8PackedConv2(b *testing.B) { benchPackedGemm(b, 36, 150, 100) }
+func BenchmarkMatMulInt8IntoConv1(b *testing.B) { benchRefGemm(b, 6, 75, 784) }
+func BenchmarkMatMulInt8IntoConv2(b *testing.B) { benchRefGemm(b, 36, 150, 100) }
+
+func benchPackedGemm(b *testing.B, m, k, n int) {
+	r := rand.New(rand.NewSource(6))
+	w := PackInt8Panels(randInt8(r, m*k), m, k)
+	bt := randUint8(r, k*n)
+	bias := make([]int32, m)
+	dst := make([]uint8, m*n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GemmInt8PackedReq(dst, w, bt, bias, n, 1<<20, 25)
+	}
+}
+
+func benchRefGemm(b *testing.B, m, k, n int) {
+	r := rand.New(rand.NewSource(6))
+	w := randInt8(r, m*k)
+	bb := randUint8(r, k*n)
+	bias := make([]int32, m)
+	acc := make([]int32, m*n)
+	dst := make([]uint8, m*n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInt8Into(acc, w, bb, m, k, n)
+		for oc := 0; oc < m; oc++ {
+			bv := bias[oc]
+			accRow := acc[oc*n : (oc+1)*n]
+			outRow := dst[oc*n : (oc+1)*n]
+			for j, a := range accRow {
+				outRow[j] = refRequant(a+bv, 1<<20, 25)
+			}
+		}
+	}
+}

@@ -97,6 +97,28 @@ func BenchmarkInferToExit3Int8(b *testing.B) {
 	}
 }
 
+// BenchmarkInferToExit3Int8Fast measures the packed-weight integer
+// pipeline (plan.CompileInt8Fast) — the backend whose acceptance gate is
+// running at or below the fp32 plan on the same box.
+func BenchmarkInferToExit3Int8Fast(b *testing.B) {
+	net := multiexit.LeNetEE(tensor.NewRNG(1))
+	img := benchImage()
+	geom, err := plan.InferGeometry(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := plan.CompileInt8Fast(net, geom, plan.Int8Config{Calibration: []*tensor.Tensor{img}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, st := p.NewExec(), p.NewState()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.InferTo(st, img, 2)
+	}
+}
+
 func BenchmarkIncrementalResume(b *testing.B) {
 	net := multiexit.LeNetEE(tensor.NewRNG(1))
 	ex, st := benchPlan(b, net)
@@ -132,6 +154,27 @@ func BenchmarkPlanCompile(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := plan.Compile(net, geom); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanCompileInt8Fast measures int8-fast compilation — the
+// price of hoisting quantization, weight packing, and fixed-point scale
+// binding out of the hot loop, paid once per deployment and cached. The
+// calibration forward passes are the dominant term.
+func BenchmarkPlanCompileInt8Fast(b *testing.B) {
+	net := multiexit.LeNetEE(tensor.NewRNG(1))
+	img := benchImage()
+	geom, err := plan.InferGeometry(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scales := plan.Calibrate(net, []*tensor.Tensor{img})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.CompileInt8Fast(net, geom, plan.Int8Config{Scales: scales}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -258,17 +301,28 @@ func BenchmarkFullSimulationEpisode(b *testing.B) {
 // scalar peak, and the dispatch overhead the batch amortizes is small —
 // while on a w-core host the executor's per-worker lanes divide
 // per-image wall time by min(batch, w).
-func BenchmarkInferBatched1(b *testing.B)  { benchInferBatched(b, 1) }
-func BenchmarkInferBatched4(b *testing.B)  { benchInferBatched(b, 4) }
-func BenchmarkInferBatched16(b *testing.B) { benchInferBatched(b, 16) }
+func BenchmarkInferBatched1(b *testing.B)  { benchInferBatched(b, 1, false) }
+func BenchmarkInferBatched4(b *testing.B)  { benchInferBatched(b, 4, false) }
+func BenchmarkInferBatched16(b *testing.B) { benchInferBatched(b, 16, false) }
 
-func benchInferBatched(b *testing.B, n int) {
+// BenchmarkInferBatched*Int8Fast run the same micro-batch shapes through
+// the int8-fast lanes BatchExec gained alongside the packed kernels.
+func BenchmarkInferBatched1Int8Fast(b *testing.B)  { benchInferBatched(b, 1, true) }
+func BenchmarkInferBatched4Int8Fast(b *testing.B)  { benchInferBatched(b, 4, true) }
+func BenchmarkInferBatched16Int8Fast(b *testing.B) { benchInferBatched(b, 16, true) }
+
+func benchInferBatched(b *testing.B, n int, int8fast bool) {
 	net := multiexit.LeNetEE(tensor.NewRNG(1))
 	geom, err := plan.InferGeometry(net)
 	if err != nil {
 		b.Fatal(err)
 	}
-	p, err := plan.Compile(net, geom)
+	var p *plan.Plan
+	if int8fast {
+		p, err = plan.CompileInt8Fast(net, geom, plan.Int8Config{Calibration: []*tensor.Tensor{benchImage()}})
+	} else {
+		p, err = plan.Compile(net, geom)
+	}
 	if err != nil {
 		b.Fatal(err)
 	}

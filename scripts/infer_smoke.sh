@@ -55,6 +55,19 @@ grep -q '"backend":"int8"' "$TMP/response.json" || { echo "infer-smoke: wrong ba
 curl -sf "$BASE/v1/stats" >"$TMP/stats.json"
 grep -q '"served":1' "$TMP/stats.json" || { echo "infer-smoke: stats did not count the request:"; cat "$TMP/stats.json"; exit 1; }
 
+# Same input on the packed-weight fast backend: the per-request backend
+# selector must route to its own (model, backend) target and the
+# response must echo the canonical name and a decodable class.
+awk 'BEGIN {
+    s = "";
+    for (i = 0; i < 256; i++) s = s (i ? "," : "") "0.5";
+    print "{\"artifact\":\"a1\",\"backend\":\"int8fast\",\"input\":[" s "]}";
+}' >"$TMP/request_fast.json"
+curl -sf -X POST --data-binary @"$TMP/request_fast.json" "$BASE/v1/infer" >"$TMP/response_fast.json"
+grep -q '"backend":"int8fast"' "$TMP/response_fast.json" || { echo "infer-smoke: int8fast backend not echoed:"; cat "$TMP/response_fast.json"; exit 1; }
+grep -q '"model":"artifact:a1@int8fast"' "$TMP/response_fast.json" || { echo "infer-smoke: int8fast target key wrong:"; cat "$TMP/response_fast.json"; exit 1; }
+grep -Eq '"class":[0-3][,}]' "$TMP/response_fast.json" || { echo "infer-smoke: int8fast gave no decodable class:"; cat "$TMP/response_fast.json"; exit 1; }
+
 # Liveness and readiness probes answer on the live daemon.
 curl -sf "$BASE/healthz" | grep -q '"status":"ok"' || { echo "infer-smoke: healthz not ok" >&2; exit 1; }
 curl -sf "$BASE/readyz" | grep -q '"status":"ready"' || { echo "infer-smoke: readyz not ready" >&2; exit 1; }

@@ -73,9 +73,11 @@ func WithDeployedCache(enabled bool) SessionOption {
 // WithBackend sets the session's default empirical-mode inference
 // backend (unset resolves to BackendPlan, the compiled zero-allocation
 // plan that is bit-identical to the legacy layer walk; BackendInt8
-// selects the fixed-point pipeline). Grids or CompareConfigs that name
-// their own Backend override it, and surrogate-mode runs — which never
-// execute the network — ignore it entirely.
+// selects the bit-exact fixed-point pipeline; BackendInt8Fast the
+// packed-weight integer pipeline — fastest, statistically rather than
+// bitwise faithful to the float plan). Grids or CompareConfigs that
+// name their own Backend override it, and surrogate-mode runs — which
+// never execute the network — ignore it entirely.
 func WithBackend(b InferBackend) SessionOption {
 	return func(s *Session) { s.backend = b }
 }
